@@ -1,0 +1,111 @@
+// Command xatu-bench regenerates the paper's tables and figures on the
+// synthetic ISP world. Each experiment is identified by the paper artifact
+// it reproduces (fig2..fig18f, tab1, tab2); see DESIGN.md for the index.
+//
+// Usage:
+//
+//	xatu-bench -exp fig8,fig10            # specific experiments
+//	xatu-bench -exp all                   # everything (several minutes)
+//	xatu-bench -exp data                  # only the cheap data-analysis ones
+//	xatu-bench -days 20 -seed 7 -exp fig8 # bigger world
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/xatu-go/xatu"
+	"github.com/xatu-go/xatu/internal/eval"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "data", "comma-separated experiment ids, or 'all', 'data', 'ml', 'ablate'")
+		days      = flag.Int("days", 14, "simulated days")
+		seed      = flag.Int64("seed", 1, "world seed")
+		customers = flag.Int("customers", 10, "number of customers")
+		stepMin   = flag.Int("step", 2, "simulation step in minutes")
+		bound     = flag.Float64("bound", 0.4, "overhead bound for single-point experiments")
+		epochs    = flag.Int("epochs", 14, "training epochs")
+	)
+	flag.Parse()
+
+	cfg := xatu.BenchPipelineConfig(*days, *seed)
+	cfg.World.NumCustomers = *customers
+	cfg.World.Step = time.Duration(*stepMin) * time.Minute
+	cfg.Train.Epochs = *epochs
+
+	ids := expandIDs(*expFlag)
+	if len(ids) == 0 {
+		fatal("no experiments selected")
+	}
+
+	fmt.Printf("building world: %d days, %d customers, step %v, seed %d\n",
+		*days, *customers, cfg.World.Step, *seed)
+	start := time.Now()
+	p, err := eval.New(cfg)
+	if err != nil {
+		fatal("pipeline: %v", err)
+	}
+	fmt.Printf("world ready: %d alerts from %s in %v\n\n", len(p.Alerts), cfg.Labeler, time.Since(start).Round(time.Millisecond))
+
+	var ml *eval.MLContext
+	needML := false
+	for _, id := range ids {
+		if xatu.NeedsML(id) {
+			needML = true
+		}
+	}
+	if needML {
+		fmt.Println("training Xatu and RF baselines...")
+		t0 := time.Now()
+		ml, err = eval.NewMLContext(p)
+		if err != nil {
+			fatal("training: %v", err)
+		}
+		fmt.Printf("systems trained in %v\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	for _, id := range ids {
+		t0 := time.Now()
+		res, err := xatu.RunExperiment(id, p, ml, cfg, *bound)
+		if err != nil {
+			fatal("%s: %v", id, err)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func expandIDs(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.TrimSpace(tok) {
+		case "":
+		case "all":
+			out = append(out, xatu.DataExperiments...)
+			out = append(out, xatu.MLExperiments...)
+			out = append(out, xatu.AblationExperiments...)
+			out = append(out, xatu.ExtensionExperiments...)
+		case "data":
+			out = append(out, xatu.DataExperiments...)
+		case "ml":
+			out = append(out, xatu.MLExperiments...)
+		case "ablate":
+			out = append(out, xatu.AblationExperiments...)
+		case "ext":
+			out = append(out, xatu.ExtensionExperiments...)
+		default:
+			out = append(out, strings.TrimSpace(tok))
+		}
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xatu-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

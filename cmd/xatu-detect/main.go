@@ -1,0 +1,251 @@
+// Command xatu-detect runs the online detection loop of §2.6: it listens
+// for NetFlow v5 datagrams, aggregates flows per customer per step, feeds
+// them through the Monitor (trained models + 273-feature extractor) and
+// prints alerts. Pair it with ispgen:
+//
+//	xatu-detect -models ./models -listen 127.0.0.1:2055 -step 5s &
+//	ispgen -export 127.0.0.1:2055 -from 0 -to 720 -rate 10ms
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/xatu-go/xatu"
+	"github.com/xatu-go/xatu/internal/blocklist"
+	"github.com/xatu-go/xatu/internal/netflow"
+	"github.com/xatu-go/xatu/internal/routing"
+	"github.com/xatu-go/xatu/internal/simnet"
+)
+
+func main() {
+	var (
+		modelDir = flag.String("models", "models", "directory written by xatu-train")
+		listen   = flag.String("listen", "127.0.0.1:2055", "NetFlow listen address")
+		step     = flag.Duration("step", 5*time.Second, "aggregation step (wall clock)")
+		thFlag   = flag.Float64("threshold", 0, "survival threshold override (0 = use saved)")
+		replay   = flag.String("replay", "", "replay a flow journal file instead of listening on UDP")
+		simStep  = flag.Duration("sim-step", 2*time.Minute, "journal replay: step size of the recorded flows")
+	)
+	flag.Parse()
+
+	models, def, err := loadModels(*modelDir)
+	if err != nil {
+		fatal("%v", err)
+	}
+	threshold := *thFlag
+	if threshold == 0 {
+		threshold, err = loadThreshold(filepath.Join(*modelDir, "threshold"))
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	ext := loadExtractor(*modelDir)
+	mon, err := xatu.NewMonitor(xatu.MonitorConfig{
+		Models: models, Default: def, Extractor: ext,
+		Threshold: threshold, RecordHistory: true,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *replay != "" {
+		replayJournal(mon, *replay, *simStep)
+		return
+	}
+
+	col, err := xatu.NewCollector(*listen, 65536)
+	if err != nil {
+		fatal("%v", err)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	go col.Run(ctx)
+	fmt.Printf("listening on %s, survival threshold %.4f, step %v\n", col.Addr(), threshold, *step)
+
+	pending := map[netip.Addr][]xatu.Record{}
+	ticker := time.NewTicker(*step)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			dropped, bad := col.Stats()
+			fmt.Printf("shutting down (dropped=%d badPackets=%d)\n", dropped, bad)
+			return
+		case r, ok := <-col.Records():
+			if !ok {
+				return
+			}
+			pending[r.Dst] = append(pending[r.Dst], r)
+		case <-ticker.C:
+			now := time.Now()
+			for customer, flows := range pending {
+				for _, a := range mon.ObserveStep(customer, now, flows) {
+					fmt.Printf("%s ALERT %s victim=%v proto=%v srcport=%d\n",
+						now.Format(time.RFC3339), a.Sig.Type, a.Sig.Victim, a.Sig.Proto, a.Sig.SrcPort)
+				}
+				delete(pending, customer)
+			}
+		}
+	}
+}
+
+// loadExtractor builds the feature extractor from the registry files
+// xatu-train exported next to the models; missing files leave the
+// corresponding signal empty (with a warning) rather than failing.
+func loadExtractor(dir string) *xatu.FeatureExtractor {
+	ext := &xatu.FeatureExtractor{
+		Blocklists: xatu.NewBlocklistRegistry(),
+		History:    xatu.NewHistoryRegistry(),
+		Geo:        simnet.GeoOf,
+		A4Window:   72 * time.Hour,
+		A5Window:   24 * time.Hour,
+	}
+	if f, err := os.Open(filepath.Join(dir, "blocklists.txt")); err == nil {
+		if n, err := blocklist.LoadText(f, ext.Blocklists); err != nil {
+			fatal("blocklists.txt: %v", err)
+		} else {
+			fmt.Printf("loaded %d blocklisted /24s\n", n)
+		}
+		f.Close()
+	} else {
+		fmt.Fprintln(os.Stderr, "warning: no blocklists.txt; A1 features will be empty")
+	}
+	table := &routing.Table{}
+	if f, err := os.Open(filepath.Join(dir, "routes.txt")); err == nil {
+		t, err := routing.LoadText(f)
+		f.Close()
+		if err != nil {
+			fatal("routes.txt: %v", err)
+		}
+		table = t
+		fmt.Printf("loaded %d routes\n", table.Len())
+	} else {
+		fmt.Fprintln(os.Stderr, "warning: no routes.txt; every source will look unrouted")
+	}
+	ext.Spoof = xatu.NewSpoofChecker(table)
+	if f, err := os.Open(filepath.Join(dir, "history.snap")); err == nil {
+		if err := ext.History.Load(f); err != nil {
+			fatal("history.snap: %v", err)
+		}
+		f.Close()
+		fmt.Println("loaded attack-history snapshot")
+	} else {
+		fmt.Fprintln(os.Stderr, "warning: no history.snap; A2/A4/A5 start cold")
+	}
+	return ext
+}
+
+// replayJournal streams a recorded flow journal through the monitor,
+// bucketing records into simulated steps by their start timestamps.
+func replayJournal(mon *xatu.Monitor, path string, step time.Duration) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	jr, err := netflow.NewJournalReader(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var (
+		curStep time.Time
+		pending = map[netip.Addr][]xatu.Record{}
+		alerts  int
+		flushFn = func() {
+			for customer, flows := range pending {
+				for _, a := range mon.ObserveStep(customer, curStep, flows) {
+					fmt.Printf("%s ALERT %s victim=%v\n", curStep.Format(time.RFC3339), a.Sig.Type, a.Sig.Victim)
+					alerts++
+				}
+				delete(pending, customer)
+			}
+		}
+	)
+	for {
+		r, err := jr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal("replay: %v", err)
+		}
+		bucket := r.Start.Truncate(step)
+		if curStep.IsZero() {
+			curStep = bucket
+		}
+		for bucket.After(curStep) {
+			flushFn()
+			curStep = curStep.Add(step)
+		}
+		pending[r.Dst] = append(pending[r.Dst], r)
+	}
+	flushFn()
+	fmt.Printf("replayed %d records, %d alerts\n", jr.Count(), alerts)
+}
+
+func loadModels(dir string) (map[xatu.AttackType]*xatu.Model, *xatu.Model, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	models := map[xatu.AttackType]*xatu.Model{}
+	var def *xatu.Model
+	names := map[string]xatu.AttackType{
+		"udp-flood": xatu.UDPFlood, "tcp-ack": xatu.TCPACK, "tcp-syn": xatu.TCPSYN,
+		"tcp-rst": xatu.TCPRST, "dns-amp": xatu.DNSAmp, "icmp-flood": xatu.ICMPFlood,
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".xatu") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := xatu.LoadModel(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading %s: %w", e.Name(), err)
+		}
+		base := strings.TrimSuffix(e.Name(), ".xatu")
+		if base == "shared" {
+			def = m
+		} else if at, ok := names[base]; ok {
+			models[at] = m
+		}
+	}
+	if def == nil && len(models) == 0 {
+		return nil, nil, fmt.Errorf("no models found in %s (run xatu-train first)", dir)
+	}
+	return models, def, nil
+}
+
+func loadThreshold(path string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		return 0, fmt.Errorf("empty threshold file %s", path)
+	}
+	return strconv.ParseFloat(strings.TrimSpace(sc.Text()), 64)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xatu-detect: "+format+"\n", args...)
+	os.Exit(1)
+}

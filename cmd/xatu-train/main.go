@@ -1,0 +1,119 @@
+// Command xatu-train builds a synthetic world, labels it with the chosen
+// CDet, trains the per-attack-type Xatu models and saves them to a
+// directory, along with the calibrated alert threshold.
+//
+// Usage:
+//
+//	xatu-train -out ./models -days 14 -bound 0.4
+//	xatu-detect -models ./models ...       # then serve them
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/core"
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/eval"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "models", "output directory")
+		days    = flag.Int("days", 14, "simulated days")
+		seed    = flag.Int64("seed", 1, "world seed")
+		labeler = flag.String("labeler", "netscout", "label source: netscout or fastnetmon")
+		bound   = flag.Float64("bound", 0.4, "scrubbing overhead bound for threshold calibration")
+		epochs  = flag.Int("epochs", 14, "training epochs")
+	)
+	flag.Parse()
+
+	cfg := eval.DefaultConfig()
+	cfg.World.Days = *days
+	cfg.World.Seed = *seed
+	cfg.World.Step = 2 * time.Minute
+	cfg.World.NumCustomers = 10
+	cfg.World.NumBotnets = 5
+	cfg.World.BotsPerBotnet = 40
+	cfg.World.MeanAttacksPerBotnetPerWeek = 16
+	cfg.World.MeanPeakMbps = 30
+	cfg.TrainFrac, cfg.ValFrac, cfg.StabFrac = 0.45, 0.30, 0.05
+	cfg.LookbackSteps = 120
+	cfg.Model.Hidden = 10
+	cfg.Model.Window = 10
+	cfg.Model.PoolShort, cfg.Model.PoolMed, cfg.Model.PoolLong = 1, 5, 15
+	cfg.Train.Epochs = *epochs
+	cfg.MinTypeExamples = 6
+	cfg.Labeler = *labeler
+
+	fmt.Println("building world and labeling with", *labeler, "...")
+	p, err := eval.New(cfg)
+	if err != nil {
+		fatal("pipeline: %v", err)
+	}
+	fmt.Printf("%d alerts; training...\n", len(p.Alerts))
+	ml, err := eval.NewMLContext(p)
+	if err != nil {
+		fatal("training: %v", err)
+	}
+	sys, err := ml.XatuAt(*bound)
+	if err != nil {
+		fatal("calibration: %v", err)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("%v", err)
+	}
+	save := func(name string, m *core.Model) {
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		if err := m.Save(f); err != nil {
+			fatal("saving %s: %v", name, err)
+		}
+	}
+	save("shared.xatu", ml.Models.Shared)
+	for at := ddos.AttackType(0); at < ddos.NumAttackTypes; at++ {
+		if m, ok := ml.Models.ByType[at]; ok {
+			save(at.String()+".xatu", m)
+		}
+	}
+	th, err := os.Create(filepath.Join(*out, "threshold"))
+	if err != nil {
+		fatal("%v", err)
+	}
+	// The calibrated score threshold is on 1−S; the Monitor wants the S
+	// threshold, so store the complement.
+	fmt.Fprintf(th, "%g\n", 1-sys.Threshold)
+	th.Close()
+
+	// Export the auxiliary-signal registries the extractor needs at
+	// detection time: the blocklists, the routing table (spoof checks) and
+	// the attack-history snapshot. xatu-detect loads all three.
+	writeFile := func(name string, write func(*os.File) error) {
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fatal("writing %s: %v", name, err)
+		}
+	}
+	writeFile("blocklists.txt", func(f *os.File) error { return p.World.Blocklists.WriteText(f) })
+	writeFile("routes.txt", func(f *os.File) error { return p.World.Routes.WriteText(f) })
+	writeFile("history.snap", func(f *os.File) error { return p.History.Save(f) })
+
+	fmt.Printf("saved models + registries to %s (survival threshold %.4f, score threshold %.4f)\n",
+		*out, 1-sys.Threshold, sys.Threshold)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xatu-train: "+format+"\n", args...)
+	os.Exit(1)
+}

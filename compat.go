@@ -1,0 +1,26 @@
+package xatu
+
+import (
+	"net/netip"
+
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/features"
+)
+
+// SignatureFor returns the canonical anomalous-traffic signature for an
+// attack of the given type against the victim address (§2.1).
+func SignatureFor(at AttackType, victim netip.Addr) Signature {
+	return ddos.SignatureFor(at, victim)
+}
+
+// NormalizeFeatures applies the model's input normalization (log1p on
+// count-like values) in place. Feature vectors must be normalized before
+// being fed to a Model or Stream.
+func NormalizeFeatures(v []float64) { features.Normalize(v) }
+
+// FeatureNames returns the 273 feature names in vector order.
+func FeatureNames() []string { return features.Names() }
+
+// FeatureGroupOf returns the signal group ("V", "A1".."A5") of a feature
+// index.
+func FeatureGroupOf(idx int) string { return features.GroupOf(idx) }

@@ -1,0 +1,39 @@
+// evasion reproduces the §6.4 robustness analysis: attackers shrink their
+// pre-detection traffic (volume-changing) or change their ramp-up rate dR
+// (rate-changing) to dodge the volumetric detector, and Xatu's auxiliary
+// signals keep detection effective where the volumetric-only ablation
+// degrades.
+//
+//	go run ./examples/evasion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/xatu-go/xatu"
+)
+
+func main() {
+	cfg := xatu.BenchPipelineConfig(12, 3)
+	cfg.Train.Epochs = 12
+
+	fmt.Println("building world and training Xatu plus the volumetric-only ablation...")
+	p, err := xatu.NewPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ml, err := xatu.NewMLContext(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := xatu.RunExperiment("fig13", p, ml, cfg, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Render())
+	fmt.Println("\nReading the table: as attackers suppress volume (volume×0.25, ×0.00)")
+	fmt.Println("or slow their ramp (dR=0.5), the volumetric-only detector loses")
+	fmt.Println("effectiveness while full Xatu holds — the auxiliary signals carry it.")
+}

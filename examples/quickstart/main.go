@@ -1,0 +1,46 @@
+// Quickstart: build a small synthetic ISP, label it with the NetScout-like
+// detector, train Xatu, calibrate the alert threshold under a scrubbing
+// overhead bound, and compare Xatu's detection against the CDet it boosts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/xatu-go/xatu"
+)
+
+func main() {
+	// A 10-day world keeps this under a minute or two on a laptop.
+	cfg := xatu.BenchPipelineConfig(10, 42)
+	cfg.Train.Epochs = 10
+
+	fmt.Println("building world and labeling with the commercial detector...")
+	p, err := xatu.NewPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("labeled %d attacks across %d customers\n", len(p.Alerts), cfg.World.NumCustomers)
+
+	fmt.Println("training Xatu (multi-timescale LSTM + survival loss) and the RF baseline...")
+	ml, err := xatu.NewMLContext(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reproduce the headline comparison at one overhead bound.
+	res, err := xatu.RunExperiment("fig8", p, ml, cfg, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Render())
+
+	roc, err := xatu.RunExperiment("fig9", p, ml, cfg, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(roc.Render())
+}

@@ -1,0 +1,138 @@
+package xatu
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/eval"
+)
+
+const minute = time.Minute
+
+// ExperimentIDs lists every reproducible paper artifact by id, grouped the
+// way xatu-bench exposes them.
+var (
+	// DataExperiments need only the labeled world (cheap).
+	DataExperiments = []string{"tab1", "tab2", "fig2", "fig3", "fig4a", "fig4b", "fig14", "fig15", "fig16"}
+	// MLExperiments need trained systems (an MLContext).
+	MLExperiments = []string{"fig8", "fig9", "fig10", "fig11"}
+	// AblationExperiments retrain system variants (slowest).
+	AblationExperiments = []string{"fig12", "fig13", "fig17", "fig18a", "fig18b", "fig18c", "fig18d", "fig18e", "fig18f"}
+	// ExtensionExperiments go beyond the paper's figures.
+	ExtensionExperiments = []string{"ext-autoreg", "ext-entropy", "ext-cusum"}
+)
+
+// NeedsML reports whether an experiment id requires a trained MLContext.
+func NeedsML(id string) bool {
+	for _, m := range MLExperiments {
+		if id == m {
+			return true
+		}
+	}
+	for _, m := range AblationExperiments {
+		if id == m && id != "fig18a" { // fig18a builds its own pipelines
+			return true
+		}
+	}
+	for _, m := range ExtensionExperiments {
+		if id == m {
+			return true
+		}
+	}
+	return false
+}
+
+// RunExperiment reproduces one paper artifact. p is always required; ml is
+// required when NeedsML(id); cfg is used by experiments that build their
+// own pipelines (fig18a); bound is the scrubbing-overhead bound for
+// single-operating-point experiments.
+func RunExperiment(id string, p *Pipeline, ml *MLContext, cfg PipelineConfig, bound float64) (*ExperimentResult, error) {
+	if p == nil && id != "tab1" && id != "fig18a" {
+		return nil, fmt.Errorf("xatu: experiment %q needs a pipeline", id)
+	}
+	if NeedsML(id) && ml == nil {
+		return nil, fmt.Errorf("xatu: experiment %q needs an MLContext", id)
+	}
+	switch id {
+	case "tab1":
+		return eval.Table1Features(), nil
+	case "tab2":
+		return eval.Table2DataSplit(p), nil
+	case "fig2":
+		return eval.Fig2Example(p), nil
+	case "fig3":
+		return eval.Fig3NaiveEarlyDetection(p), nil
+	case "fig4a":
+		return eval.Fig4aAttackerOverlap(p), nil
+	case "fig4b":
+		return eval.Fig4bTypeTransitions(p), nil
+	case "fig14":
+		return eval.Fig14RampVisualization(p), nil
+	case "fig15":
+		return eval.Fig15SourceReappearance(p), nil
+	case "fig16":
+		return eval.Fig16ClusteringGrowth(p), nil
+	case "fig8":
+		return eval.Fig8OverheadSweep(ml, []float64{0.05, 0.1, 0.2, 0.4, 0.8})
+	case "fig9":
+		return eval.Fig9ROC(ml), nil
+	case "fig10":
+		return eval.Fig10PerAttackType(ml, bound)
+	case "fig11":
+		return eval.Fig11Saliency(ml)
+	case "fig12":
+		return eval.Fig12AblationBreakdown(ml, bound)
+	case "fig13":
+		return eval.Fig13Robustness(ml, bound)
+	case "fig17":
+		return eval.Fig17BlocklistCategories(ml, bound)
+	case "fig18a":
+		return eval.Fig18CDetIndependence(cfg, bound)
+	case "fig18b":
+		return eval.Fig18LSTMContribution(ml, bound)
+	case "fig18c":
+		return eval.Fig18Timescales(ml, bound, [][3]int{{1, 2, 5}, {1, 5, 15}, {5, 15, 30}})
+	case "fig18d":
+		return eval.Fig18Survival(ml, bound)
+	case "fig18e":
+		return eval.Fig18HiddenUnits(ml, bound, []int{4, 8, 10, 16})
+	case "fig18f":
+		return eval.Fig18TimeLength(ml, bound, []int{60, 120, 180})
+	case "ext-autoreg":
+		return eval.ExtAutoRegressive(ml, bound)
+	case "ext-entropy":
+		return eval.ExtEntropyBaseline(ml, bound)
+	case "ext-cusum":
+		return eval.ExtCusumGroundTruth(ml, bound)
+	default:
+		return nil, fmt.Errorf("xatu: unknown experiment %q", id)
+	}
+}
+
+// BenchPipelineConfig is the scaled-down pipeline configuration xatu-bench
+// and the examples share: a 10-customer world at 2-minute steps with dense
+// campaigns, sized so every experiment runs on a laptop in minutes.
+func BenchPipelineConfig(days int, seed int64) PipelineConfig {
+	cfg := eval.DefaultConfig()
+	cfg.World.Days = days
+	cfg.World.Seed = seed
+	cfg.World.NumCustomers = 10
+	cfg.World.Step = 2 * minute
+	cfg.World.NumBotnets = 5
+	cfg.World.BotsPerBotnet = 40
+	cfg.World.MeanAttacksPerBotnetPerWeek = 16
+	cfg.World.MeanPeakMbps = 30
+	cfg.World.PrepDaysMax = 4
+	cfg.TrainFrac, cfg.ValFrac, cfg.StabFrac = 0.45, 0.30, 0.05
+	cfg.LookbackSteps = 120
+	cfg.Model.Hidden = 10
+	cfg.Model.Window = 10
+	cfg.Model.PoolShort, cfg.Model.PoolMed, cfg.Model.PoolLong = 1, 5, 15
+	cfg.Train.Epochs = 14
+	cfg.MinTypeExamples = 6
+	// The paper looks back 10 days for A4; on a ~2-week simulation that
+	// window never saturates during training but does during testing,
+	// creating feature drift. A 3-day window saturates in both splits.
+	cfg.A4WindowDays = 3
+	return cfg
+}

@@ -1,0 +1,3 @@
+module github.com/xatu-go/xatu
+
+go 1.22

@@ -1,0 +1,269 @@
+// Package attackhist maintains the attack-history state behind three of
+// Xatu's auxiliary signals (§3.2–§3.3):
+//
+//   - A2: per-customer sets of previous attack sources, built from traffic
+//     matching alert signatures between detection and mitigation-end;
+//   - A4: per-customer history of attack types and severities;
+//   - A5: cross-customer attack correlation, measured with the bipartite
+//     clustering coefficients of Latapy et al. in their dot/min/max variants.
+//
+// The registry is time-aware: every query takes an as-of instant so that
+// historical feature extraction sees only information that was available
+// at that minute.
+package attackhist
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/ddos"
+)
+
+// Registry is a thread-safe attack-history store.
+type Registry struct {
+	mu sync.RWMutex
+	// attackers[customer][src] = first and last times src attacked customer
+	attackers map[netip.Addr]map[netip.Addr]span
+	// alerts[customer] = alerts sorted by detection time
+	alerts map[netip.Addr][]ddos.Alert
+}
+
+// span is the [first, last] observation interval of one attacker-customer
+// pair.
+type span struct {
+	first, last time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		attackers: make(map[netip.Addr]map[netip.Addr]span),
+		alerts:    make(map[netip.Addr][]ddos.Alert),
+	}
+}
+
+// RecordAlert appends an alert to the victim's history. Alerts may arrive
+// out of order; the history is kept sorted by detection time.
+func (r *Registry) RecordAlert(a ddos.Alert) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := a.Sig.Victim
+	s := r.alerts[v]
+	s = append(s, a)
+	// Insertion into an almost-sorted slice: bubble the new alert back.
+	for i := len(s) - 1; i > 0 && s[i].DetectedAt.Before(s[i-1].DetectedAt); i-- {
+		s[i], s[i-1] = s[i-1], s[i]
+	}
+	r.alerts[v] = s
+}
+
+// RecordAttacker marks src as an attack source against customer, first
+// observed at t. Later observations of the same pair keep the earlier time.
+func (r *Registry) RecordAttacker(customer, src netip.Addr, t time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.attackers[customer]
+	if m == nil {
+		m = make(map[netip.Addr]span)
+		r.attackers[customer] = m
+	}
+	old, ok := m[src]
+	if !ok {
+		m[src] = span{first: t, last: t}
+		return
+	}
+	if t.Before(old.first) {
+		old.first = t
+	}
+	if t.After(old.last) {
+		old.last = t
+	}
+	m[src] = old
+}
+
+// WasAttacker reports whether src had attacked customer strictly before t
+// (the A2 membership test).
+func (r *Registry) WasAttacker(customer, src netip.Addr, t time.Time) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sp, ok := r.attackers[customer][src]
+	return ok && sp.first.Before(t)
+}
+
+// AttackerCount returns the number of sources known to have attacked
+// customer before t.
+func (r *Registry) AttackerCount(customer netip.Addr, t time.Time) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, sp := range r.attackers[customer] {
+		if sp.first.Before(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// AlertsBefore returns the customer's alerts detected strictly before t,
+// oldest first.
+func (r *Registry) AlertsBefore(customer netip.Addr, t time.Time) []ddos.Alert {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.alerts[customer]
+	i := sort.Search(len(s), func(i int) bool { return !s[i].DetectedAt.Before(t) })
+	out := make([]ddos.Alert, i)
+	copy(out, s[:i])
+	return out
+}
+
+// SeverityHistogram returns the A4 feature block as of time t: for each of
+// the 6 attack types × 3 severities, the number of alerts against customer
+// in the window [t−window, t). Flattened row-major by (type, severity) into
+// 18 values.
+func (r *Registry) SeverityHistogram(customer netip.Addr, t time.Time, window time.Duration) [int(ddos.NumAttackTypes) * int(ddos.NumSeverities)]float64 {
+	var out [int(ddos.NumAttackTypes) * int(ddos.NumSeverities)]float64
+	lo := t.Add(-window)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, a := range r.alerts[customer] {
+		if a.DetectedAt.Before(lo) || !a.DetectedAt.Before(t) {
+			continue
+		}
+		idx := int(a.Sig.Type)*int(ddos.NumSeverities) + int(a.Severity)
+		if idx >= 0 && idx < len(out) {
+			out[idx]++
+		}
+	}
+	return out
+}
+
+// TransitionMatrix counts, over all customers, how often an attack of type
+// i was followed (as the next attack on the same customer, before t) by an
+// attack of type j. This is Figure 4(b).
+func (r *Registry) TransitionMatrix(t time.Time) [ddos.NumAttackTypes][ddos.NumAttackTypes]int {
+	var m [ddos.NumAttackTypes][ddos.NumAttackTypes]int
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, alerts := range r.alerts {
+		var prev *ddos.Alert
+		for i := range alerts {
+			if !alerts[i].DetectedAt.Before(t) {
+				break
+			}
+			if prev != nil {
+				m[prev.Sig.Type][alerts[i].Sig.Type]++
+			}
+			prev = &alerts[i]
+		}
+	}
+	return m
+}
+
+// Customers returns all customers with any recorded attacker, in
+// deterministic (address) order.
+func (r *Registry) Customers() []netip.Addr {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]netip.Addr, 0, len(r.attackers))
+	for c := range r.attackers {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ClusteringVariant selects one of the three bipartite clustering
+// coefficient definitions from Latapy et al. used by the A5 features.
+type ClusteringVariant int
+
+// The three variants listed in Table 1 ("dot, min, max").
+const (
+	ClusteringDot ClusteringVariant = iota // |N(u)∩N(v)| / |N(u)∪N(v)|
+	ClusteringMin                          // |N(u)∩N(v)| / min(|N(u)|,|N(v)|)
+	ClusteringMax                          // |N(u)∩N(v)| / max(|N(u)|,|N(v)|)
+)
+
+// Clustering computes the bipartite clustering coefficient of customer in
+// the attacker–customer graph restricted to attacker observations in
+// [t−window, t): the mean pairwise coefficient between customer and every
+// other customer sharing at least one attacker. Customers sharing no
+// attacker with anyone get 0.
+func (r *Registry) Clustering(customer netip.Addr, t time.Time, window time.Duration, v ClusteringVariant) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	lo := t.Add(-window)
+	mine := r.neighborhoodLocked(customer, lo, t)
+	if len(mine) == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for other := range r.attackers {
+		if other == customer {
+			continue
+		}
+		theirs := r.neighborhoodLocked(other, lo, t)
+		if len(theirs) == 0 {
+			continue
+		}
+		inter := 0
+		for a := range mine {
+			if _, ok := theirs[a]; ok {
+				inter++
+			}
+		}
+		if inter == 0 {
+			continue
+		}
+		var denom int
+		switch v {
+		case ClusteringMin:
+			denom = min(len(mine), len(theirs))
+		case ClusteringMax:
+			denom = max(len(mine), len(theirs))
+		default: // ClusteringDot = Jaccard
+			denom = len(mine) + len(theirs) - inter
+		}
+		sum += float64(inter) / float64(denom)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// neighborhoodLocked returns the attackers active against customer in
+// [lo, hi): pairs whose observation interval intersects the window. Caller
+// holds at least the read lock.
+func (r *Registry) neighborhoodLocked(customer netip.Addr, lo, hi time.Time) map[netip.Addr]struct{} {
+	out := make(map[netip.Addr]struct{})
+	for src, sp := range r.attackers[customer] {
+		if sp.first.Before(hi) && !sp.last.Before(lo) {
+			out[src] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the registry. The autoregressive evaluation
+// mode uses a clone so Xatu's own test-time detections can be recorded
+// without polluting the shared CDet-derived history.
+func (r *Registry) Clone() *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := NewRegistry()
+	for c, m := range r.attackers {
+		nm := make(map[netip.Addr]span, len(m))
+		for a, sp := range m {
+			nm[a] = sp
+		}
+		out.attackers[c] = nm
+	}
+	for c, s := range r.alerts {
+		out.alerts[c] = append([]ddos.Alert(nil), s...)
+	}
+	return out
+}

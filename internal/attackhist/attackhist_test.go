@@ -1,0 +1,234 @@
+package attackhist
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/ddos"
+)
+
+var (
+	t0 = time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	c1 = netip.MustParseAddr("23.1.1.1")
+	c2 = netip.MustParseAddr("23.1.1.2")
+	c3 = netip.MustParseAddr("23.1.1.3")
+	a1 = netip.MustParseAddr("11.0.0.1")
+	a2 = netip.MustParseAddr("11.0.0.2")
+	a3 = netip.MustParseAddr("11.0.0.3")
+)
+
+func alert(victim netip.Addr, at ddos.AttackType, sev ddos.Severity, detected time.Time) ddos.Alert {
+	return ddos.Alert{
+		Sig:         ddos.SignatureFor(at, victim),
+		DetectedAt:  detected,
+		MitigatedAt: detected.Add(10 * time.Minute),
+		Severity:    sev,
+		Source:      "test",
+	}
+}
+
+func TestWasAttackerTimeAware(t *testing.T) {
+	r := NewRegistry()
+	r.RecordAttacker(c1, a1, t0)
+	if r.WasAttacker(c1, a1, t0) {
+		t.Fatal("not an attacker strictly before its first observation")
+	}
+	if !r.WasAttacker(c1, a1, t0.Add(time.Minute)) {
+		t.Fatal("must be an attacker after first observation")
+	}
+	if r.WasAttacker(c2, a1, t0.Add(time.Hour)) {
+		t.Fatal("A2 is per-customer; other customers must not match")
+	}
+}
+
+func TestRecordAttackerKeepsEarliest(t *testing.T) {
+	r := NewRegistry()
+	r.RecordAttacker(c1, a1, t0.Add(time.Hour))
+	r.RecordAttacker(c1, a1, t0) // earlier observation arrives late
+	if !r.WasAttacker(c1, a1, t0.Add(time.Minute)) {
+		t.Fatal("earliest observation must win")
+	}
+}
+
+func TestAttackerCount(t *testing.T) {
+	r := NewRegistry()
+	r.RecordAttacker(c1, a1, t0)
+	r.RecordAttacker(c1, a2, t0.Add(2*time.Hour))
+	if got := r.AttackerCount(c1, t0.Add(time.Hour)); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if got := r.AttackerCount(c1, t0.Add(3*time.Hour)); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestAlertsBeforeSortedAndFiltered(t *testing.T) {
+	r := NewRegistry()
+	// Insert out of order.
+	r.RecordAlert(alert(c1, ddos.UDPFlood, ddos.SeverityLow, t0.Add(2*time.Hour)))
+	r.RecordAlert(alert(c1, ddos.TCPSYN, ddos.SeverityHigh, t0))
+	r.RecordAlert(alert(c1, ddos.UDPFlood, ddos.SeverityMedium, t0.Add(time.Hour)))
+
+	got := r.AlertsBefore(c1, t0.Add(90*time.Minute))
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0].Sig.Type != ddos.TCPSYN || got[1].Sig.Type != ddos.UDPFlood {
+		t.Fatalf("order wrong: %v then %v", got[0].Sig.Type, got[1].Sig.Type)
+	}
+}
+
+func TestSeverityHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.RecordAlert(alert(c1, ddos.UDPFlood, ddos.SeverityLow, t0))
+	r.RecordAlert(alert(c1, ddos.UDPFlood, ddos.SeverityLow, t0.Add(time.Hour)))
+	r.RecordAlert(alert(c1, ddos.DNSAmp, ddos.SeverityHigh, t0.Add(2*time.Hour)))
+	// Outside the window:
+	r.RecordAlert(alert(c1, ddos.ICMPFlood, ddos.SeverityLow, t0.Add(-100*time.Hour)))
+
+	h := r.SeverityHistogram(c1, t0.Add(3*time.Hour), 24*time.Hour)
+	if len(h) != 18 {
+		t.Fatalf("A4 block must have 18 features, got %d", len(h))
+	}
+	idxUDPLow := int(ddos.UDPFlood)*3 + int(ddos.SeverityLow)
+	idxDNSHigh := int(ddos.DNSAmp)*3 + int(ddos.SeverityHigh)
+	idxICMPLow := int(ddos.ICMPFlood)*3 + int(ddos.SeverityLow)
+	if h[idxUDPLow] != 2 || h[idxDNSHigh] != 1 || h[idxICMPLow] != 0 {
+		t.Fatalf("histogram wrong: %v", h)
+	}
+	var total float64
+	for _, v := range h {
+		total += v
+	}
+	if total != 3 {
+		t.Fatalf("total = %v, want 3", total)
+	}
+}
+
+func TestTransitionMatrix(t *testing.T) {
+	r := NewRegistry()
+	// c1: UDP → UDP → DNSAmp ; c2: SYN → RST
+	r.RecordAlert(alert(c1, ddos.UDPFlood, ddos.SeverityLow, t0))
+	r.RecordAlert(alert(c1, ddos.UDPFlood, ddos.SeverityLow, t0.Add(time.Hour)))
+	r.RecordAlert(alert(c1, ddos.DNSAmp, ddos.SeverityLow, t0.Add(2*time.Hour)))
+	r.RecordAlert(alert(c2, ddos.TCPSYN, ddos.SeverityLow, t0))
+	r.RecordAlert(alert(c2, ddos.TCPRST, ddos.SeverityLow, t0.Add(time.Hour)))
+
+	m := r.TransitionMatrix(t0.Add(24 * time.Hour))
+	if m[ddos.UDPFlood][ddos.UDPFlood] != 1 || m[ddos.UDPFlood][ddos.DNSAmp] != 1 ||
+		m[ddos.TCPSYN][ddos.TCPRST] != 1 {
+		t.Fatalf("matrix wrong: %v", m)
+	}
+	// Transitions after the as-of time must not count.
+	m2 := r.TransitionMatrix(t0.Add(90 * time.Minute))
+	if m2[ddos.UDPFlood][ddos.DNSAmp] != 0 {
+		t.Fatal("as-of filtering failed")
+	}
+}
+
+func TestClusteringVariants(t *testing.T) {
+	r := NewRegistry()
+	// c1 attacked by {a1,a2}, c2 by {a1}, c3 by {a3} — all within window.
+	r.RecordAttacker(c1, a1, t0)
+	r.RecordAttacker(c1, a2, t0)
+	r.RecordAttacker(c2, a1, t0)
+	r.RecordAttacker(c3, a3, t0)
+	at := t0.Add(time.Hour)
+	w := 2 * time.Hour
+
+	// c1 vs c2: inter=1, union=2, min=1, max=2. c1 vs c3: no overlap (skipped).
+	if got := r.Clustering(c1, at, w, ClusteringDot); got != 0.5 {
+		t.Fatalf("dot = %v, want 0.5", got)
+	}
+	if got := r.Clustering(c1, at, w, ClusteringMin); got != 1 {
+		t.Fatalf("min = %v, want 1", got)
+	}
+	if got := r.Clustering(c1, at, w, ClusteringMax); got != 0.5 {
+		t.Fatalf("max = %v, want 0.5", got)
+	}
+	// c3 shares no attacker with anyone.
+	if got := r.Clustering(c3, at, w, ClusteringDot); got != 0 {
+		t.Fatalf("isolated customer must have 0, got %v", got)
+	}
+	// Unknown customer.
+	if got := r.Clustering(netip.MustParseAddr("9.9.9.9"), at, w, ClusteringDot); got != 0 {
+		t.Fatalf("unknown customer must have 0, got %v", got)
+	}
+}
+
+func TestClusteringWindowFiltering(t *testing.T) {
+	r := NewRegistry()
+	r.RecordAttacker(c1, a1, t0)
+	r.RecordAttacker(c2, a1, t0.Add(-48*time.Hour)) // outside window
+	got := r.Clustering(c1, t0.Add(time.Hour), 2*time.Hour, ClusteringDot)
+	if got != 0 {
+		t.Fatalf("stale observations must not contribute, got %v", got)
+	}
+}
+
+func TestClusteringGrowsAsAttackersConverge(t *testing.T) {
+	// The Fig 16 behaviour: as the same attackers hit more customers, the
+	// coefficient rises.
+	r := NewRegistry()
+	r.RecordAttacker(c1, a1, t0)
+	r.RecordAttacker(c1, a2, t0)
+	r.RecordAttacker(c2, a1, t0.Add(5*time.Minute))
+	before := r.Clustering(c1, t0.Add(6*time.Minute), time.Hour, ClusteringDot)
+	r.RecordAttacker(c2, a2, t0.Add(10*time.Minute))
+	after := r.Clustering(c1, t0.Add(11*time.Minute), time.Hour, ClusteringDot)
+	if !(after > before) {
+		t.Fatalf("coefficient must grow: before %v after %v", before, after)
+	}
+}
+
+func TestCustomersDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.RecordAttacker(c2, a1, t0)
+	r.RecordAttacker(c1, a1, t0)
+	got := r.Customers()
+	if len(got) != 2 || got[0] != c1 || got[1] != c2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := netip.AddrFrom4([4]byte{23, 0, 0, byte(g + 1)})
+			for i := 0; i < 100; i++ {
+				r.RecordAttacker(c, netip.AddrFrom4([4]byte{11, 0, byte(g), byte(i + 1)}), t0)
+				r.RecordAlert(alert(c, ddos.UDPFlood, ddos.SeverityLow, t0.Add(time.Duration(i)*time.Minute)))
+				r.WasAttacker(c, a1, t0)
+				r.Clustering(c, t0.Add(time.Hour), time.Hour, ClusteringDot)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(r.Customers()) != 8 {
+		t.Fatalf("customers = %d", len(r.Customers()))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := NewRegistry()
+	r.RecordAttacker(c1, a1, t0)
+	r.RecordAlert(alert(c1, ddos.UDPFlood, ddos.SeverityLow, t0))
+	c := r.Clone()
+	c.RecordAttacker(c1, a2, t0)
+	c.RecordAlert(alert(c1, ddos.DNSAmp, ddos.SeverityLow, t0.Add(time.Hour)))
+	if r.WasAttacker(c1, a2, t0.Add(time.Minute)) {
+		t.Fatal("clone writes leaked into the original")
+	}
+	if len(r.AlertsBefore(c1, t0.Add(2*time.Hour))) != 1 {
+		t.Fatal("clone alert leaked into the original")
+	}
+	if !c.WasAttacker(c1, a1, t0.Add(time.Minute)) {
+		t.Fatal("clone must carry original data")
+	}
+}

@@ -1,0 +1,156 @@
+// Package blocklist implements the A1 auxiliary-signal substrate (§5.1):
+// a registry of public blocklists grouped into the paper's 11 categories,
+// aggregated to /24 subnets ("a standard approach to improve the
+// effectiveness of blocklists … due to dynamically managed IP address
+// space"). Entries carry listing timestamps so the registry can answer
+// "was this source listed at time T", and the registry supports churn
+// (additions/expiries) to model frequently updated lists.
+package blocklist
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Category labels one of the 11 blocklist categories used in the paper's
+// A1 breakdown (Appendix E names DDoS-source, bot and scanner as the three
+// most prevalent).
+type Category int
+
+// The 11 categories. Their relative prevalence in the synthetic world is
+// configured by the simulator.
+const (
+	DDoSSource Category = iota
+	Bot
+	Scanner
+	Reflector
+	VoIPAbuse
+	CandCServer
+	MalwareMirai
+	MalwareGafgyt
+	BruteForce
+	SpamSource
+	ExploitScan
+	NumCategories // sentinel
+)
+
+var categoryNames = [...]string{
+	"ddos-source", "bot", "scanner", "reflector", "voip-abuse",
+	"cc-server", "malware-mirai", "malware-gafgyt", "brute-force",
+	"spam-source", "exploit-scan",
+}
+
+// String returns the category slug.
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return "unknown"
+	}
+	return categoryNames[c]
+}
+
+// Subnet24 is the /24 aggregation key for an IPv4 address: the address with
+// its last octet zeroed.
+func Subnet24(addr netip.Addr) netip.Addr {
+	a4 := addr.Unmap().As4()
+	a4[3] = 0
+	return netip.AddrFrom4(a4)
+}
+
+type entry struct {
+	listedAt  time.Time
+	expiresAt time.Time // zero means never
+}
+
+// Registry is a thread-safe blocklist registry. Lookups are by /24 subnet
+// and point-in-time, so historical feature extraction sees exactly the
+// lists that were live at each minute.
+type Registry struct {
+	mu   sync.RWMutex
+	cats [NumCategories]map[netip.Addr]entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.cats {
+		r.cats[i] = make(map[netip.Addr]entry)
+	}
+	return r
+}
+
+// Add lists the /24 containing addr under cat starting at listedAt. A zero
+// ttl keeps the entry forever; otherwise it expires after ttl.
+func (r *Registry) Add(cat Category, addr netip.Addr, listedAt time.Time, ttl time.Duration) {
+	if cat < 0 || cat >= NumCategories {
+		return
+	}
+	key := Subnet24(addr)
+	e := entry{listedAt: listedAt}
+	if ttl > 0 {
+		e.expiresAt = listedAt.Add(ttl)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.cats[cat][key]; ok && old.listedAt.Before(listedAt) {
+		// Keep the earliest listing time; extend expiry.
+		e.listedAt = old.listedAt
+		if old.expiresAt.IsZero() || (!e.expiresAt.IsZero() && old.expiresAt.After(e.expiresAt)) {
+			e.expiresAt = old.expiresAt
+		}
+	}
+	r.cats[cat][key] = e
+}
+
+// ListedAt reports whether addr's /24 was listed under cat at time t.
+func (r *Registry) ListedAt(cat Category, addr netip.Addr, t time.Time) bool {
+	if cat < 0 || cat >= NumCategories {
+		return false
+	}
+	key := Subnet24(addr)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.cats[cat][key]
+	if !ok {
+		return false
+	}
+	if t.Before(e.listedAt) {
+		return false
+	}
+	if !e.expiresAt.IsZero() && !t.Before(e.expiresAt) {
+		return false
+	}
+	return true
+}
+
+// AnyListedAt reports whether addr's /24 appears on any category at time t.
+func (r *Registry) AnyListedAt(addr netip.Addr, t time.Time) bool {
+	for c := Category(0); c < NumCategories; c++ {
+		if r.ListedAt(c, addr, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Categories returns the set of categories addr's /24 is listed under at t.
+func (r *Registry) Categories(addr netip.Addr, t time.Time) []Category {
+	var out []Category
+	for c := Category(0); c < NumCategories; c++ {
+		if r.ListedAt(c, addr, t) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Size returns the number of listed /24s per category.
+func (r *Registry) Size() [NumCategories]int {
+	var out [NumCategories]int
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i := range r.cats {
+		out[i] = len(r.cats[i])
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package blocklist
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2019, 4, 24, 0, 0, 0, 0, time.UTC)
+
+func TestSubnet24(t *testing.T) {
+	got := Subnet24(netip.MustParseAddr("11.22.33.44"))
+	if got != netip.MustParseAddr("11.22.33.0") {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAddAndLookupAggregatesTo24(t *testing.T) {
+	r := NewRegistry()
+	r.Add(Bot, netip.MustParseAddr("11.22.33.44"), t0, 0)
+	// Any address in the same /24 must hit.
+	if !r.ListedAt(Bot, netip.MustParseAddr("11.22.33.200"), t0.Add(time.Hour)) {
+		t.Fatal("same /24 must be listed")
+	}
+	// Neighboring /24 must not.
+	if r.ListedAt(Bot, netip.MustParseAddr("11.22.34.44"), t0.Add(time.Hour)) {
+		t.Fatal("different /24 must not be listed")
+	}
+	// Different category must not.
+	if r.ListedAt(Scanner, netip.MustParseAddr("11.22.33.44"), t0.Add(time.Hour)) {
+		t.Fatal("different category must not be listed")
+	}
+}
+
+func TestListedAtRespectsListingTime(t *testing.T) {
+	r := NewRegistry()
+	r.Add(DDoSSource, netip.MustParseAddr("45.1.1.1"), t0, 0)
+	if r.ListedAt(DDoSSource, netip.MustParseAddr("45.1.1.1"), t0.Add(-time.Minute)) {
+		t.Fatal("must not be listed before listing time")
+	}
+	if !r.ListedAt(DDoSSource, netip.MustParseAddr("45.1.1.1"), t0) {
+		t.Fatal("must be listed exactly at listing time")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	r := NewRegistry()
+	r.Add(Scanner, netip.MustParseAddr("45.1.1.1"), t0, 24*time.Hour)
+	if !r.ListedAt(Scanner, netip.MustParseAddr("45.1.1.1"), t0.Add(23*time.Hour)) {
+		t.Fatal("must still be listed inside ttl")
+	}
+	if r.ListedAt(Scanner, netip.MustParseAddr("45.1.1.1"), t0.Add(24*time.Hour)) {
+		t.Fatal("must expire after ttl")
+	}
+}
+
+func TestReAddKeepsEarliestListingExtendsExpiry(t *testing.T) {
+	r := NewRegistry()
+	addr := netip.MustParseAddr("45.2.2.2")
+	r.Add(Bot, addr, t0, 10*time.Hour)
+	r.Add(Bot, addr, t0.Add(5*time.Hour), 10*time.Hour) // extends to t0+15h
+	if !r.ListedAt(Bot, addr, t0.Add(time.Hour)) {
+		t.Fatal("earliest listing time must be preserved")
+	}
+	if !r.ListedAt(Bot, addr, t0.Add(14*time.Hour)) {
+		t.Fatal("expiry must be extended by re-add")
+	}
+	if r.ListedAt(Bot, addr, t0.Add(16*time.Hour)) {
+		t.Fatal("must expire after extended ttl")
+	}
+}
+
+func TestReAddPermanentWins(t *testing.T) {
+	r := NewRegistry()
+	addr := netip.MustParseAddr("45.3.3.3")
+	r.Add(Bot, addr, t0, time.Hour)
+	r.Add(Bot, addr, t0.Add(30*time.Minute), 0) // permanent
+	if !r.ListedAt(Bot, addr, t0.Add(1000*time.Hour)) {
+		t.Fatal("permanent re-add must remove expiry")
+	}
+}
+
+func TestAnyListedAtAndCategories(t *testing.T) {
+	r := NewRegistry()
+	addr := netip.MustParseAddr("66.1.2.3")
+	r.Add(Bot, addr, t0, 0)
+	r.Add(Reflector, addr, t0, 0)
+	if !r.AnyListedAt(addr, t0) {
+		t.Fatal("AnyListedAt must see the entry")
+	}
+	cats := r.Categories(addr, t0)
+	if len(cats) != 2 || cats[0] != Bot || cats[1] != Reflector {
+		t.Fatalf("Categories = %v", cats)
+	}
+	if r.AnyListedAt(netip.MustParseAddr("67.1.2.3"), t0) {
+		t.Fatal("unlisted address must not match")
+	}
+}
+
+func TestInvalidCategoryIgnored(t *testing.T) {
+	r := NewRegistry()
+	r.Add(Category(-1), netip.MustParseAddr("1.1.1.1"), t0, 0)
+	r.Add(NumCategories, netip.MustParseAddr("1.1.1.1"), t0, 0)
+	if r.ListedAt(Category(-1), netip.MustParseAddr("1.1.1.1"), t0) {
+		t.Fatal("invalid category must never match")
+	}
+	for _, n := range r.Size() {
+		if n != 0 {
+			t.Fatal("invalid adds must not be stored")
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if DDoSSource.String() != "ddos-source" || Bot.String() != "bot" {
+		t.Fatal("category slugs wrong")
+	}
+	if Category(99).String() != "unknown" {
+		t.Fatal("out-of-range must be unknown")
+	}
+	if int(NumCategories) != 11 {
+		t.Fatalf("paper specifies 11 categories, have %d", NumCategories)
+	}
+	if len(categoryNames) != int(NumCategories) {
+		t.Fatal("every category needs a name")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				addr := netip.AddrFrom4([4]byte{11, byte(g), byte(i), 1})
+				r.Add(Category(i%int(NumCategories)), addr, t0, 0)
+				r.AnyListedAt(addr, t0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range r.Size() {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("concurrent adds lost")
+	}
+}

@@ -1,0 +1,84 @@
+// Package cdet implements the commercial-detection substrate: the CUSUM
+// procedure used to label ground-truth anomaly starts (Appendix A), and two
+// threshold-based volumetric detectors standing in for Arbor NetScout and
+// FastNetMon. Both detectors are deliberately conservative/reactive — that
+// is the behaviour Xatu exists to boost.
+package cdet
+
+import "math"
+
+// CusumParams configures the change-point labeling of Appendix A.
+type CusumParams struct {
+	// NumStd is the slack in standard deviations subtracted from each
+	// observation before accumulation. The paper uses 1 for UDP/DNS-amp and
+	// 0.5 for the TCP/ICMP attack types.
+	NumStd float64
+	// Threshold is the CUSUM alarm level in σ units.
+	Threshold float64
+	// BaselineWindow is how many trailing steps estimate μ and σ ("the hour
+	// before the attack").
+	BaselineWindow int
+}
+
+// DefaultCusum returns the parameters used for ground-truth labeling at
+// 1-minute steps.
+func DefaultCusum(numStd float64) CusumParams {
+	return CusumParams{NumStd: numStd, Threshold: 5, BaselineWindow: 60}
+}
+
+// AnomalyStart locates the onset of the anomaly that a detector flagged at
+// detectIdx: μ and σ are estimated over the BaselineWindow steps ending
+// well before detection, the normalized CUSUM statistic is accumulated
+// forward, and the onset is the step after the last zero of the statistic
+// before it first crosses Threshold. Returns the onset index and true, or
+// (detectIdx, false) when no crossing is found (the anomaly start defaults
+// to the detection step).
+func AnomalyStart(series []float64, detectIdx int, p CusumParams) (int, bool) {
+	if detectIdx <= 0 || detectIdx >= len(series) {
+		return detectIdx, false
+	}
+	bw := p.BaselineWindow
+	if bw < 5 {
+		bw = 5
+	}
+	// Estimate the baseline from the window ending 2×bw before detection if
+	// available (so a slow ramp does not pollute it), else from the start.
+	bEnd := detectIdx - bw
+	if bEnd < bw {
+		bEnd = min(bw, detectIdx)
+	}
+	bStart := max(0, bEnd-bw)
+	if bEnd-bStart < 3 {
+		return detectIdx, false
+	}
+	var mean, m2 float64
+	n := 0
+	for i := bStart; i < bEnd; i++ {
+		n++
+		d := series[i] - mean
+		mean += d / float64(n)
+		m2 += d * (series[i] - mean)
+	}
+	std := math.Sqrt(m2 / float64(n))
+	if std < 1e-9 {
+		std = math.Max(1e-9, mean*0.05) // flat baseline: use 5% of mean as scale
+	}
+	// Accumulate S_n = max(0, S_{n-1} + Z_n) from the baseline end forward.
+	s := 0.0
+	lastZero := bEnd - 1
+	for i := bEnd; i <= detectIdx; i++ {
+		z := (series[i] - mean - p.NumStd*std) / std
+		s = math.Max(0, s+z)
+		if s == 0 {
+			lastZero = i
+		}
+		if s > p.Threshold {
+			onset := lastZero + 1
+			if onset > detectIdx {
+				onset = detectIdx
+			}
+			return onset, true
+		}
+	}
+	return detectIdx, false
+}

@@ -1,0 +1,196 @@
+package cdet
+
+import (
+	"math"
+	"net/netip"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/netflow"
+)
+
+// EntropyDetector is the statistical-analysis baseline from the paper's
+// related work ([21], Feinstein et al.): it profiles the entropy of packet
+// header features (source addresses and destination ports, byte-weighted)
+// per customer, and alerts when the current window's entropy deviates from
+// the learned profile for a sustained period. Floods from few sources (or
+// to one port) collapse entropy; widely spoofed floods inflate source
+// entropy; both directions trigger.
+//
+// Unlike the volumetric detectors it consumes raw flow records, because
+// entropy is a distributional property. It is not safe for concurrent use.
+type EntropyDetector struct {
+	// SigmaK is the deviation threshold in σ units.
+	SigmaK float64
+	// SustainSteps is the consecutive-deviation requirement.
+	SustainSteps int
+	// ReleaseSteps ends mitigation after this many calm steps.
+	ReleaseSteps int
+	// Alpha is the profile learning rate.
+	Alpha float64
+	// MinMbps gates alerts on a minimal traffic level so entropy noise on
+	// near-idle channels cannot alert.
+	MinMbps float64
+
+	step   time.Duration
+	states map[netip.Addr]*entropyState
+	done   []ddos.Alert
+}
+
+type entropyState struct {
+	meanSrc, varSrc   float64
+	meanPort, varPort float64
+	warm              int
+	over              int
+	calm              int
+	active            bool
+	alert             ddos.Alert
+	peakMbps          float64
+}
+
+// NewEntropyDetector returns the baseline with the standard configuration.
+func NewEntropyDetector(step time.Duration) *EntropyDetector {
+	return &EntropyDetector{
+		SigmaK:       4,
+		SustainSteps: maxInt(1, int(3*time.Minute/step)),
+		ReleaseSteps: maxInt(1, int(3*time.Minute/step)),
+		Alpha:        0.05,
+		MinMbps:      2,
+		step:         step,
+		states:       make(map[netip.Addr]*entropyState),
+	}
+}
+
+// entropy computes the byte-weighted Shannon entropy of a count map.
+func entropy(weights map[uint64]float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for _, w := range weights {
+		p := w / total
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// Observe feeds one step of flows destined to victim and returns alerts
+// raised at this step.
+func (d *EntropyDetector) Observe(victim netip.Addr, at time.Time, flows []netflow.Record) []ddos.Alert {
+	srcW := make(map[uint64]float64, len(flows))
+	portW := make(map[uint64]float64, 16)
+	var totalBytes float64
+	// Track the dominant protocol/flag shape for the alert signature.
+	var byType [ddos.NumAttackTypes]float64
+	for i := range flows {
+		r := &flows[i]
+		b := float64(r.Bytes)
+		totalBytes += b
+		a4 := r.Src.Unmap().As4()
+		srcW[uint64(a4[0])<<24|uint64(a4[1])<<16|uint64(a4[2])<<8|uint64(a4[3])] += b
+		portW[uint64(r.DstPort)] += b
+		for t := ddos.AttackType(0); t < ddos.NumAttackTypes; t++ {
+			if ddos.SignatureFor(t, victim).Matches(*r) {
+				byType[t] += b
+			}
+		}
+	}
+	hSrc := entropy(srcW, totalBytes)
+	hPort := entropy(portW, totalBytes)
+	mbps := totalBytes * 8 / 1e6 / d.step.Seconds()
+
+	st := d.states[victim]
+	if st == nil {
+		st = &entropyState{}
+		d.states[victim] = st
+	}
+	if st.active {
+		d.observeActive(st, at, mbps)
+		return nil
+	}
+	devSrc := deviation(hSrc, st.meanSrc, st.varSrc)
+	devPort := deviation(hPort, st.meanPort, st.varPort)
+	anomalous := (devSrc > d.SigmaK || devPort > d.SigmaK) && mbps > d.MinMbps
+	if st.warm < 20 {
+		st.warm++
+		d.learn(st, hSrc, hPort)
+		return nil
+	}
+	if !anomalous {
+		st.over = 0
+		d.learn(st, hSrc, hPort)
+		return nil
+	}
+	st.over++
+	if st.over < d.SustainSteps {
+		return nil
+	}
+	// Alert: signature from the dominant attack-type bucket.
+	best := ddos.UDPFlood
+	for t := ddos.AttackType(1); t < ddos.NumAttackTypes; t++ {
+		if byType[t] > byType[best] {
+			best = t
+		}
+	}
+	st.active = true
+	st.over = 0
+	st.calm = 0
+	st.peakMbps = mbps
+	st.alert = ddos.Alert{
+		Sig:        ddos.SignatureFor(best, victim),
+		DetectedAt: at,
+		Source:     "entropy",
+	}
+	return []ddos.Alert{st.alert}
+}
+
+func (d *EntropyDetector) observeActive(st *entropyState, at time.Time, mbps float64) {
+	if mbps > st.peakMbps {
+		st.peakMbps = mbps
+	}
+	if mbps < d.MinMbps {
+		st.calm++
+		if st.calm >= d.ReleaseSteps {
+			st.active = false
+			st.alert.MitigatedAt = at
+			st.alert.Severity = ddos.SeverityFromPeakMbps(st.peakMbps)
+			d.done = append(d.done, st.alert)
+		}
+		return
+	}
+	st.calm = 0
+}
+
+func (d *EntropyDetector) learn(st *entropyState, hSrc, hPort float64) {
+	a := d.Alpha
+	dS := hSrc - st.meanSrc
+	st.meanSrc += a * dS
+	st.varSrc = (1 - a) * (st.varSrc + a*dS*dS)
+	dP := hPort - st.meanPort
+	st.meanPort += a * dP
+	st.varPort = (1 - a) * (st.varPort + a*dP*dP)
+}
+
+// deviation returns |x−μ|/σ with a floor on σ.
+func deviation(x, mean, varEst float64) float64 {
+	sd := math.Sqrt(varEst)
+	if sd < 0.05 {
+		sd = 0.05
+	}
+	return math.Abs(x-mean) / sd
+}
+
+// Finish closes active mitigations and returns all completed alerts.
+func (d *EntropyDetector) Finish(at time.Time) []ddos.Alert {
+	for _, st := range d.states {
+		if st.active {
+			st.active = false
+			st.alert.MitigatedAt = at
+			st.alert.Severity = ddos.SeverityFromPeakMbps(st.peakMbps)
+			d.done = append(d.done, st.alert)
+		}
+	}
+	return d.done
+}

@@ -1,0 +1,150 @@
+package cdet
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/netflow"
+)
+
+func benignStep(rng *rand.Rand, victim netip.Addr, n int) []netflow.Record {
+	out := make([]netflow.Record, n)
+	for i := range out {
+		out[i] = netflow.Record{
+			Src:      netip.AddrFrom4([4]byte{11, byte(rng.Intn(8)), byte(rng.Intn(256)), byte(rng.Intn(254) + 1)}),
+			Dst:      victim,
+			Proto:    netflow.ProtoTCP,
+			TCPFlags: netflow.FlagACK,
+			SrcPort:  uint16(30000 + rng.Intn(10000)),
+			DstPort:  []uint16{80, 443, 53, 8080}[rng.Intn(4)],
+			Bytes:    uint32(20000 + rng.Intn(60000)),
+			Packets:  50,
+		}
+	}
+	return out
+}
+
+func floodStep(victim netip.Addr, srcs int, bytesEach uint32) []netflow.Record {
+	out := make([]netflow.Record, srcs)
+	for i := range out {
+		out[i] = netflow.Record{
+			Src:     netip.AddrFrom4([4]byte{45, 0, 0, byte(i + 1)}),
+			Dst:     victim,
+			Proto:   netflow.ProtoUDP,
+			SrcPort: 40000,
+			DstPort: 80,
+			Bytes:   bytesEach,
+			Packets: bytesEach / 500,
+		}
+	}
+	return out
+}
+
+func TestEntropyHelper(t *testing.T) {
+	// Uniform over 4 symbols: H = 2 bits. Single symbol: H = 0.
+	w := map[uint64]float64{1: 1, 2: 1, 3: 1, 4: 1}
+	if h := entropy(w, 4); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("H = %v, want 2", h)
+	}
+	if h := entropy(map[uint64]float64{1: 5}, 5); h != 0 {
+		t.Fatalf("H = %v, want 0", h)
+	}
+	if h := entropy(nil, 0); h != 0 {
+		t.Fatalf("empty H = %v", h)
+	}
+}
+
+func TestEntropyDetectorFlagsConcentratedFlood(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	victim := netip.MustParseAddr("23.1.1.1")
+	d := NewEntropyDetector(time.Minute)
+	t0 := time.Date(2019, 7, 3, 0, 0, 0, 0, time.UTC)
+	var alerts []ddos.Alert
+	for i := 0; i < 240; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		var flows []netflow.Record
+		if i >= 200 && i < 230 {
+			// Concentrated UDP flood from 3 sources to one port, dwarfing
+			// the benign mix.
+			flows = append(benignStep(rng, victim, 8), floodStep(victim, 3, 40_000_000)...)
+		} else {
+			flows = benignStep(rng, victim, 8)
+		}
+		alerts = append(alerts, d.Observe(victim, at, flows)...)
+	}
+	alerts = d.Finish(t0.Add(240 * time.Minute))
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	a := alerts[0]
+	if a.Source != "entropy" || a.Sig.Type != ddos.UDPFlood {
+		t.Fatalf("alert = %+v", a)
+	}
+	delay := a.DetectedAt.Sub(t0.Add(200 * time.Minute))
+	if delay < 0 || delay > 10*time.Minute {
+		t.Fatalf("detection delay %v", delay)
+	}
+	if a.MitigatedAt.Before(a.DetectedAt) {
+		t.Fatal("mitigation must end after detection")
+	}
+}
+
+func TestEntropyDetectorQuietOnBenign(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	victim := netip.MustParseAddr("23.1.1.1")
+	d := NewEntropyDetector(time.Minute)
+	t0 := time.Date(2019, 7, 3, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 400; i++ {
+		if got := d.Observe(victim, t0.Add(time.Duration(i)*time.Minute), benignStep(rng, victim, 8)); len(got) != 0 {
+			t.Fatalf("false positive at step %d", i)
+		}
+	}
+	if got := d.Finish(t0.Add(400 * time.Minute)); len(got) != 0 {
+		t.Fatalf("false alerts: %d", len(got))
+	}
+}
+
+func TestEntropyDetectorIgnoresLowVolumeAnomaly(t *testing.T) {
+	// An entropy collapse on negligible traffic must not alert (MinMbps gate).
+	rng := rand.New(rand.NewSource(3))
+	victim := netip.MustParseAddr("23.1.1.1")
+	d := NewEntropyDetector(time.Minute)
+	t0 := time.Date(2019, 7, 3, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 120; i++ {
+		var flows []netflow.Record
+		if i >= 100 {
+			flows = floodStep(victim, 1, 1000) // one tiny flow
+		} else {
+			flows = benignStep(rng, victim, 8)
+		}
+		if got := d.Observe(victim, t0.Add(time.Duration(i)*time.Minute), flows); len(got) != 0 {
+			t.Fatalf("alerted on negligible traffic at step %d", i)
+		}
+	}
+}
+
+func TestEntropyDetectorPerVictimIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v1 := netip.MustParseAddr("23.1.1.1")
+	v2 := netip.MustParseAddr("23.1.1.2")
+	d := NewEntropyDetector(time.Minute)
+	t0 := time.Date(2019, 7, 3, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 240; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		f1 := benignStep(rng, v1, 8)
+		if i >= 200 {
+			f1 = append(f1, floodStep(v1, 2, 40_000_000)...)
+		}
+		d.Observe(v1, at, f1)
+		d.Observe(v2, at, benignStep(rng, v2, 8))
+	}
+	for _, a := range d.Finish(t0.Add(240 * time.Minute)) {
+		if a.Sig.Victim != v1 {
+			t.Fatalf("spurious alert for %v", a.Sig.Victim)
+		}
+	}
+}

@@ -1,0 +1,513 @@
+// Package core implements Xatu's machine learning (§4): the multi-timescale
+// LSTM over the 273 traffic features, the survival-analysis training
+// objective, gradient attribution, and the streaming online detector. Every
+// design knob the paper ablates (§6.3, Appendix H) is a Config field:
+// individual timescales, the survival loss vs a classification loss, hidden
+// width, pooling granularities, and lookback length (via the input series).
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/xatu-go/xatu/internal/nn"
+	"github.com/xatu-go/xatu/internal/survival"
+)
+
+// Config parameterizes a Model. The paper's prototype uses Hidden=200,
+// pooling at (1, 10, 60) minutes, a detection window of N=30 and the SAFE
+// survival loss; scaled-down experiments shrink Hidden and the input
+// window, not the structure.
+type Config struct {
+	NumFeatures int `json:"num_features"`
+	Hidden      int `json:"hidden"`
+	// PoolShort/Med/Long are the aggregation factors (in base steps) for
+	// TSShort, TSMedium and TSLong.
+	PoolShort int `json:"pool_short"`
+	PoolMed   int `json:"pool_med"`
+	PoolLong  int `json:"pool_long"`
+	// Window is the detection window N: hazards are emitted for the last N
+	// pooled-short steps of the input sequence.
+	Window int `json:"window"`
+	// UseShort/Med/Long toggle the three LSTMs (Fig 18(b) ablation).
+	UseShort bool `json:"use_short"`
+	UseMed   bool `json:"use_med"`
+	UseLong  bool `json:"use_long"`
+	// UseSurvival selects the SAFE loss; false trains with per-step binary
+	// cross-entropy (the classification baseline of Fig 18(d)).
+	UseSurvival bool  `json:"use_survival"`
+	Seed        int64 `json:"seed"`
+	// LearningRate for Adam (paper: 1e-4; scaled runs use larger).
+	LearningRate float64 `json:"learning_rate"`
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig(numFeatures int) Config {
+	return Config{
+		NumFeatures: numFeatures,
+		Hidden:      16,
+		PoolShort:   1, PoolMed: 10, PoolLong: 60,
+		Window:   30,
+		UseShort: true, UseMed: true, UseLong: true,
+		UseSurvival:  true,
+		Seed:         1,
+		LearningRate: 3e-3,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumFeatures <= 0:
+		return errors.New("core: NumFeatures must be positive")
+	case c.Hidden <= 0:
+		return errors.New("core: Hidden must be positive")
+	case c.PoolShort <= 0 || c.PoolMed <= 0 || c.PoolLong <= 0:
+		return errors.New("core: pooling factors must be positive")
+	case c.Window <= 0:
+		return errors.New("core: Window must be positive")
+	case !c.UseShort && !c.UseMed && !c.UseLong:
+		return errors.New("core: at least one timescale must be enabled")
+	case c.LearningRate <= 0:
+		return errors.New("core: LearningRate must be positive")
+	}
+	return nil
+}
+
+// branch indices.
+const (
+	brShort = iota
+	brMed
+	brLong
+	numBranches
+)
+
+// Model is the multi-timescale LSTM with a dense combining head emitting
+// instantaneous attack probabilities λ_t through a softplus link.
+type Model struct {
+	Cfg   Config
+	lstms [numBranches]*nn.LSTM // nil when the branch is disabled
+	head  *nn.Dense
+}
+
+// New builds a model with freshly initialized weights.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg}
+	mk := func(use bool) *nn.LSTM {
+		if !use {
+			return nil
+		}
+		return nn.NewLSTM(cfg.NumFeatures, cfg.Hidden, rng)
+	}
+	m.lstms[brShort] = mk(cfg.UseShort)
+	m.lstms[brMed] = mk(cfg.UseMed)
+	m.lstms[brLong] = mk(cfg.UseLong)
+	m.head = nn.NewDense(cfg.Hidden*m.activeBranches(), 1, rng)
+	return m, nil
+}
+
+func (m *Model) activeBranches() int {
+	n := 0
+	for _, l := range m.lstms {
+		if l != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []nn.Param {
+	var out []nn.Param
+	names := [numBranches]string{"short", "med", "long"}
+	for b, l := range m.lstms {
+		if l == nil {
+			continue
+		}
+		for _, p := range l.Params() {
+			p.Name = names[b] + "." + p.Name
+			out = append(out, p)
+		}
+	}
+	out = append(out, m.head.Params()...)
+	return out
+}
+
+// ZeroGrad clears all gradient accumulators.
+func (m *Model) ZeroGrad() {
+	for _, l := range m.lstms {
+		if l != nil {
+			l.ZeroGrad()
+		}
+	}
+	m.head.ZeroGrad()
+}
+
+// Replica returns a model sharing m's weights with independent gradient
+// buffers, for parallel gradient computation.
+func (m *Model) Replica() *Model {
+	r := &Model{Cfg: m.Cfg, head: m.head.ShareWeights()}
+	for b, l := range m.lstms {
+		if l != nil {
+			r.lstms[b] = l.ShareWeights()
+		}
+	}
+	return r
+}
+
+// MergeGradsInto adds the replica's gradients into dst and zeroes them.
+func (m *Model) MergeGradsInto(dst *Model) {
+	for b, l := range m.lstms {
+		if l != nil {
+			l.MergeGradsInto(dst.lstms[b])
+		}
+	}
+	m.head.MergeGradsInto(dst.head)
+}
+
+// poolFactor returns the pooling factor for a branch.
+func (m *Model) poolFactor(b int) int {
+	switch b {
+	case brShort:
+		return m.Cfg.PoolShort
+	case brMed:
+		return m.Cfg.PoolMed
+	default:
+		return m.Cfg.PoolLong
+	}
+}
+
+// branchIdx maps a pooled-short detection step t to the index of the last
+// branch-b LSTM state that contains no input from after t — i.e. the last
+// *completed* pooling block. Returns -1 when no block has completed yet
+// (the branch contributes zeros, exactly like the warming-up Stream).
+func (m *Model) branchIdx(b, t, tapeLen int) int {
+	// Last base-resolution step covered by pooled-short step t.
+	bt := t*m.Cfg.PoolShort + m.Cfg.PoolShort - 1
+	idx := (bt+1)/m.poolFactor(b) - 1
+	if idx >= tapeLen {
+		idx = tapeLen - 1
+	}
+	return idx
+}
+
+// fwd caches one forward pass.
+type fwd struct {
+	T       int // base sequence length
+	pooled  [numBranches][]nn.Vec
+	tapes   [numBranches]*nn.LSTMTape
+	detIdx  []int    // pooled-short indices of the detection steps
+	concats []nn.Vec // head inputs per detection step
+	zs      []float64
+	Hazards []float64
+}
+
+// Forward runs the model over a base-resolution feature sequence xs
+// (length T ≥ Window·PoolShort recommended) and returns per-detection-step
+// hazards λ.
+func (m *Model) Forward(xs []nn.Vec) (*fwd, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("core: empty input sequence")
+	}
+	if len(xs[0]) != m.Cfg.NumFeatures {
+		return nil, fmt.Errorf("core: input width %d, model expects %d", len(xs[0]), m.Cfg.NumFeatures)
+	}
+	f := &fwd{T: len(xs)}
+	for b, l := range m.lstms {
+		if l == nil {
+			continue
+		}
+		f.pooled[b] = nn.MeanPool(xs, m.poolFactor(b))
+		f.tapes[b] = l.Forward(f.pooled[b])
+	}
+	// Detection steps: the last Window pooled-short steps.
+	nShort := (len(xs) + m.Cfg.PoolShort - 1) / m.Cfg.PoolShort
+	w := m.Cfg.Window
+	if w > nShort {
+		w = nShort
+	}
+	f.detIdx = make([]int, w)
+	f.concats = make([]nn.Vec, w)
+	f.zs = make([]float64, w)
+	f.Hazards = make([]float64, w)
+	for i := 0; i < w; i++ {
+		t := nShort - w + i
+		f.detIdx[i] = t
+		concat := nn.NewVec(m.Cfg.Hidden * m.activeBranches())
+		off := 0
+		for b, l := range m.lstms {
+			if l == nil {
+				continue
+			}
+			idx := m.branchIdx(b, t, len(f.tapes[b].H))
+			if idx >= 0 {
+				copy(concat[off:off+m.Cfg.Hidden], f.tapes[b].H[idx])
+			}
+			off += m.Cfg.Hidden
+		}
+		f.concats[i] = concat
+		z := m.head.Forward(concat)[0]
+		f.zs[i] = z
+		f.Hazards[i] = nn.Softplus(z)
+	}
+	return f, nil
+}
+
+// Survival returns the cumulative no-attack probabilities S_t over the
+// detection window for the given input sequence.
+func (m *Model) Survival(xs []nn.Vec) ([]float64, error) {
+	f, err := m.Forward(xs)
+	if err != nil {
+		return nil, err
+	}
+	return survival.Survival(f.Hazards), nil
+}
+
+// Example is one training series: base-resolution (already normalized)
+// features plus its label. AttackStep indexes the ground-truth detection
+// within the detection window [0, Window); it is ignored for non-attack
+// examples.
+type Example struct {
+	X          [][]float64
+	Attack     bool
+	AttackStep int
+}
+
+// lossGrad computes the loss for the example and the per-detection-step
+// hazard gradients dL/dλ_t (zero past the label time for the SAFE loss).
+func (m *Model) lossGrad(f *fwd, ex *Example) (float64, []float64) {
+	n := len(f.Hazards)
+	dHaz := make([]float64, n)
+	tEnd := n - 1
+	if ex.Attack {
+		tEnd = ex.AttackStep
+		if tEnd >= n {
+			tEnd = n - 1
+		}
+		if tEnd < 0 {
+			tEnd = 0
+		}
+	}
+	if m.Cfg.UseSurvival {
+		loss, g := survival.Loss(f.Hazards[:tEnd+1], ex.Attack)
+		for t := 0; t <= tEnd; t++ {
+			dHaz[t] = g
+		}
+		return loss, dHaz
+	}
+	attackStep := -1
+	if ex.Attack {
+		attackStep = tEnd
+	}
+	loss, gs := survival.BCELoss(f.Hazards, attackStep)
+	copy(dHaz, gs)
+	return loss, dHaz
+}
+
+// backward propagates hazard gradients through the head and the LSTMs,
+// accumulating weight gradients. It returns the per-branch pooled input
+// gradients (used by saliency; training callers ignore them).
+func (m *Model) backward(f *fwd, dHaz []float64, needInputGrads bool) [numBranches][]nn.Vec {
+	dH := [numBranches][]nn.Vec{}
+	for b, l := range m.lstms {
+		if l == nil {
+			continue
+		}
+		dH[b] = make([]nn.Vec, len(f.tapes[b].H))
+	}
+	for i, g := range dHaz {
+		if g == 0 {
+			continue
+		}
+		dz := g * nn.SoftplusPrime(f.zs[i])
+		dConcat := m.head.Backward(f.concats[i], nn.Vec{dz})
+		off := 0
+		for b, l := range m.lstms {
+			if l == nil {
+				continue
+			}
+			idx := m.branchIdx(b, f.detIdx[i], len(dH[b]))
+			if idx >= 0 {
+				if dH[b][idx] == nil {
+					dH[b][idx] = nn.NewVec(m.Cfg.Hidden)
+				}
+				dH[b][idx].Add(dConcat[off : off+m.Cfg.Hidden])
+			}
+			off += m.Cfg.Hidden
+		}
+	}
+	var dPooled [numBranches][]nn.Vec
+	for b, l := range m.lstms {
+		if l == nil {
+			continue
+		}
+		dxs := l.Backward(f.tapes[b], dH[b])
+		if needInputGrads {
+			dPooled[b] = dxs
+		}
+	}
+	return dPooled
+}
+
+// TrainExample accumulates gradients for one example and returns its loss.
+func (m *Model) TrainExample(ex *Example) (float64, error) {
+	xs := toVecs(ex.X)
+	f, err := m.Forward(xs)
+	if err != nil {
+		return 0, err
+	}
+	loss, dHaz := m.lossGrad(f, ex)
+	m.backward(f, dHaz, false)
+	return loss, nil
+}
+
+// TrainOptions tunes Fit.
+type TrainOptions struct {
+	Epochs    int
+	BatchSize int
+	// Workers is the number of parallel gradient workers; 0 = GOMAXPROCS.
+	Workers int
+	// Seed drives example shuffling.
+	Seed int64
+	// Progress, when non-nil, receives the mean loss after each epoch.
+	Progress func(epoch int, meanLoss float64)
+}
+
+// Fit trains the model with Adam over the examples. It returns the mean
+// loss of the final epoch.
+func (m *Model) Fit(examples []Example, opts TrainOptions) (float64, error) {
+	if len(examples) == 0 {
+		return 0, errors.New("core: no training examples")
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 5
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 16
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.BatchSize {
+		workers = opts.BatchSize
+	}
+	opt := nn.NewAdam(m.Cfg.LearningRate, m.Params())
+	rng := rand.New(rand.NewSource(opts.Seed))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	replicas := make([]*Model, workers)
+	for i := range replicas {
+		replicas[i] = m.Replica()
+	}
+	var finalLoss float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var trainErr error
+		for lo := 0; lo < len(order); lo += opts.BatchSize {
+			hi := lo + opts.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			batch := order[lo:hi]
+			var wg sync.WaitGroup
+			losses := make([]float64, workers)
+			errs := make([]error, workers)
+			for wkr := 0; wkr < workers; wkr++ {
+				wg.Add(1)
+				go func(wkr int) {
+					defer wg.Done()
+					r := replicas[wkr]
+					for k := wkr; k < len(batch); k += workers {
+						l, err := r.TrainExample(&examples[batch[k]])
+						if err != nil {
+							errs[wkr] = err
+							return
+						}
+						losses[wkr] += l
+					}
+				}(wkr)
+			}
+			wg.Wait()
+			for wkr := 0; wkr < workers; wkr++ {
+				if errs[wkr] != nil {
+					trainErr = errs[wkr]
+				}
+				epochLoss += losses[wkr]
+				replicas[wkr].MergeGradsInto(m)
+			}
+			if trainErr != nil {
+				return 0, trainErr
+			}
+			opt.Step(1 / float64(len(batch)))
+		}
+		finalLoss = epochLoss / float64(len(examples))
+		if opts.Progress != nil {
+			opts.Progress(epoch, finalLoss)
+		}
+	}
+	return finalLoss, nil
+}
+
+// Save writes the model (config + weights) to w.
+func (m *Model) Save(w io.Writer) error {
+	hdr, err := json.Marshal(m.Cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%d\n", len(hdr)); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	return nn.WriteParams(w, m.Params())
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var n int
+	if _, err := fmt.Fscanf(r, "%d\n", &n); err != nil {
+		return nil, fmt.Errorf("core: reading header length: %w", err)
+	}
+	if n <= 0 || n > 1<<16 {
+		return nil, fmt.Errorf("core: implausible header length %d", n)
+	}
+	hdr := make([]byte, n)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(hdr, &cfg); err != nil {
+		return nil, fmt.Errorf("core: decoding config: %w", err)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.ReadParams(r, m.Params()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// toVecs views a [][]float64 as []nn.Vec without copying.
+func toVecs(x [][]float64) []nn.Vec {
+	out := make([]nn.Vec, len(x))
+	for i := range x {
+		out[i] = nn.Vec(x[i])
+	}
+	return out
+}

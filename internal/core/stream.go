@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+
+	"github.com/xatu-go/xatu/internal/nn"
+)
+
+// Stream is the online (deployment-time) form of the model: it consumes one
+// base-resolution feature vector per step, advances the three LSTMs
+// incrementally (pooled branches step when their aggregation buffers fill),
+// and maintains the survival probability over a sliding detection window.
+// Each Push is O(model) work — the paper's "each detection runs within
+// 10 ms" property — independent of how long the stream has been running.
+//
+// A Stream is not safe for concurrent use.
+type Stream struct {
+	m *Model
+	// per-branch recurrent state
+	h, c [numBranches]nn.Vec
+	// pooling buffers for med/long branches
+	bufSum   [numBranches]nn.Vec
+	bufN     [numBranches]int
+	seen     [numBranches]bool // branch has produced at least one state
+	hazards  []float64         // ring buffer of the last Window hazards
+	hazPos   int
+	hazCount int
+	steps    int
+}
+
+// NewStream returns a fresh online detector state for the model.
+func NewStream(m *Model) *Stream {
+	s := &Stream{m: m, hazards: make([]float64, m.Cfg.Window)}
+	for b := range s.bufSum {
+		if m.lstms[b] != nil {
+			s.bufSum[b] = nn.NewVec(m.Cfg.NumFeatures)
+		}
+	}
+	return s
+}
+
+// Steps returns how many inputs have been consumed.
+func (s *Stream) Steps() int { return s.steps }
+
+// Warm reports whether every enabled branch has produced at least one
+// hidden state, i.e. the survival output is fully informed.
+func (s *Stream) Warm() bool {
+	for b, l := range s.m.lstms {
+		if l != nil && !s.seen[b] {
+			return false
+		}
+	}
+	return s.hazCount >= s.m.Cfg.Window
+}
+
+// Push consumes one normalized feature vector and returns the survival
+// probability over the sliding detection window (1.0 while nothing has
+// accumulated yet).
+func (s *Stream) Push(x []float64) float64 {
+	v := nn.Vec(x)
+	s.steps++
+	for b, l := range s.m.lstms {
+		if l == nil {
+			continue
+		}
+		k := s.m.poolFactor(b)
+		if k <= 1 {
+			s.h[b], s.c[b] = l.Step(s.h[b], s.c[b], v)
+			s.seen[b] = true
+			continue
+		}
+		s.bufSum[b].Add(v)
+		s.bufN[b]++
+		if s.bufN[b] >= k {
+			mean := s.bufSum[b].Clone()
+			mean.Scale(1 / float64(k))
+			s.h[b], s.c[b] = l.Step(s.h[b], s.c[b], mean)
+			s.seen[b] = true
+			s.bufSum[b].Zero()
+			s.bufN[b] = 0
+		}
+	}
+	// Head over the latest available states (zeros before a branch warms).
+	concat := nn.NewVec(s.m.Cfg.Hidden * s.m.activeBranches())
+	off := 0
+	for b, l := range s.m.lstms {
+		if l == nil {
+			continue
+		}
+		if s.h[b] != nil {
+			copy(concat[off:off+s.m.Cfg.Hidden], s.h[b])
+		}
+		off += s.m.Cfg.Hidden
+	}
+	z := s.m.head.Forward(concat)[0]
+	lam := nn.Softplus(z)
+	s.hazards[s.hazPos] = lam
+	s.hazPos = (s.hazPos + 1) % len(s.hazards)
+	if s.hazCount < len(s.hazards) {
+		s.hazCount++
+	}
+	var sum float64
+	for i := 0; i < s.hazCount; i++ {
+		sum += s.hazards[i]
+	}
+	return math.Exp(-sum)
+}
+
+// Reset clears all state, returning the stream to its initial condition
+// (used when mitigation ends and detection restarts, §2.6).
+func (s *Stream) Reset() {
+	for b := range s.h {
+		s.h[b], s.c[b] = nil, nil
+		if s.bufSum[b] != nil {
+			s.bufSum[b].Zero()
+		}
+		s.bufN[b] = 0
+		s.seen[b] = false
+	}
+	for i := range s.hazards {
+		s.hazards[i] = 0
+	}
+	s.hazPos, s.hazCount, s.steps = 0, 0, 0
+}

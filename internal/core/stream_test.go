@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/xatu-go/xatu/internal/nn"
+)
+
+func TestStreamMatchesOfflineHazards(t *testing.T) {
+	// With a window-sized stream the sliding survival at the last step must
+	// equal the offline survival at the last detection step, because the
+	// branch alignment rules are identical.
+	cfg := tinyConfig()
+	m, _ := New(cfg)
+	rng := rand.New(rand.NewSource(5))
+	T := 48
+	xs := make([]nn.Vec, T)
+	for i := range xs {
+		xs[i] = nn.Vec{rng.NormFloat64(), rng.NormFloat64(), 0, 0}
+	}
+	s := NewStream(m)
+	var last float64
+	for _, x := range xs {
+		last = s.Push(x)
+	}
+	off, err := m.Survival(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := off[len(off)-1]
+	if math.Abs(last-want) > 1e-9 {
+		t.Fatalf("stream survival %v != offline %v", last, want)
+	}
+}
+
+func TestStreamSurvivalRange(t *testing.T) {
+	m, _ := New(tinyConfig())
+	s := NewStream(m)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		v := s.Push([]float64{rng.NormFloat64(), 0, 0, 0})
+		if v <= 0 || v > 1 {
+			t.Fatalf("survival %v out of range at step %d", v, i)
+		}
+	}
+	if s.Steps() != 100 {
+		t.Fatalf("Steps = %d", s.Steps())
+	}
+}
+
+func TestStreamWarm(t *testing.T) {
+	cfg := tinyConfig() // PoolLong = 12, Window = 8
+	m, _ := New(cfg)
+	s := NewStream(m)
+	for i := 0; i < 11; i++ {
+		s.Push([]float64{1, 0, 0, 0})
+	}
+	if s.Warm() {
+		t.Fatal("must not be warm before the long branch has stepped")
+	}
+	for i := 0; i < 10; i++ {
+		s.Push([]float64{1, 0, 0, 0})
+	}
+	if !s.Warm() {
+		t.Fatal("must be warm after PoolLong and Window steps")
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	m, _ := New(tinyConfig())
+	s := NewStream(m)
+	seq := [][]float64{{1, 2, 0, 0}, {3, 4, 0, 0}, {5, 6, 0, 0}}
+	var first []float64
+	for _, x := range seq {
+		first = append(first, s.Push(x))
+	}
+	s.Reset()
+	if s.Steps() != 0 || s.Warm() {
+		t.Fatal("Reset must clear state")
+	}
+	for i, x := range seq {
+		if got := s.Push(x); got != first[i] {
+			t.Fatalf("replay after Reset differs at %d: %v vs %v", i, got, first[i])
+		}
+	}
+}
+
+func TestStreamDipsOnAttackAfterTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cfg := tinyConfig()
+	m, _ := New(cfg)
+	train := synthSet(rng, 40, 48, cfg.Window)
+	if _, err := m.Fit(train, TrainOptions{Epochs: 25, BatchSize: 8, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Stream a long benign prefix then an attack ramp; survival must drop
+	// markedly during the attack relative to the benign phase.
+	s := NewStream(m)
+	var benignMin float64 = 2
+	for i := 0; i < 80; i++ {
+		v := s.Push([]float64{0, 0, rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+		if i > 40 && v < benignMin {
+			benignMin = v
+		}
+	}
+	var attackMin float64 = 2
+	for i := 0; i < 20; i++ {
+		x := []float64{0, 0.5, 0, 0}
+		if i > 12 {
+			x[0] = 1
+		}
+		v := s.Push(x)
+		if v < attackMin {
+			attackMin = v
+		}
+	}
+	if !(attackMin < benignMin*0.9) {
+		t.Fatalf("attack survival %v not clearly below benign floor %v", attackMin, benignMin)
+	}
+}

@@ -1,0 +1,547 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/cdet"
+	"github.com/xatu-go/xatu/internal/core"
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/features"
+	"github.com/xatu-go/xatu/internal/forest"
+	"github.com/xatu-go/xatu/internal/metrics"
+)
+
+// Episode is one evaluation window: an attack (EventIdx ≥ 0) or a benign
+// stretch (EventIdx < 0).
+type Episode struct {
+	EventIdx    int
+	CustomerIdx int
+	Type        ddos.AttackType
+	// AnomStart/AnomEnd delimit the ground-truth anomalous period (area A).
+	AnomStart, AnomEnd int
+	// StreamStart is where feature streaming begins (lookback warm-up).
+	StreamStart int
+	// StreamEnd is the exclusive end of streaming.
+	StreamEnd int
+}
+
+// Episodes returns the attack episodes whose anomaly starts inside
+// [fromStep, toStep).
+func (p *Pipeline) Episodes(fromStep, toStep int) []Episode {
+	var out []Episode
+	look := p.Cfg.LookbackSteps
+	for i := range p.World.Events {
+		ev := &p.World.Events[i]
+		if ev.StartStep < fromStep || ev.StartStep >= toStep {
+			continue
+		}
+		end := ev.EndStep()
+		if end > p.Cfg.World.Steps() {
+			end = p.Cfg.World.Steps()
+		}
+		out = append(out, Episode{
+			EventIdx:    i,
+			CustomerIdx: ev.VictimIdx,
+			Type:        ev.Type,
+			AnomStart:   ev.StartStep,
+			AnomEnd:     end,
+			StreamStart: ev.StartStep - look,
+			StreamEnd:   end,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AnomStart < out[j].AnomStart })
+	return out
+}
+
+// MatchedEpisodes returns the attack episodes in [fromStep, toStep) that
+// the labeling CDet eventually alerted on. This is the paper's evaluation
+// population: its ground truth comes from CDet alerts (§5.1), so attacks
+// the CDet misses entirely are invisible to it; Xatu's advantage there
+// shows up separately in the false-positive analysis (§6.1).
+func (p *Pipeline) MatchedEpisodes(fromStep, toStep int) []Episode {
+	matched := map[int]bool{}
+	for _, a := range p.Alerts {
+		if ei := p.matchEvent(a); ei >= 0 {
+			matched[ei] = true
+		}
+	}
+	var out []Episode
+	for _, ep := range p.Episodes(fromStep, toStep) {
+		if matched[ep.EventIdx] {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// UnmatchedEpisodes returns attack episodes in [fromStep, toStep) that the
+// labeling CDet never alerted on — "missed attacks". Under the paper's
+// CDet-as-ground-truth ROC they count as negatives, which is how the paper
+// finds that 71% of Xatu's false positives "are likely to be missed
+// attacks by NetScout" (§6.1).
+func (p *Pipeline) UnmatchedEpisodes(fromStep, toStep int) []Episode {
+	matched := map[int]bool{}
+	for _, a := range p.Alerts {
+		if ei := p.matchEvent(a); ei >= 0 {
+			matched[ei] = true
+		}
+	}
+	var out []Episode
+	for _, ep := range p.Episodes(fromStep, toStep) {
+		if !matched[ep.EventIdx] {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// NegativeEpisodes samples n benign windows (no alert, no ground-truth
+// anomaly nearby) in [fromStep, toStep) for false-positive accounting.
+func (p *Pipeline) NegativeEpisodes(n, fromStep, toStep int, seed int64) []Episode {
+	rng := rand.New(rand.NewSource(seed))
+	busy := p.alertBusyIndex()
+	look := p.Cfg.LookbackSteps
+	winLen := maxI(p.Cfg.Model.Window*p.Cfg.Model.PoolShort, 10)
+	var out []Episode
+	for tries := 0; len(out) < n && tries < 100*n; tries++ {
+		ci := rng.Intn(len(p.World.Customers))
+		start := fromStep + look + rng.Intn(maxI(1, toStep-fromStep-look-winLen))
+		if p.nearAlert(busy, ci, start, look/2) || p.nearAlert(busy, ci, start+winLen, look/2) {
+			continue
+		}
+		out = append(out, Episode{
+			EventIdx:    -1,
+			CustomerIdx: ci,
+			Type:        ddos.UDPFlood, // benign windows still need a model to stream; UDP is the most common
+			AnomStart:   -1,
+			AnomEnd:     -1,
+			StreamStart: start - look,
+			StreamEnd:   start + winLen,
+		})
+	}
+	return out
+}
+
+// Scorer is a streaming per-step attack scorer: higher = more attack-like.
+type Scorer interface {
+	Reset()
+	Push(x []float64) float64
+}
+
+// xatuScorer adapts a core.Stream: score = 1 − survival.
+type xatuScorer struct{ s *core.Stream }
+
+func (x *xatuScorer) Reset()                   { x.s.Reset() }
+func (x *xatuScorer) Push(v []float64) float64 { return 1 - x.s.Push(v) }
+
+// XatuScorer returns a Scorer streaming the model for the given type.
+func (m *Models) XatuScorer(at ddos.AttackType) Scorer {
+	return &xatuScorer{s: core.NewStream(m.For(at))}
+}
+
+// rfScorer keeps a trailing buffer and scores each step with the forest.
+type rfScorer struct {
+	f        *forest.Forest
+	poolMed  int
+	poolLong int
+	buf      [][]float64
+}
+
+// RFScorer adapts a trained forest into a streaming Scorer.
+func RFScorer(f *forest.Forest, poolMed, poolLong int) Scorer {
+	return &rfScorer{f: f, poolMed: poolMed, poolLong: poolLong}
+}
+
+func (r *rfScorer) Reset() { r.buf = r.buf[:0] }
+
+func (r *rfScorer) Push(x []float64) float64 {
+	r.buf = append(r.buf, x)
+	if len(r.buf) > r.poolLong {
+		r.buf = r.buf[1:]
+	}
+	return r.f.PredictProb(FlattenForRF(r.buf, r.poolMed, r.poolLong))
+}
+
+// Trace is the threshold-independent record of streaming one episode.
+type Trace struct {
+	Ep Episode
+	// Scores[i] is the score at step ScoreStart+i.
+	Scores     []float64
+	ScoreStart int
+}
+
+// TraceEpisodes streams every episode through a fresh scorer and records
+// the per-step scores. Scores during the warm-up prefix are suppressed
+// (set to -Inf) so calibration cannot alert before the detector is warm.
+// newScorer is called once per worker; scorers are Reset between episodes.
+func (p *Pipeline) TraceEpisodes(ex *features.Extractor, episodes []Episode, newScorer func(ddos.AttackType) Scorer) []Trace {
+	traces := make([]Trace, len(episodes))
+	warm := p.warmSteps()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(episodes) && len(episodes) > 0 {
+		workers = len(episodes)
+	}
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for k := wkr; k < len(episodes); k += workers {
+				epi := episodes[k]
+				sc := newScorer(epi.Type)
+				sc.Reset()
+				x := p.SeriesFor(ex, epi.CustomerIdx, epi.StreamStart, epi.StreamEnd)
+				scores := make([]float64, len(x))
+				for i := range x {
+					s := sc.Push(x[i])
+					if i < warm {
+						s = math.Inf(-1)
+					}
+					scores[i] = s
+				}
+				traces[k] = Trace{Ep: epi, Scores: scores, ScoreStart: epi.StreamStart}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	return traces
+}
+
+// warmSteps is the prefix during which streaming detectors may not alert:
+// the long branch needs PoolLong·2 steps to produce stable states, and the
+// sliding hazard window then needs Window·PoolShort further steps to flush
+// hazards computed from cold states.
+func (p *Pipeline) warmSteps() int {
+	m := p.Cfg.Model
+	return m.PoolLong*2 + m.Window*m.PoolShort
+}
+
+// detectStep returns the first step index (absolute) at which the trace's
+// score exceeds the threshold at or after fromStep, or -1.
+func (t *Trace) detectStep(threshold float64, fromStep int) int {
+	start := fromStep - t.ScoreStart
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < len(t.Scores); i++ {
+		if t.Scores[i] > threshold {
+			return t.ScoreStart + i
+		}
+	}
+	return -1
+}
+
+// MatchingBytes sums the bytes matching the canonical signature of at for
+// customer ci over steps [from, to).
+func (p *Pipeline) MatchingBytes(ci int, at ddos.AttackType, from, to int) float64 {
+	var sum float64
+	for s := from; s < to; s++ {
+		if s < 0 || s >= p.Cfg.World.Steps() {
+			continue
+		}
+		perType, _ := p.World.SignatureBytes(ci, s)
+		sum += perType[at]
+	}
+	return sum
+}
+
+// fpDiversionSteps bounds how long a false-positive diversion scrubs
+// before CScrub gives up (30 simulated minutes).
+func (p *Pipeline) fpDiversionSteps() int {
+	return maxI(1, int(30*time.Minute/p.Cfg.World.Step))
+}
+
+// OutcomeAt converts one trace into an AttackOutcome at the threshold.
+func (p *Pipeline) OutcomeAt(t *Trace, threshold float64) metrics.AttackOutcome {
+	ep := t.Ep
+	out := metrics.AttackOutcome{
+		Customer: p.World.Customers[ep.CustomerIdx].Addr,
+		Type:     ep.Type,
+	}
+	timeout := p.fpDiversionSteps()
+	if ep.EventIdx < 0 {
+		// Benign window: any detection scrubs extraneous traffic until the
+		// diversion timeout.
+		if det := t.detectStep(threshold, 0); det >= 0 {
+			out.Detected = true
+			out.Extraneous = p.MatchingBytes(ep.CustomerIdx, ep.Type, det, det+timeout)
+		}
+		return out
+	}
+	out.Anomalous = p.MatchingBytes(ep.CustomerIdx, ep.Type, ep.AnomStart, ep.AnomEnd)
+	// A diversion that sees no anomaly within the timeout is released by
+	// CScrub ("CScrub … stops Xatu's detection when an attack is fully
+	// mitigated", §2.6) — the detector may re-alert later. This bounds how
+	// much extraneous traffic a too-early alert can cost.
+	pos := ep.StreamStart
+	for {
+		det := t.detectStep(threshold, pos)
+		if det < 0 || det >= ep.AnomEnd {
+			return out
+		}
+		if det+timeout > ep.AnomStart {
+			// The anomaly begins while this diversion is active: it sticks.
+			out.Detected = true
+			out.Delay = time.Duration(det-ep.AnomStart) * p.Cfg.World.Step
+			scrubFrom := det
+			if scrubFrom < ep.AnomStart {
+				out.Extraneous += p.MatchingBytes(ep.CustomerIdx, ep.Type, scrubFrom, ep.AnomStart)
+				scrubFrom = ep.AnomStart
+			}
+			out.ScrubbedAnomalous = p.MatchingBytes(ep.CustomerIdx, ep.Type, scrubFrom, ep.AnomEnd)
+			return out
+		}
+		// Released without an attack: pay for the wasted diversion and allow
+		// re-alerting after it ends.
+		out.Extraneous += p.MatchingBytes(ep.CustomerIdx, ep.Type, det, det+timeout)
+		pos = det + timeout
+	}
+}
+
+// OutcomesAt maps every trace through OutcomeAt.
+func (p *Pipeline) OutcomesAt(traces []Trace, threshold float64) []metrics.AttackOutcome {
+	out := make([]metrics.AttackOutcome, len(traces))
+	for i := range traces {
+		out[i] = p.OutcomeAt(&traces[i], threshold)
+	}
+	return out
+}
+
+// Calibrate finds the score threshold maximizing median effectiveness
+// subject to the 75th-percentile cumulative overhead staying under bound
+// (§5.3). valTraces should mix attack and negative episodes.
+func (p *Pipeline) Calibrate(valTraces []Trace, bound float64) (float64, error) {
+	// Candidate thresholds: quantiles of all finite scores.
+	var all []float64
+	for i := range valTraces {
+		for _, s := range valTraces[i].Scores {
+			if !math.IsInf(s, 0) {
+				all = append(all, s)
+			}
+		}
+	}
+	sort.Float64s(all)
+	if len(all) == 0 {
+		return 0, errNoScores
+	}
+	var cands []float64
+	for q := 0.30; q < 0.9999; q += 0.02 {
+		cands = append(cands, all[int(q*float64(len(all)-1))])
+	}
+	cands = dedupFloats(cands)
+
+	points := make([]survCalPoint, 0, len(cands))
+	for _, th := range cands {
+		outs := p.OutcomesAt(valTraces, th)
+		var attackOuts []metrics.AttackOutcome
+		for _, o := range outs {
+			if o.Anomalous > 0 || o.Extraneous > 0 {
+				attackOuts = append(attackOuts, o)
+			}
+		}
+		eff := metrics.Quantile(metrics.EffectivenessSeries(filterAttacks(outs)), 0.5)
+		ov := metrics.Quantile(metrics.CumulativeOverheads(attackOuts), 0.75)
+		if math.IsNaN(ov) {
+			ov = 0
+		}
+		points = append(points, survCalPoint{th: th, eff: eff, ov: ov})
+	}
+	bestEff := -1.0
+	for _, pt := range points {
+		if pt.ov <= bound && pt.eff > bestEff {
+			bestEff = pt.eff
+		}
+	}
+	if bestEff < 0 {
+		// No candidate satisfies the bound: degrade gracefully to the point
+		// with the lowest overhead, breaking ties toward effectiveness.
+		fallback := survCalPoint{ov: math.Inf(1), eff: -1}
+		for _, pt := range points {
+			if pt.ov < fallback.ov || (pt.ov == fallback.ov && pt.eff > fallback.eff) {
+				fallback = pt
+			}
+		}
+		return fallback.th, nil
+	}
+	// Among near-best feasible points, take the most conservative (highest)
+	// threshold: it sacrifices almost no validation effectiveness and
+	// generalizes better when feature distributions drift toward the test
+	// period.
+	best := survCalPoint{th: math.Inf(-1)}
+	for _, pt := range points {
+		if pt.ov <= bound && pt.eff >= bestEff-0.005 && pt.th > best.th {
+			best = pt
+		}
+	}
+	return best.th, nil
+}
+
+type survCalPoint struct{ th, eff, ov float64 }
+
+var errNoScores = errNoScoresT{}
+
+type errNoScoresT struct{}
+
+func (errNoScoresT) Error() string { return "eval: no finite scores to calibrate on" }
+
+func filterAttacks(outs []metrics.AttackOutcome) []metrics.AttackOutcome {
+	var out []metrics.AttackOutcome
+	for _, o := range outs {
+		if o.Anomalous > 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func dedupFloats(xs []float64) []float64 {
+	sort.Float64s(xs)
+	out := xs[:0]
+	for i, v := range xs {
+		if i == 0 || v != xs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CDetFalsePositives returns pseudo-outcomes charging a CDet for its
+// unmatched alerts inside [fromStep, toStep): each false alarm scrubs
+// matching traffic from detection to mitigation end (capped at the
+// diversion timeout), with no anomalous traffic to show for it.
+func (p *Pipeline) CDetFalsePositives(alerts []ddos.Alert, fromStep, toStep int) []metrics.AttackOutcome {
+	var out []metrics.AttackOutcome
+	for _, a := range alerts {
+		det := p.alertStep(a)
+		if det < fromStep || det >= toStep {
+			continue
+		}
+		if p.matchEvent(a) >= 0 {
+			continue
+		}
+		ci := p.World.CustomerIndex(a.Sig.Victim)
+		if ci < 0 {
+			continue
+		}
+		end := p.Cfg.World.StepOf(a.MitigatedAt)
+		if end > det+p.fpDiversionSteps() {
+			end = det + p.fpDiversionSteps()
+		}
+		out = append(out, metrics.AttackOutcome{
+			Customer:   a.Sig.Victim,
+			Type:       a.Sig.Type,
+			Detected:   true,
+			Extraneous: p.MatchingBytes(ci, a.Sig.Type, det, end),
+		})
+	}
+	return out
+}
+
+// EvaluateCDetAlerts converts a CDet's own alerts into outcomes for the
+// given attack episodes (earlyShift > 0 uniformly shifts detections earlier,
+// the Fig 3 thought experiment).
+func (p *Pipeline) EvaluateCDetAlerts(alerts []ddos.Alert, episodes []Episode, earlyShift time.Duration) []metrics.AttackOutcome {
+	shiftSteps := int(earlyShift / p.Cfg.World.Step)
+	out := make([]metrics.AttackOutcome, 0, len(episodes))
+	for _, ep := range episodes {
+		if ep.EventIdx < 0 {
+			continue
+		}
+		o := metrics.AttackOutcome{
+			Customer: p.World.Customers[ep.CustomerIdx].Addr,
+			Type:     ep.Type,
+		}
+		o.Anomalous = p.MatchingBytes(ep.CustomerIdx, ep.Type, ep.AnomStart, ep.AnomEnd)
+		det := -1
+		slack := int(10 * time.Minute / p.Cfg.World.Step)
+		for _, a := range alerts {
+			if a.Sig.Victim != o.Customer || a.Sig.Type != ep.Type {
+				continue
+			}
+			s := p.alertStep(a)
+			if s >= ep.AnomStart && s < ep.AnomEnd+slack {
+				det = s - shiftSteps
+				break
+			}
+		}
+		if det >= 0 {
+			o.Detected = true
+			o.Delay = time.Duration(det-ep.AnomStart) * p.Cfg.World.Step
+			scrubFrom := det
+			if scrubFrom < ep.AnomStart {
+				o.Extraneous = p.MatchingBytes(ep.CustomerIdx, ep.Type, scrubFrom, ep.AnomStart)
+				scrubFrom = ep.AnomStart
+			}
+			o.ScrubbedAnomalous = p.MatchingBytes(ep.CustomerIdx, ep.Type, scrubFrom, ep.AnomEnd)
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// AlertsFor runs the named detector over the whole horizon (cached for the
+// labeler) and returns its alerts.
+func (p *Pipeline) AlertsFor(name string) []ddos.Alert {
+	if name == p.Cfg.Labeler {
+		return p.Alerts
+	}
+	return p.runLabeler(name)
+}
+
+// CusumAnomalyStart re-derives an episode's anomaly onset the way the
+// paper labels ground truth (Appendix A): run CUSUM over the traffic
+// matching the alert signature, anchored at the CDet detection step, with
+// the per-type NumStd setting (1 for UDP/DNS-amp, 0.5 for TCP/ICMP).
+// Returns the onset step and whether CUSUM found a change; when it does
+// not, the detection step itself is returned, matching the paper's
+// fallback.
+func (p *Pipeline) CusumAnomalyStart(ep Episode, detectStep int) (int, bool) {
+	from := detectStep - 3*60/int(p.Cfg.World.Step.Minutes()) // three hours of context
+	if from < 0 {
+		from = 0
+	}
+	series := make([]float64, 0, detectStep-from+1)
+	for s := from; s <= detectStep && s < p.Cfg.World.Steps(); s++ {
+		perType, _ := p.World.SignatureBytes(ep.CustomerIdx, s)
+		series = append(series, perType[ep.Type])
+	}
+	numStd := 1.0
+	if ep.Type != ddos.UDPFlood && ep.Type != ddos.DNSAmp {
+		numStd = 0.5
+	}
+	onset, ok := cdet.AnomalyStart(series, len(series)-1, cdet.DefaultCusum(numStd))
+	return from + onset, ok
+}
+
+// RelabelWithCusum rewrites episode anomaly starts using CUSUM labeling,
+// keeping the simulated truth only for episodes where CUSUM finds no
+// change. This makes the pipeline's ground-truth procedure identical to
+// the paper's, at the cost of small labeling noise (which the tests bound).
+func (p *Pipeline) RelabelWithCusum(episodes []Episode) []Episode {
+	out := make([]Episode, len(episodes))
+	for i, ep := range episodes {
+		out[i] = ep
+		det := -1
+		for _, a := range p.Alerts {
+			if p.matchEvent(a) == ep.EventIdx {
+				det = p.alertStep(a)
+				break
+			}
+		}
+		if det < 0 {
+			continue
+		}
+		if onset, ok := p.CusumAnomalyStart(ep, det); ok {
+			out[i].AnomStart = onset
+			if out[i].AnomStart >= out[i].AnomEnd {
+				out[i].AnomStart = ep.AnomStart
+			}
+		}
+	}
+	return out
+}

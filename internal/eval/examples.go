@@ -1,0 +1,304 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/core"
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/features"
+	"github.com/xatu-go/xatu/internal/forest"
+)
+
+// ExampleSet groups training examples by attack type. Negatives are shared
+// (they carry no type label).
+type ExampleSet struct {
+	Positives map[ddos.AttackType][]core.Example
+	Negatives []core.Example
+}
+
+// TotalPositives returns the number of attack examples across types.
+func (s *ExampleSet) TotalPositives() int {
+	n := 0
+	for _, v := range s.Positives {
+		n += len(v)
+	}
+	return n
+}
+
+// ForType returns a balanced training set for one attack type: its
+// positives plus an equal number of negatives ("we select an equal number
+// of attack and non-attack time series", §5.3).
+func (s *ExampleSet) ForType(at ddos.AttackType, rng *rand.Rand) []core.Example {
+	pos := s.Positives[at]
+	return balance(pos, s.Negatives, rng)
+}
+
+// Combined returns all positives of every type plus an equal number of
+// negatives, for the shared fallback model.
+func (s *ExampleSet) Combined(rng *rand.Rand) []core.Example {
+	var pos []core.Example
+	for at := ddos.AttackType(0); at < ddos.NumAttackTypes; at++ {
+		pos = append(pos, s.Positives[at]...)
+	}
+	return balance(pos, s.Negatives, rng)
+}
+
+func balance(pos, neg []core.Example, rng *rand.Rand) []core.Example {
+	out := append([]core.Example(nil), pos...)
+	idx := rng.Perm(len(neg))
+	n := len(pos)
+	if n > len(neg) {
+		n = len(neg)
+	}
+	for _, i := range idx[:n] {
+		out = append(out, neg[i])
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// BuildExamples constructs training examples from the labeler's alerts
+// whose detection falls in [fromStep, toStep): one positive per alert
+// (series ending at the detection step, labeled at the final window step)
+// and one negative per alert sampled from alert-free periods.
+func (p *Pipeline) BuildExamples(ex *features.Extractor, fromStep, toStep int, seed int64) (*ExampleSet, error) {
+	if toStep <= fromStep {
+		return nil, fmt.Errorf("eval: empty example range [%d,%d)", fromStep, toStep)
+	}
+	set := &ExampleSet{Positives: map[ddos.AttackType][]core.Example{}}
+	look := p.Cfg.LookbackSteps
+
+	type job struct {
+		ci      int
+		endStep int // exclusive series end
+		attack  bool
+		at      ddos.AttackType
+	}
+	var jobs []job
+	for _, a := range p.Alerts {
+		det := p.alertStep(a)
+		if det < fromStep || det >= toStep {
+			continue
+		}
+		ci := p.World.CustomerIndex(a.Sig.Victim)
+		if ci < 0 {
+			continue
+		}
+		jobs = append(jobs, job{ci: ci, endStep: det + 1, attack: true, at: a.Sig.Type})
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("eval: no alerts in range [%d,%d)", fromStep, toStep)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Hard negatives: windows ending hours *before* an attack's onset. They
+	// contain preparation activity but no volumetric onset, teaching the
+	// model that auxiliary signals alone do not mean "attack now" — in the
+	// paper's data 95.5% of blocklisted-source activity is not followed by
+	// an attack (§3.2), so such windows are abundant there.
+	nPos := len(jobs)
+	for _, a := range p.Alerts {
+		det := p.alertStep(a)
+		if det < fromStep || det >= toStep {
+			continue
+		}
+		ci := p.World.CustomerIndex(a.Sig.Victim)
+		if ci < 0 {
+			continue
+		}
+		onset := det
+		if ei := p.matchEvent(a); ei >= 0 {
+			onset = p.World.Events[ei].StartStep
+		}
+		gap := int(time.Duration(1+rng.Intn(4)) * time.Hour / p.Cfg.World.Step)
+		end := onset - gap
+		if end < fromStep+look/4 {
+			continue
+		}
+		jobs = append(jobs, job{ci: ci, endStep: end + 1, attack: false})
+	}
+	// Random negatives: alert-free (customer, step) pairs in the same range.
+	busy := p.alertBusyIndex()
+	nNeg := nPos
+	for tries := 0; nNeg > 0 && tries < 50*nNeg; tries++ {
+		ci := rng.Intn(len(p.World.Customers))
+		end := fromStep + look + rng.Intn(maxI(1, toStep-fromStep-look))
+		if end >= toStep {
+			continue
+		}
+		if p.nearAlert(busy, ci, end, 30) {
+			continue
+		}
+		jobs = append(jobs, job{ci: ci, endStep: end + 1, attack: false})
+		nNeg--
+	}
+
+	// Parallel feature extraction.
+	results := make([]core.Example, len(jobs))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for k := wkr; k < len(jobs); k += workers {
+				j := jobs[k]
+				x := p.SeriesFor(ex, j.ci, j.endStep-look, j.endStep)
+				results[k] = core.Example{X: x, Attack: j.attack, AttackStep: p.Cfg.Model.Window - 1}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	for k, j := range jobs {
+		if j.attack {
+			set.Positives[j.at] = append(set.Positives[j.at], results[k])
+		} else {
+			set.Negatives = append(set.Negatives, results[k])
+		}
+	}
+	return set, nil
+}
+
+// alertBusyIndex maps customer index -> sorted alert detection steps.
+func (p *Pipeline) alertBusyIndex() map[int][]int {
+	out := map[int][]int{}
+	for _, a := range p.Alerts {
+		ci := p.World.CustomerIndex(a.Sig.Victim)
+		if ci >= 0 {
+			out[ci] = append(out[ci], p.alertStep(a))
+		}
+	}
+	return out
+}
+
+// nearAlert reports whether step is within pad steps of any alert on ci.
+func (p *Pipeline) nearAlert(busy map[int][]int, ci, step, pad int) bool {
+	for _, s := range busy[ci] {
+		if step >= s-pad && step <= s+pad {
+			return true
+		}
+	}
+	// Also avoid ground-truth anomalies CDet missed, so negatives are clean.
+	for _, ei := range p.World.EventsFor(ci) {
+		ev := &p.World.Events[ei]
+		if step >= ev.StartStep-pad && step <= ev.EndStep()+pad {
+			return true
+		}
+	}
+	return false
+}
+
+// Models bundles per-type Xatu models with a shared fallback.
+type Models struct {
+	ByType map[ddos.AttackType]*core.Model
+	Shared *core.Model
+}
+
+// For returns the model evaluating attacks of the given type.
+func (m *Models) For(at ddos.AttackType) *core.Model {
+	if mm, ok := m.ByType[at]; ok {
+		return mm
+	}
+	return m.Shared
+}
+
+// TrainXatu trains one model per attack type with enough examples plus the
+// shared fallback ("Xatu trains separate models for each attack type",
+// §5.3). modCfg, when non-nil, rewrites the model config (ablations).
+func (p *Pipeline) TrainXatu(set *ExampleSet, modCfg func(core.Config) core.Config) (*Models, error) {
+	cfg := p.Cfg.Model
+	cfg.NumFeatures = features.NumFeatures
+	if modCfg != nil {
+		cfg = modCfg(cfg)
+	}
+	rng := rand.New(rand.NewSource(p.Cfg.Train.Seed + 17))
+	out := &Models{ByType: map[ddos.AttackType]*core.Model{}}
+
+	shared, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := shared.Fit(set.Combined(rng), p.Cfg.Train); err != nil {
+		return nil, err
+	}
+	out.Shared = shared
+
+	for at := ddos.AttackType(0); at < ddos.NumAttackTypes; at++ {
+		if len(set.Positives[at]) < p.Cfg.MinTypeExamples {
+			continue
+		}
+		c := cfg
+		c.Seed = cfg.Seed + int64(at) + 1
+		m, err := core.New(c)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Fit(set.ForType(at, rng), p.Cfg.Train); err != nil {
+			return nil, err
+		}
+		out.ByType[at] = m
+	}
+	return out, nil
+}
+
+// FlattenForRF turns a feature series into the RF baseline's input: the
+// last step's features, the mean over the last PoolMed steps, and the mean
+// over the last PoolLong steps — "the same feature set from the same three
+// timescales" (§6).
+func FlattenForRF(x [][]float64, poolMed, poolLong int) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	dim := len(x[0])
+	out := make([]float64, 3*dim)
+	copy(out[:dim], x[len(x)-1])
+	meanInto := func(dst []float64, k int) {
+		lo := len(x) - k
+		if lo < 0 {
+			lo = 0
+		}
+		n := float64(len(x) - lo)
+		for t := lo; t < len(x); t++ {
+			for j, v := range x[t] {
+				dst[j] += v / n
+			}
+		}
+	}
+	meanInto(out[dim:2*dim], poolMed)
+	meanInto(out[2*dim:], poolLong)
+	return out
+}
+
+// TrainRF fits the random-forest baseline on the flattened examples with a
+// small grid search.
+func (p *Pipeline) TrainRF(set *ExampleSet, seed int64) (*forest.Forest, error) {
+	rng := rand.New(rand.NewSource(seed))
+	all := set.Combined(rng)
+	if len(all) < 4 {
+		return nil, fmt.Errorf("eval: too few examples for RF")
+	}
+	X := make([][]float64, len(all))
+	y := make([]bool, len(all))
+	for i, ex := range all {
+		X[i] = FlattenForRF(ex.X, p.Cfg.Model.PoolMed, p.Cfg.Model.PoolLong)
+		y[i] = ex.Attack
+	}
+	cut := len(X) * 3 / 4
+	grid := []forest.Config{
+		{NumTrees: 40, MaxDepth: 8, MinLeaf: 2, Seed: seed},
+		{NumTrees: 60, MaxDepth: 12, MinLeaf: 1, Seed: seed},
+		{NumTrees: 30, MaxDepth: 6, MinLeaf: 4, Seed: seed},
+	}
+	_, f, err := forest.GridSearch(X[:cut], y[:cut], X[cut:], y[cut:], grid)
+	return f, err
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,425 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/xatu-go/xatu/internal/blocklist"
+	"github.com/xatu-go/xatu/internal/core"
+	"github.com/xatu-go/xatu/internal/features"
+	"github.com/xatu-go/xatu/internal/metrics"
+)
+
+// Variant describes one ablation of the full system.
+type Variant struct {
+	Name string
+	// Disable masks auxiliary signal groups at feature-extraction time.
+	Disable map[string]bool
+	// BlocklistCategories restricts A1 to given categories (Fig 17).
+	BlocklistCategories []blocklist.Category
+	// ModCfg rewrites the model configuration (timescales, loss, hidden…).
+	ModCfg func(core.Config) core.Config
+	// Lookback overrides the example/stream lookback (Fig 18(f)); 0 keeps
+	// the pipeline default.
+	Lookback int
+}
+
+// NoAuxVariant disables every auxiliary signal group (volumetric only).
+func NoAuxVariant() Variant {
+	return Variant{
+		Name:    "V only",
+		Disable: map[string]bool{"A1": true, "A2": true, "A3": true, "A4": true, "A5": true},
+	}
+}
+
+// RunVariant retrains and evaluates one system variant at the given
+// overhead bound, returning its test outcomes. The pipeline's cached world
+// and labels are reused; only feature extraction, training and tracing
+// rerun.
+func (c *MLContext) RunVariant(v Variant, bound float64) (SystemOutcomes, error) {
+	p := c.P
+	if v.Lookback > 0 {
+		// Shallow-copy the pipeline with an adjusted lookback; the world,
+		// labels and history are shared.
+		p2 := *p
+		p2.Cfg.LookbackSteps = v.Lookback
+		p = &p2
+	}
+	ex := p.Extractor(v.Disable, nil)
+	ex.BlocklistCategories = v.BlocklistCategories
+	set, err := p.BuildExamples(ex, 0, p.TrainEnd, 1)
+	if err != nil {
+		return SystemOutcomes{}, err
+	}
+	models, err := p.TrainXatu(set, v.ModCfg)
+	if err != nil {
+		return SystemOutcomes{}, err
+	}
+	winLen := maxI(p.Cfg.Model.Window*p.Cfg.Model.PoolShort, 10)
+	valEps := append(append([]Episode{}, adjustLookback(c.ValEps, p.Cfg.LookbackSteps, winLen)...),
+		adjustLookback(c.ValNegs, p.Cfg.LookbackSteps, winLen)...)
+	valTraces := p.TraceEpisodes(ex, valEps, models.XatuScorer)
+	th, err := p.Calibrate(valTraces, bound)
+	if err != nil {
+		return SystemOutcomes{}, err
+	}
+	testEps := append(append([]Episode{}, adjustLookback(c.TestEps, p.Cfg.LookbackSteps, winLen)...),
+		adjustLookback(c.TestNegs, p.Cfg.LookbackSteps, winLen)...)
+	testTraces := p.TraceEpisodes(ex, testEps, models.XatuScorer)
+	out := SystemOutcomes{Name: v.Name, Threshold: th}
+	for i := range testTraces {
+		o := p.OutcomeAt(&testTraces[i], th)
+		if testTraces[i].Ep.EventIdx >= 0 {
+			out.Attacks = append(out.Attacks, o)
+		} else {
+			out.FPs = append(out.FPs, o)
+		}
+	}
+	return out, nil
+}
+
+// adjustLookback rewrites episode stream starts for a different lookback:
+// attacks anchor on the anomaly start, benign windows on their stream end.
+func adjustLookback(eps []Episode, look, winLen int) []Episode {
+	out := make([]Episode, len(eps))
+	for i, ep := range eps {
+		if ep.EventIdx >= 0 {
+			ep.StreamStart = ep.AnomStart - look
+		} else {
+			ep.StreamStart = ep.StreamEnd - winLen - look
+		}
+		out[i] = ep
+	}
+	return out
+}
+
+// variantRow summarizes one variant's outcomes.
+func (c *MLContext) variantRow(s SystemOutcomes) []string {
+	eff := metrics.Summarize(metrics.EffectivenessSeries(s.Attacks))
+	del := metrics.Summarize(metrics.DelaySeries(s.Attacks, c.missPenalty()))
+	return []string{s.Name, pct(eff.P10), pct(eff.P50), pct(eff.P90), f1(del.P50)}
+}
+
+var variantHeader = []string{"variant", "eff-p10", "eff-p50", "eff-p90", "delay-p50"}
+
+// Fig12AblationBreakdown reproduces Figure 12: the contribution of each
+// auxiliary signal group and of the two ML design choices.
+func Fig12AblationBreakdown(c *MLContext, bound float64) (*Result, error) {
+	res := &Result{
+		ID:     "fig12",
+		Title:  fmt.Sprintf("Signal & ML-design contribution (bound %s)", pct(bound)),
+		Header: variantHeader,
+	}
+	all := func(except ...string) map[string]bool {
+		m := map[string]bool{"A1": true, "A2": true, "A3": true, "A4": true, "A5": true}
+		for _, e := range except {
+			delete(m, e)
+		}
+		return m
+	}
+	variants := []Variant{
+		NoAuxVariant(),
+		{Name: "V+A1", Disable: all("A1")},
+		{Name: "V+A2", Disable: all("A2")},
+		{Name: "V+A3", Disable: all("A3")},
+		{Name: "V+A4+A5", Disable: all("A4", "A5")},
+		{Name: "full"},
+		{Name: "full w/o survival", ModCfg: func(cfg core.Config) core.Config {
+			cfg.UseSurvival = false
+			return cfg
+		}},
+		{Name: "full short-LSTM only", ModCfg: func(cfg core.Config) core.Config {
+			cfg.UseMed, cfg.UseLong = false, false
+			return cfg
+		}},
+	}
+	for _, v := range variants {
+		s, err := c.RunVariant(v, bound)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, c.variantRow(s))
+	}
+	return res, nil
+}
+
+// Fig13Robustness reproduces Figure 13: evasion by volume-changing and
+// rate-changing (dR) attackers, comparing full Xatu with the no-aux
+// ablation. Test events are mutated in place and restored afterwards; CDet
+// alerts stay frozen (the paper defines the evasion window so CDet is
+// unaffected).
+func Fig13Robustness(c *MLContext, bound float64) (*Result, error) {
+	res := &Result{
+		ID:     "fig13",
+		Title:  fmt.Sprintf("Evasion robustness (bound %s)", pct(bound)),
+		Header: []string{"evasion", "system", "eff-p50", "eff-p90", "delay-p50"},
+	}
+	// The traces must be recomputed under mutation, so build both systems
+	// (full and no-aux) once with thresholds calibrated on unmutated data.
+	exFull := c.Ex
+	exNoAux := c.P.Extractor(NoAuxVariant().Disable, nil)
+	setNoAux, err := c.P.BuildExamples(exNoAux, 0, c.P.TrainEnd, 1)
+	if err != nil {
+		return nil, err
+	}
+	modelsNoAux, err := c.P.TrainXatu(setNoAux, nil)
+	if err != nil {
+		return nil, err
+	}
+	valAll := append(append([]Episode{}, c.ValEps...), c.ValNegs...)
+	thFull, err := c.P.Calibrate(c.xatuVal, bound)
+	if err != nil {
+		return nil, err
+	}
+	noAuxVal := c.P.TraceEpisodes(exNoAux, valAll, modelsNoAux.XatuScorer)
+	thNoAux, err := c.P.Calibrate(noAuxVal, bound)
+	if err != nil {
+		return nil, err
+	}
+
+	type system struct {
+		name   string
+		ex     *features.Extractor
+		models *Models
+		th     float64
+	}
+	systems := []system{
+		{"xatu", exFull, c.Models, thFull},
+		{"xatu-noaux", exNoAux, modelsNoAux, thNoAux},
+	}
+	evalMutated := func(label string) {
+		for _, sys := range systems {
+			traces := c.P.TraceEpisodes(sys.ex, c.TestEps, sys.models.XatuScorer)
+			outs := c.P.OutcomesAt(traces, sys.th)
+			eff := metrics.Summarize(metrics.EffectivenessSeries(outs))
+			del := metrics.Quantile(metrics.DelaySeries(outs, c.missPenalty()), 0.5)
+			res.Rows = append(res.Rows, []string{
+				label, sys.name, pct(eff.P50), pct(eff.P90), f1(del),
+			})
+		}
+	}
+
+	// Volume-changing attackers: scale anomalous volume (and, at 0, the
+	// auxiliary prep signals) during the pre-CDet-detection window.
+	evadeWindow := c.medianCDetDelaySteps()
+	for _, scale := range []float64{1.0, 0.5, 0.25, 0.0} {
+		c.mutateTestEvents(func(ev *eventMut) {
+			ev.VolumeScale = scale
+			ev.VolumeScaleSteps = evadeWindow
+		})
+		evalMutated(fmt.Sprintf("volume×%.2f", scale))
+		c.restoreTestEvents()
+	}
+	// Rate-changing attackers: override dR.
+	for _, dr := range []float64{0.5, 1.5, 2.5} {
+		c.mutateTestEvents(func(ev *eventMut) { ev.DR = dr })
+		evalMutated(fmt.Sprintf("dR=%.1f", dr))
+		c.restoreTestEvents()
+	}
+	return res, nil
+}
+
+// eventMut is the mutable view of an attack event used by evasion sweeps.
+type eventMut struct {
+	VolumeScale      float64
+	VolumeScaleSteps int
+	DR               float64
+}
+
+type savedEvent struct {
+	idx int
+	mut eventMut
+}
+
+// mutateTestEvents applies f to every test-episode event, saving originals.
+func (c *MLContext) mutateTestEvents(f func(*eventMut)) {
+	c.savedEvents = c.savedEvents[:0]
+	for _, ep := range c.TestEps {
+		ev := &c.P.World.Events[ep.EventIdx]
+		c.savedEvents = append(c.savedEvents, savedEvent{
+			idx: ep.EventIdx,
+			mut: eventMut{ev.VolumeScale, ev.VolumeScaleSteps, ev.DR},
+		})
+		m := eventMut{ev.VolumeScale, ev.VolumeScaleSteps, ev.DR}
+		f(&m)
+		ev.VolumeScale, ev.VolumeScaleSteps, ev.DR = m.VolumeScale, m.VolumeScaleSteps, m.DR
+	}
+}
+
+// restoreTestEvents undoes mutateTestEvents.
+func (c *MLContext) restoreTestEvents() {
+	for _, s := range c.savedEvents {
+		ev := &c.P.World.Events[s.idx]
+		ev.VolumeScale, ev.VolumeScaleSteps, ev.DR = s.mut.VolumeScale, s.mut.VolumeScaleSteps, s.mut.DR
+	}
+	c.savedEvents = c.savedEvents[:0]
+}
+
+// medianCDetDelaySteps estimates the labeler's median detection delay.
+func (c *MLContext) medianCDetDelaySteps() int {
+	outs := c.CDet(c.P.Cfg.Labeler)
+	d := metrics.Quantile(metrics.DelaySeries(outs.Attacks, c.missPenalty()), 0.5)
+	steps := int(d / c.P.Cfg.World.Step.Minutes())
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}
+
+// Fig17BlocklistCategories reproduces Appendix E Figure 17: the per-category
+// contribution of the A1 signal. Each variant sees V plus A1 restricted to
+// one category group.
+func Fig17BlocklistCategories(c *MLContext, bound float64) (*Result, error) {
+	res := &Result{
+		ID:     "fig17",
+		Title:  fmt.Sprintf("A1 per-category contribution (bound %s)", pct(bound)),
+		Header: variantHeader,
+	}
+	onlyA1 := map[string]bool{"A2": true, "A3": true, "A4": true, "A5": true}
+	light := []blocklist.Category{
+		blocklist.Reflector, blocklist.VoIPAbuse, blocklist.CandCServer,
+		blocklist.MalwareMirai, blocklist.MalwareGafgyt, blocklist.BruteForce,
+		blocklist.SpamSource, blocklist.ExploitScan,
+	}
+	variants := []Variant{
+		NoAuxVariant(),
+		{Name: "A1=ddos-source", Disable: onlyA1, BlocklistCategories: []blocklist.Category{blocklist.DDoSSource}},
+		{Name: "A1=bot", Disable: onlyA1, BlocklistCategories: []blocklist.Category{blocklist.Bot}},
+		{Name: "A1=scanner", Disable: onlyA1, BlocklistCategories: []blocklist.Category{blocklist.Scanner}},
+		{Name: "A1=other-8", Disable: onlyA1, BlocklistCategories: light},
+		{Name: "A1=all", Disable: onlyA1},
+	}
+	for _, v := range variants {
+		s, err := c.RunVariant(v, bound)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, c.variantRow(s))
+	}
+	return res, nil
+}
+
+// Fig18LSTMContribution reproduces Figure 18(b): dropping one LSTM at a time.
+func Fig18LSTMContribution(c *MLContext, bound float64) (*Result, error) {
+	res := &Result{ID: "fig18b", Title: "LSTM branch contribution", Header: variantHeader}
+	variants := []Variant{
+		{Name: "full"},
+		{Name: "w/o LSTMShort", ModCfg: func(cfg core.Config) core.Config { cfg.UseShort = false; return cfg }},
+		{Name: "w/o LSTMMed", ModCfg: func(cfg core.Config) core.Config { cfg.UseMed = false; return cfg }},
+		{Name: "w/o LSTMLong", ModCfg: func(cfg core.Config) core.Config { cfg.UseLong = false; return cfg }},
+	}
+	for _, v := range variants {
+		s, err := c.RunVariant(v, bound)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, c.variantRow(s))
+	}
+	return res, nil
+}
+
+// Fig18Timescales reproduces Figure 18(c): alternative pooling choices.
+func Fig18Timescales(c *MLContext, bound float64, sets [][3]int) (*Result, error) {
+	res := &Result{ID: "fig18c", Title: "Timescale (pooling) choice", Header: variantHeader}
+	for _, s := range sets {
+		s := s
+		v := Variant{
+			Name: fmt.Sprintf("pool(%d,%d,%d)", s[0], s[1], s[2]),
+			ModCfg: func(cfg core.Config) core.Config {
+				cfg.PoolShort, cfg.PoolMed, cfg.PoolLong = s[0], s[1], s[2]
+				return cfg
+			},
+		}
+		so, err := c.RunVariant(v, bound)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, c.variantRow(so))
+	}
+	return res, nil
+}
+
+// Fig18Survival reproduces Figure 18(d): survival loss vs classification.
+func Fig18Survival(c *MLContext, bound float64) (*Result, error) {
+	res := &Result{ID: "fig18d", Title: "Survival loss vs classification loss", Header: variantHeader}
+	variants := []Variant{
+		{Name: "survival (SAFE)"},
+		{Name: "classification (BCE)", ModCfg: func(cfg core.Config) core.Config {
+			cfg.UseSurvival = false
+			return cfg
+		}},
+	}
+	for _, v := range variants {
+		s, err := c.RunVariant(v, bound)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, c.variantRow(s))
+	}
+	return res, nil
+}
+
+// Fig18HiddenUnits reproduces Figure 18(e): hidden-width sweep.
+func Fig18HiddenUnits(c *MLContext, bound float64, widths []int) (*Result, error) {
+	res := &Result{ID: "fig18e", Title: "Hidden units per LSTM", Header: variantHeader}
+	for _, h := range widths {
+		h := h
+		v := Variant{
+			Name:   fmt.Sprintf("hidden=%d", h),
+			ModCfg: func(cfg core.Config) core.Config { cfg.Hidden = h; return cfg },
+		}
+		s, err := c.RunVariant(v, bound)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, c.variantRow(s))
+	}
+	return res, nil
+}
+
+// Fig18TimeLength reproduces Figure 18(f): lookback-length sweep.
+func Fig18TimeLength(c *MLContext, bound float64, lookbacks []int) (*Result, error) {
+	res := &Result{ID: "fig18f", Title: "History (lookback) length", Header: variantHeader}
+	for _, l := range lookbacks {
+		v := Variant{Name: fmt.Sprintf("lookback=%d steps", l), Lookback: l}
+		s, err := c.RunVariant(v, bound)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, c.variantRow(s))
+	}
+	return res, nil
+}
+
+// Fig18CDetIndependence reproduces Figure 18(a): training Xatu on labels
+// from a different CDet (FastNetMon) over the same world.
+func Fig18CDetIndependence(cfg Config, bound float64) (*Result, error) {
+	res := &Result{
+		ID:     "fig18a",
+		Title:  "Label-source independence: NetScout vs FastNetMon labels",
+		Header: []string{"labeler", "cdet-eff-p50", "xatu-eff-p50", "xatu-delay-p50"},
+	}
+	for _, labeler := range []string{"netscout", "fastnetmon"} {
+		c2 := cfg
+		c2.Labeler = labeler
+		p, err := New(c2)
+		if err != nil {
+			return nil, err
+		}
+		ml, err := NewMLContext(p)
+		if err != nil {
+			return nil, err
+		}
+		xatu, err := ml.XatuAt(bound)
+		if err != nil {
+			return nil, err
+		}
+		cdetOuts := ml.CDet(labeler)
+		res.Rows = append(res.Rows, []string{
+			labeler,
+			pct(metrics.Quantile(metrics.EffectivenessSeries(cdetOuts.Attacks), 0.5)),
+			pct(metrics.Quantile(metrics.EffectivenessSeries(xatu.Attacks), 0.5)),
+			f1(metrics.Quantile(metrics.DelaySeries(xatu.Attacks, ml.missPenalty()), 0.5)),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,429 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/attackhist"
+	"github.com/xatu-go/xatu/internal/cdet"
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/features"
+	"github.com/xatu-go/xatu/internal/metrics"
+	"github.com/xatu-go/xatu/internal/simnet"
+)
+
+// Fig2Example reproduces Figure 2's example timeline for one attack:
+// per-minute matching traffic, the CUSUM-labeled anomaly start, the CDet
+// detection time, and the resulting A/B areas.
+func Fig2Example(p *Pipeline) *Result {
+	res := &Result{
+		ID:     "fig2",
+		Title:  "Example attack: anomaly start (CUSUM), CDet detection, areas A/B",
+		Header: []string{"minute", "match-Mbps", "phase"},
+	}
+	// First matched test attack.
+	eps := p.MatchedEpisodes(0, p.Cfg.World.Steps())
+	if len(eps) == 0 {
+		res.Notes = append(res.Notes, "no matched attacks in this world")
+		return res
+	}
+	ep := eps[len(eps)/2]
+	det := -1
+	for _, a := range p.Alerts {
+		if p.matchEvent(a) == ep.EventIdx {
+			det = p.alertStep(a)
+			break
+		}
+	}
+	// Rebuild the matching-traffic series and run the Appendix A labeling.
+	from := ep.AnomStart - 90
+	if from < 0 {
+		from = 0
+	}
+	series := make([]float64, 0, ep.AnomEnd-from+5)
+	for s := from; s < ep.AnomEnd+3 && s < p.Cfg.World.Steps(); s++ {
+		perType, _ := p.World.SignatureBytes(ep.CustomerIdx, s)
+		series = append(series, perType[ep.Type])
+	}
+	numStd := 1.0
+	if ep.Type != ddos.UDPFlood && ep.Type != ddos.DNSAmp {
+		numStd = 0.5
+	}
+	onsetRel, ok := cdet.AnomalyStart(series, det-from, cdet.DefaultCusum(numStd))
+	onset := from + onsetRel
+	stepMin := p.Cfg.World.Step.Minutes()
+	var areaA, areaB float64
+	for s := maxI(from, ep.AnomStart-10); s < ep.AnomEnd && s < p.Cfg.World.Steps(); s++ {
+		perType, _ := p.World.SignatureBytes(ep.CustomerIdx, s)
+		mbps := perType[ep.Type] * 8 / 1e6 / p.Cfg.World.Step.Seconds()
+		phase := "normal"
+		if s >= onset {
+			phase = "anomalous (A)"
+		}
+		if det >= 0 && s >= det {
+			phase = "scrubbed (B)"
+			areaB += perType[ep.Type]
+		}
+		if s >= onset {
+			areaA += perType[ep.Type]
+		}
+		res.Rows = append(res.Rows, []string{
+			f1(float64(s-ep.AnomStart) * stepMin), f2(mbps), phase,
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("attack=%v cusumOnset=%+.0fmin (truth 0.0) cdetDetect=%+.0fmin cusumFound=%v",
+			ep.Type, float64(onset-ep.AnomStart)*stepMin, float64(det-ep.AnomStart)*stepMin, ok),
+		fmt.Sprintf("effectiveness B/A = %s", pct(safeDiv(areaB, areaA))))
+	return res
+}
+
+// Fig3NaiveEarlyDetection reproduces Figure 3: shift every CDet alert N
+// minutes earlier and measure effectiveness and overhead by attack-duration
+// class (short <5 min, medium 5–20 min, long >20 min).
+func Fig3NaiveEarlyDetection(p *Pipeline) *Result {
+	res := &Result{
+		ID:     "fig3",
+		Title:  "Naive uniformly-early detection: effectiveness & overhead vs minutes early",
+		Header: []string{"early-min", "class", "median-eff", "overhead"},
+	}
+	eps := p.MatchedEpisodes(0, p.Cfg.World.Steps())
+	classOf := func(ep Episode) string {
+		durMin := float64(ep.AnomEnd-ep.AnomStart) * p.Cfg.World.Step.Minutes()
+		switch {
+		case durMin < 5:
+			return "short"
+		case durMin <= 20:
+			return "medium"
+		default:
+			return "long"
+		}
+	}
+	for _, early := range []int{0, 3, 6, 9, 12, 15} {
+		outs := p.EvaluateCDetAlerts(p.Alerts, eps, time.Duration(early)*time.Minute)
+		byClass := map[string][]metrics.AttackOutcome{"short": nil, "medium": nil, "long": nil, "overall": nil}
+		for i, o := range outs {
+			c := classOf(eps[i])
+			byClass[c] = append(byClass[c], o)
+			byClass["overall"] = append(byClass["overall"], o)
+		}
+		for _, c := range []string{"short", "medium", "long", "overall"} {
+			os := byClass[c]
+			if len(os) == 0 {
+				continue
+			}
+			eff := metrics.Quantile(metrics.EffectivenessSeries(os), 0.5)
+			ov := metrics.Quantile(metrics.CumulativeOverheads(os), 0.5)
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprintf("%d", early), c, pct(eff), pct(ov),
+			})
+		}
+	}
+	return res
+}
+
+// attackSources returns the distinct sources of flows matching the event's
+// signature during its anomalous window.
+func attackSources(w *simnet.World, ev *simnet.AttackEvent) map[string]bool {
+	sig := ev.Signature()
+	out := map[string]bool{}
+	for s := ev.StartStep; s < ev.EndStep() && s < w.Cfg.Steps(); s++ {
+		for _, r := range w.FlowsAt(ev.VictimIdx, s) {
+			if sig.Matches(r) {
+				out[r.Src.String()] = true
+			}
+		}
+	}
+	return out
+}
+
+// Fig4aAttackerOverlap reproduces Figure 4(a): per attack, the fraction of
+// actual attackers that previously appeared on blocklists, previously
+// attacked the same customer, or are (obviously) spoofed.
+func Fig4aAttackerOverlap(p *Pipeline) *Result {
+	res := &Result{
+		ID:     "fig4a",
+		Title:  "% of attackers previously blocklisted / previous attackers / spoofed",
+		Header: []string{"signal", "attacks-with-any", "p25", "median", "p75"},
+	}
+	w := p.World
+	var fracBL, fracPrev, fracSpoof []float64
+	for i := range w.Events {
+		ev := &w.Events[i]
+		srcs := attackSources(w, ev)
+		if len(srcs) == 0 {
+			continue
+		}
+		at := p.Cfg.World.TimeOf(ev.StartStep)
+		var nBL, nPrev, nSpoof int
+		for s := range srcs {
+			addr := mustAddr(s)
+			if w.Blocklists.AnyListedAt(addr, at) {
+				nBL++
+			}
+			if p.History.WasAttacker(ev.Victim, addr, at) {
+				nPrev++
+			}
+			if w.Spoof.IsSpoofed(addr, 0) {
+				nSpoof++
+			}
+		}
+		n := float64(len(srcs))
+		fracBL = append(fracBL, float64(nBL)/n)
+		fracPrev = append(fracPrev, float64(nPrev)/n)
+		fracSpoof = append(fracSpoof, float64(nSpoof)/n)
+	}
+	add := func(name string, fr []float64) {
+		withAny := 0
+		for _, f := range fr {
+			if f > 0 {
+				withAny++
+			}
+		}
+		res.Rows = append(res.Rows, []string{
+			name,
+			pct(safeDiv(float64(withAny), float64(len(fr)))),
+			pct(metrics.Quantile(fr, 0.25)),
+			pct(metrics.Quantile(fr, 0.5)),
+			pct(metrics.Quantile(fr, 0.75)),
+		})
+	}
+	add("A1 blocklisted", fracBL)
+	add("A2 previous-attackers", fracPrev)
+	add("A3 spoofed", fracSpoof)
+	return res
+}
+
+// Fig4bTypeTransitions reproduces Figure 4(b): the attack-type transition
+// matrix over consecutive attacks on the same customer, from CDet alerts.
+func Fig4bTypeTransitions(p *Pipeline) *Result {
+	res := &Result{
+		ID:     "fig4b",
+		Title:  "Attack-type transition matrix (row-normalized %, from CDet alerts)",
+		Header: append([]string{"from\\to"}, typeNames()...),
+	}
+	m := p.History.TransitionMatrix(p.Cfg.World.TimeOf(p.Cfg.World.Steps()))
+	var same, total int
+	for i := 0; i < int(ddos.NumAttackTypes); i++ {
+		rowTotal := 0
+		for j := 0; j < int(ddos.NumAttackTypes); j++ {
+			rowTotal += m[i][j]
+			total += m[i][j]
+			if i == j {
+				same += m[i][j]
+			}
+		}
+		row := []string{ddos.AttackType(i).String()}
+		for j := 0; j < int(ddos.NumAttackTypes); j++ {
+			if rowTotal == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, pct(float64(m[i][j])/float64(rowTotal)))
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("same-type transitions: %s of %d pairs (paper: 97.9%%)",
+		pct(safeDiv(float64(same), float64(total))), total))
+	return res
+}
+
+// Fig15SourceReappearance reproduces Appendix B Figure 15: the percentage
+// of eventual attack sources already active d days before the attack.
+func Fig15SourceReappearance(p *Pipeline) *Result {
+	res := &Result{
+		ID:     "fig15",
+		Title:  "Attacker reappearance: % of eventual attackers active d days before",
+		Header: []string{"days-before", "p25", "median", "p75"},
+	}
+	w := p.World
+	spd := p.Cfg.World.StepsPerDay()
+	maxDays := p.Cfg.World.PrepDaysMax
+	perDay := make([][]float64, maxDays+1)
+	for i := range w.Events {
+		ev := &w.Events[i]
+		// Only events with a full preparation runway, so every per-day row
+		// samples the same event population.
+		if ev.StartStep < maxDays*spd {
+			continue
+		}
+		srcs := attackSources(w, ev)
+		if len(srcs) == 0 {
+			continue
+		}
+		for d := 1; d <= maxDays; d++ {
+			lo, hi := ev.StartStep-d*spd, ev.StartStep-(d-1)*spd
+			active := map[string]bool{}
+			for s := lo; s < hi; s++ {
+				for _, r := range w.FlowsAt(ev.VictimIdx, s) {
+					if srcs[r.Src.String()] {
+						active[r.Src.String()] = true
+					}
+				}
+			}
+			perDay[d] = append(perDay[d], float64(len(active))/float64(len(srcs)))
+		}
+	}
+	for d := maxDays; d >= 1; d-- {
+		if len(perDay[d]) == 0 {
+			continue
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("-%d", d),
+			pct(metrics.Quantile(perDay[d], 0.25)),
+			pct(metrics.Quantile(perDay[d], 0.5)),
+			pct(metrics.Quantile(perDay[d], 0.75)),
+		})
+	}
+	return res
+}
+
+// Fig16ClusteringGrowth reproduces Figure 16: the clustering coefficient of
+// attacked customers rising toward the detection time.
+func Fig16ClusteringGrowth(p *Pipeline) *Result {
+	res := &Result{
+		ID:     "fig16",
+		Title:  "Bipartite clustering coefficient approaching attack detection",
+		Header: []string{"minutes-before", "median-dot", "median-min", "median-max"},
+	}
+	// A short window makes the approach-to-attack growth visible: recent
+	// correlated attacks dominate the coefficient.
+	window := 2 * time.Hour
+	for _, minBefore := range []int{15, 10, 5, 0} {
+		var dots, mins, maxs []float64
+		for _, a := range p.Alerts {
+			at := a.DetectedAt.Add(-time.Duration(minBefore) * time.Minute)
+			d := p.History.Clustering(a.Sig.Victim, at, window, attackhist.ClusteringDot)
+			if d == 0 {
+				continue // paper: only customers with overlapping attacker groups
+			}
+			dots = append(dots, d)
+			mins = append(mins, p.History.Clustering(a.Sig.Victim, at, window, attackhist.ClusteringMin))
+			maxs = append(maxs, p.History.Clustering(a.Sig.Victim, at, window, attackhist.ClusteringMax))
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("-%d", minBefore),
+			f3(metrics.Quantile(dots, 0.5)),
+			f3(metrics.Quantile(mins, 0.5)),
+			f3(metrics.Quantile(maxs, 0.5)),
+		})
+	}
+	return res
+}
+
+// Table1Features reproduces Table 1: the feature inventory.
+func Table1Features() *Result {
+	res := &Result{
+		ID:     "tab1",
+		Title:  "Feature inventory (Table 1)",
+		Header: []string{"group", "count"},
+	}
+	counts := map[string]int{}
+	for i := 0; i < features.NumFeatures; i++ {
+		counts[features.GroupOf(i)]++
+	}
+	for _, g := range []string{"V", "A1", "A2", "A3", "A4", "A5"} {
+		res.Rows = append(res.Rows, []string{g, fmt.Sprintf("%d", counts[g])})
+	}
+	res.Rows = append(res.Rows, []string{"total", fmt.Sprintf("%d", features.NumFeatures)})
+	return res
+}
+
+// Table2DataSplit reproduces Table 2: alert counts per attack type per
+// chronological split.
+func Table2DataSplit(p *Pipeline) *Result {
+	res := &Result{
+		ID:     "tab2",
+		Title:  "Alerts per attack type and split (Table 2)",
+		Header: []string{"type", "share", "train", "val", "test"},
+	}
+	var counts [ddos.NumAttackTypes][3]int
+	total := 0
+	for _, a := range p.Alerts {
+		s := p.alertStep(a)
+		var split int
+		switch {
+		case s < p.TrainEnd:
+			split = 0
+		case s < p.ValEnd:
+			split = 1
+		default:
+			split = 2
+		}
+		counts[a.Sig.Type][split]++
+		total++
+	}
+	for at := ddos.AttackType(0); at < ddos.NumAttackTypes; at++ {
+		sum := counts[at][0] + counts[at][1] + counts[at][2]
+		res.Rows = append(res.Rows, []string{
+			at.String(),
+			pct(safeDiv(float64(sum), float64(total))),
+			fmt.Sprintf("%d", counts[at][0]),
+			fmt.Sprintf("%d", counts[at][1]),
+			fmt.Sprintf("%d", counts[at][2]),
+		})
+	}
+	res.Rows = append(res.Rows, []string{"total", "100%",
+		fmt.Sprintf("%d", splitTotal(counts, 0)),
+		fmt.Sprintf("%d", splitTotal(counts, 1)),
+		fmt.Sprintf("%d", splitTotal(counts, 2))})
+	return res
+}
+
+func splitTotal(counts [ddos.NumAttackTypes][3]int, split int) int {
+	n := 0
+	for at := 0; at < int(ddos.NumAttackTypes); at++ {
+		n += counts[at][split]
+	}
+	return n
+}
+
+func typeNames() []string {
+	out := make([]string, ddos.NumAttackTypes)
+	for at := ddos.AttackType(0); at < ddos.NumAttackTypes; at++ {
+		out[at] = at.String()
+	}
+	return out
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// Fig14RampVisualization reproduces Appendix G Figure 14: the anomalous
+// traffic ramp under different dR values (doublings per minute). For each
+// dR it prints the modeled rate over the first minutes of an attack with
+// the bench world's typical peak.
+func Fig14RampVisualization(p *Pipeline) *Result {
+	res := &Result{
+		ID:     "fig14",
+		Title:  "Ramp-up shape for different dR (Appendix G)",
+		Header: []string{"minute", "dR=0.5", "dR=1.5", "dR=2.5"},
+	}
+	// Borrow a real event for peak volume; fall back to the config mean.
+	peak := p.Cfg.World.MeanPeakMbps
+	if len(p.World.Events) > 0 {
+		peak = p.World.Events[0].PeakMbps
+	}
+	const v0 = 0.5 // Mbps at anomaly start, matching simnet's ramp model
+	for minute := 0; minute <= 12; minute++ {
+		row := []string{fmt.Sprintf("%d", minute)}
+		for _, dr := range []float64{0.5, 1.5, 2.5} {
+			v := v0 * math.Pow(2, dr*float64(minute))
+			if v > peak {
+				v = peak
+			}
+			row = append(row, f2(v))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("peak %.1f Mbps; dR=1 doubles the rate every minute", peak))
+	return res
+}

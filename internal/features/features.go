@@ -1,0 +1,240 @@
+// Package features implements Xatu's 273-feature extractor (Table 1). For
+// one customer and one time step it turns the step's flow records into:
+//
+//   - V: 63 volumetric features over all flows;
+//   - A1/A2/A3: the same 63 features over the sub-flows whose sources are
+//     blocklisted, previous attackers of this customer, or spoofed;
+//   - A4: 18 attack-history features (severity histogram per attack type);
+//   - A5: 3 bipartite clustering coefficients (dot/min/max).
+//
+// The 63-feature volumetric block is: unique source nodes (1); mean and max
+// of per-flow traffic in bytes and packets (4); UDP/TCP/ICMP traffic (6);
+// traffic from 5 popular source ports (10); traffic to 5 popular
+// destination ports (10); traffic with each of 6 TCP flags (12); traffic
+// from 10 popular countries (20). Counted features are measured in both
+// bytes and packets, following the table's († ) note.
+package features
+
+import (
+	"net/netip"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/attackhist"
+	"github.com/xatu-go/xatu/internal/blocklist"
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/netflow"
+	"github.com/xatu-go/xatu/internal/spoof"
+)
+
+// PopularPorts are the five ports from Appendix D ("prevalent in our
+// NetFlow and take up over 95% of traffic").
+var PopularPorts = [5]uint16{0, 53, 80, 123, 443}
+
+// PopularCountries are the ten countries from Appendix D.
+var PopularCountries = [10]string{"US", "IN", "SA", "CN", "GB", "NL", "FR", "DE", "BR", "CA"}
+
+// tcpFlags lists the six flag bits the flag features disaggregate.
+var tcpFlags = [6]uint8{netflow.FlagFIN, netflow.FlagSYN, netflow.FlagRST, netflow.FlagPSH, netflow.FlagACK, netflow.FlagURG}
+
+// Sizes of the feature blocks.
+const (
+	VolumetricSize = 63
+	A4Size         = int(ddos.NumAttackTypes) * int(ddos.NumSeverities) // 18
+	A5Size         = 3
+	// NumFeatures is the full input width: V + A1 + A2 + A3 + A4 + A5.
+	NumFeatures = 4*VolumetricSize + A4Size + A5Size // 273
+)
+
+// Offsets of each block within the feature vector.
+const (
+	OffV  = 0
+	OffA1 = VolumetricSize
+	OffA2 = 2 * VolumetricSize
+	OffA3 = 3 * VolumetricSize
+	OffA4 = 4 * VolumetricSize
+	OffA5 = 4*VolumetricSize + A4Size
+)
+
+// Extractor computes feature vectors. It is safe for concurrent use as long
+// as the underlying registries are (they are).
+type Extractor struct {
+	Blocklists *blocklist.Registry
+	History    *attackhist.Registry
+	Spoof      *spoof.Checker
+	// Geo maps a source address to a country code.
+	Geo func(netip.Addr) string
+	// A4Window bounds how far back the severity histogram looks.
+	A4Window time.Duration
+	// A5Window bounds the clustering-coefficient attacker graph.
+	A5Window time.Duration
+
+	// Disable masks signal groups for the §6.3 ablations: entries are
+	// "A1".."A5". A disabled group's features are extracted as zero.
+	Disable map[string]bool
+	// BlocklistCategories restricts the A1 signal to specific blocklist
+	// categories (Appendix E's per-category breakdown); nil means all.
+	BlocklistCategories []blocklist.Category
+}
+
+// listed applies the optional category filter to an A1 membership test.
+func (e *Extractor) listed(src netip.Addr, at time.Time) bool {
+	if e.BlocklistCategories == nil {
+		return e.Blocklists.AnyListedAt(src, at)
+	}
+	for _, c := range e.BlocklistCategories {
+		if e.Blocklists.ListedAt(c, src, at) {
+			return true
+		}
+	}
+	return false
+}
+
+// Extract computes the 273-vector for one customer at one step. flows are
+// the step's records destined to the customer.
+func (e *Extractor) Extract(customer netip.Addr, at time.Time, flows []netflow.Record) []float64 {
+	out := make([]float64, NumFeatures)
+	var vAll, vA1, vA2, vA3 volAcc
+	for i := range flows {
+		r := &flows[i]
+		vAll.add(r, e.Geo)
+		if e.Blocklists != nil && !e.Disable["A1"] && e.listed(r.Src, at) {
+			vA1.add(r, e.Geo)
+		}
+		if e.History != nil && !e.Disable["A2"] && e.History.WasAttacker(customer, r.Src, at) {
+			vA2.add(r, e.Geo)
+		}
+		if e.Spoof != nil && !e.Disable["A3"] && e.Spoof.IsSpoofed(r.Src, 0) {
+			vA3.add(r, e.Geo)
+		}
+	}
+	vAll.fill(out[OffV : OffV+VolumetricSize])
+	vA1.fill(out[OffA1 : OffA1+VolumetricSize])
+	vA2.fill(out[OffA2 : OffA2+VolumetricSize])
+	vA3.fill(out[OffA3 : OffA3+VolumetricSize])
+	if e.History != nil && !e.Disable["A4"] {
+		hist := e.History.SeverityHistogram(customer, at, e.A4Window)
+		copy(out[OffA4:OffA4+A4Size], hist[:])
+	}
+	if e.History != nil && !e.Disable["A5"] {
+		out[OffA5+0] = e.History.Clustering(customer, at, e.A5Window, attackhist.ClusteringDot)
+		out[OffA5+1] = e.History.Clustering(customer, at, e.A5Window, attackhist.ClusteringMin)
+		out[OffA5+2] = e.History.Clustering(customer, at, e.A5Window, attackhist.ClusteringMax)
+	}
+	return out
+}
+
+// volAcc accumulates the 63 volumetric features.
+type volAcc struct {
+	srcs               map[netip.Addr]struct{}
+	sumB, sumP         float64
+	maxB, maxP         float64
+	nFlows             float64
+	protoB, protoP     [3]float64 // UDP, TCP, ICMP
+	srcPortB, srcPortP [5]float64
+	dstPortB, dstPortP [5]float64
+	flagB, flagP       [6]float64
+	countryB, countryP [10]float64
+}
+
+func (v *volAcc) add(r *netflow.Record, geo func(netip.Addr) string) {
+	if v.srcs == nil {
+		v.srcs = make(map[netip.Addr]struct{}, 16)
+	}
+	v.srcs[r.Src] = struct{}{}
+	b, p := float64(r.Bytes), float64(r.Packets)
+	v.nFlows++
+	v.sumB += b
+	v.sumP += p
+	if b > v.maxB {
+		v.maxB = b
+	}
+	if p > v.maxP {
+		v.maxP = p
+	}
+	switch r.Proto {
+	case netflow.ProtoUDP:
+		v.protoB[0] += b
+		v.protoP[0] += p
+	case netflow.ProtoTCP:
+		v.protoB[1] += b
+		v.protoP[1] += p
+	case netflow.ProtoICMP:
+		v.protoB[2] += b
+		v.protoP[2] += p
+	}
+	for i, port := range PopularPorts {
+		if r.SrcPort == port {
+			v.srcPortB[i] += b
+			v.srcPortP[i] += p
+		}
+		if r.DstPort == port {
+			v.dstPortB[i] += b
+			v.dstPortP[i] += p
+		}
+	}
+	if r.Proto == netflow.ProtoTCP {
+		for i, f := range tcpFlags {
+			if r.TCPFlags&f != 0 {
+				v.flagB[i] += b
+				v.flagP[i] += p
+			}
+		}
+	}
+	if geo != nil {
+		c := geo(r.Src)
+		for i, pc := range PopularCountries {
+			if c == pc {
+				v.countryB[i] += b
+				v.countryP[i] += p
+				break
+			}
+		}
+	}
+}
+
+func (v *volAcc) fill(dst []float64) {
+	_ = dst[VolumetricSize-1]
+	i := 0
+	dst[i] = float64(len(v.srcs))
+	i++
+	if v.nFlows > 0 {
+		dst[i] = v.sumB / v.nFlows
+	}
+	i++
+	dst[i] = v.maxB
+	i++
+	if v.nFlows > 0 {
+		dst[i] = v.sumP / v.nFlows
+	}
+	i++
+	dst[i] = v.maxP
+	i++
+	for k := 0; k < 3; k++ {
+		dst[i] = v.protoB[k]
+		dst[i+1] = v.protoP[k]
+		i += 2
+	}
+	for k := 0; k < 5; k++ {
+		dst[i] = v.srcPortB[k]
+		dst[i+1] = v.srcPortP[k]
+		i += 2
+	}
+	for k := 0; k < 5; k++ {
+		dst[i] = v.dstPortB[k]
+		dst[i+1] = v.dstPortP[k]
+		i += 2
+	}
+	for k := 0; k < 6; k++ {
+		dst[i] = v.flagB[k]
+		dst[i+1] = v.flagP[k]
+		i += 2
+	}
+	for k := 0; k < 10; k++ {
+		dst[i] = v.countryB[k]
+		dst[i+1] = v.countryP[k]
+		i += 2
+	}
+	if i != VolumetricSize {
+		panic("features: volumetric block size drifted")
+	}
+}

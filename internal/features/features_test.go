@@ -1,0 +1,300 @@
+package features
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/attackhist"
+	"github.com/xatu-go/xatu/internal/blocklist"
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/netflow"
+	"github.com/xatu-go/xatu/internal/routing"
+	"github.com/xatu-go/xatu/internal/spoof"
+)
+
+var (
+	t0       = time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	customer = netip.MustParseAddr("23.1.1.1")
+	srcGood  = netip.MustParseAddr("11.1.1.1")
+	srcBad   = netip.MustParseAddr("11.2.2.2") // will be blocklisted
+	srcPrev  = netip.MustParseAddr("11.3.3.3") // previous attacker
+	srcSpoof = netip.MustParseAddr("10.9.9.9") // bogon
+)
+
+func testExtractor(t *testing.T) *Extractor {
+	t.Helper()
+	var tbl routing.Table
+	if err := tbl.Insert(netip.MustParsePrefix("11.0.0.0/8"), 64500); err != nil {
+		t.Fatal(err)
+	}
+	bl := blocklist.NewRegistry()
+	bl.Add(blocklist.Bot, srcBad, t0.Add(-24*time.Hour), 0)
+	hist := attackhist.NewRegistry()
+	hist.RecordAttacker(customer, srcPrev, t0.Add(-48*time.Hour))
+	return &Extractor{
+		Blocklists: bl,
+		History:    hist,
+		Spoof:      spoof.NewChecker(&tbl),
+		Geo:        func(a netip.Addr) string { return "US" },
+		A4Window:   10 * 24 * time.Hour,
+		A5Window:   10 * 24 * time.Hour,
+	}
+}
+
+func rec(src netip.Addr, proto netflow.Proto, srcPort, dstPort uint16, flags uint8, bytes, pkts uint32) netflow.Record {
+	return netflow.Record{
+		Src: src, Dst: customer, Proto: proto,
+		SrcPort: srcPort, DstPort: dstPort, TCPFlags: flags,
+		Bytes: bytes, Packets: pkts, Start: t0, End: t0.Add(time.Minute),
+	}
+}
+
+func TestVectorWidthIs273(t *testing.T) {
+	if NumFeatures != 273 {
+		t.Fatalf("NumFeatures = %d, want 273 (Table 1)", NumFeatures)
+	}
+	e := testExtractor(t)
+	v := e.Extract(customer, t0, nil)
+	if len(v) != 273 {
+		t.Fatalf("len = %d", len(v))
+	}
+	if len(Names()) != 273 {
+		t.Fatalf("Names() has %d entries", len(Names()))
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestVolumetricBlock(t *testing.T) {
+	e := testExtractor(t)
+	flows := []netflow.Record{
+		rec(srcGood, netflow.ProtoUDP, 53, 4444, 0, 1000, 10),
+		rec(srcGood, netflow.ProtoTCP, 5555, 443, netflow.FlagACK|netflow.FlagPSH, 3000, 30),
+		rec(netip.MustParseAddr("11.1.1.2"), netflow.ProtoICMP, 0, 0, 0, 500, 5),
+	}
+	v := e.Extract(customer, t0, flows)
+	names := Names()
+	get := func(name string) float64 {
+		t.Helper()
+		for i, n := range names {
+			if n == name {
+				return v[i]
+			}
+		}
+		t.Fatalf("feature %q not found", name)
+		return 0
+	}
+	if get("V.unique_sources") != 2 {
+		t.Fatalf("unique sources = %v", get("V.unique_sources"))
+	}
+	if get("V.mean_bytes") != 1500 {
+		t.Fatalf("mean bytes = %v", get("V.mean_bytes"))
+	}
+	if get("V.max_bytes") != 3000 || get("V.max_pkts") != 30 {
+		t.Fatal("max features wrong")
+	}
+	if get("V.udp_bytes") != 1000 || get("V.tcp_bytes") != 3000 || get("V.icmp_bytes") != 500 {
+		t.Fatal("per-protocol bytes wrong")
+	}
+	if get("V.srcport53_bytes") != 1000 || get("V.dstport443_bytes") != 3000 {
+		t.Fatal("port features wrong")
+	}
+	if get("V.flag_ack_bytes") != 3000 || get("V.flag_psh_bytes") != 3000 || get("V.flag_syn_bytes") != 0 {
+		t.Fatal("flag features wrong")
+	}
+	if get("V.country_US_bytes") != 4500 {
+		t.Fatalf("country bytes = %v", get("V.country_US_bytes"))
+	}
+	// Src port 0 on the ICMP flow counts toward the port-0 bucket.
+	if get("V.srcport0_bytes") != 500 {
+		t.Fatalf("srcport0 = %v", get("V.srcport0_bytes"))
+	}
+}
+
+func TestAuxiliarySubsetBlocks(t *testing.T) {
+	e := testExtractor(t)
+	flows := []netflow.Record{
+		rec(srcGood, netflow.ProtoUDP, 1, 2, 0, 1000, 10),
+		rec(srcBad, netflow.ProtoUDP, 1, 2, 0, 400, 4),
+		rec(srcPrev, netflow.ProtoUDP, 1, 2, 0, 300, 3),
+		rec(srcSpoof, netflow.ProtoUDP, 1, 2, 0, 200, 2),
+	}
+	v := e.Extract(customer, t0, flows)
+	// V block sees everything.
+	if v[OffV+0] != 4 { // unique sources
+		t.Fatalf("V unique = %v", v[OffV])
+	}
+	// A1 sees only the blocklisted source.
+	if v[OffA1+0] != 1 {
+		t.Fatalf("A1 unique = %v", v[OffA1])
+	}
+	udpBytesOff := 5 // index of udp_bytes inside a volumetric block
+	if v[OffA1+udpBytesOff] != 400 {
+		t.Fatalf("A1 udp bytes = %v", v[OffA1+udpBytesOff])
+	}
+	if v[OffA2+udpBytesOff] != 300 {
+		t.Fatalf("A2 udp bytes = %v", v[OffA2+udpBytesOff])
+	}
+	if v[OffA3+udpBytesOff] != 200 {
+		t.Fatalf("A3 udp bytes = %v", v[OffA3+udpBytesOff])
+	}
+}
+
+// TestSubsetDominance is the DESIGN.md invariant: volume counters of any
+// A-subset never exceed the corresponding V counters.
+func TestSubsetDominance(t *testing.T) {
+	e := testExtractor(t)
+	flows := []netflow.Record{
+		rec(srcBad, netflow.ProtoTCP, 80, 443, netflow.FlagACK, 5000, 50),
+		rec(srcPrev, netflow.ProtoUDP, 53, 1, 0, 700, 7),
+		rec(srcSpoof, netflow.ProtoICMP, 0, 0, 0, 100, 1),
+		rec(srcGood, netflow.ProtoTCP, 1, 80, netflow.FlagSYN, 60, 1),
+	}
+	v := e.Extract(customer, t0, flows)
+	for i := 0; i < VolumetricSize; i++ {
+		if i == 1 || i == 3 {
+			continue // mean_bytes / mean_pkts: a subset mean may exceed the overall mean
+		}
+		for _, off := range []int{OffA1, OffA2, OffA3} {
+			if v[off+i] > v[OffV+i]+1e-9 {
+				t.Fatalf("feature %d: subset %v exceeds V %v", i, v[off+i], v[OffV+i])
+			}
+		}
+	}
+}
+
+func TestA4Block(t *testing.T) {
+	e := testExtractor(t)
+	e.History.RecordAlert(ddos.Alert{
+		Sig:         ddos.SignatureFor(ddos.UDPFlood, customer),
+		DetectedAt:  t0.Add(-time.Hour),
+		MitigatedAt: t0.Add(-30 * time.Minute),
+		Severity:    ddos.SeverityHigh,
+	})
+	v := e.Extract(customer, t0, nil)
+	idx := OffA4 + int(ddos.UDPFlood)*int(ddos.NumSeverities) + int(ddos.SeverityHigh)
+	if v[idx] != 1 {
+		t.Fatalf("A4 feature = %v", v[idx])
+	}
+}
+
+func TestA5Block(t *testing.T) {
+	e := testExtractor(t)
+	other := netip.MustParseAddr("23.1.1.2")
+	shared := netip.MustParseAddr("11.7.7.7")
+	e.History.RecordAttacker(customer, shared, t0.Add(-time.Hour))
+	e.History.RecordAttacker(other, shared, t0.Add(-time.Hour))
+	v := e.Extract(customer, t0, nil)
+	if v[OffA5] <= 0 || v[OffA5+1] <= 0 || v[OffA5+2] <= 0 {
+		t.Fatalf("A5 = %v", v[OffA5:OffA5+3])
+	}
+	// dot ≤ min and dot ≤ ... sanity: min variant is the largest denominator-wise.
+	if v[OffA5+1] < v[OffA5+2] {
+		t.Fatalf("min variant %v must be ≥ max variant %v", v[OffA5+1], v[OffA5+2])
+	}
+}
+
+func TestDisableMasksGroups(t *testing.T) {
+	e := testExtractor(t)
+	e.Disable = map[string]bool{"A1": true, "A4": true}
+	e.History.RecordAlert(ddos.Alert{
+		Sig:        ddos.SignatureFor(ddos.UDPFlood, customer),
+		DetectedAt: t0.Add(-time.Hour), Severity: ddos.SeverityLow,
+	})
+	flows := []netflow.Record{rec(srcBad, netflow.ProtoUDP, 1, 2, 0, 400, 4)}
+	v := e.Extract(customer, t0, flows)
+	for i := OffA1; i < OffA1+VolumetricSize; i++ {
+		if v[i] != 0 {
+			t.Fatalf("disabled A1 leaked at %d: %v", i, v[i])
+		}
+	}
+	for i := OffA4; i < OffA4+A4Size; i++ {
+		if v[i] != 0 {
+			t.Fatalf("disabled A4 leaked at %d: %v", i, v[i])
+		}
+	}
+	// V still present.
+	if v[OffV] != 1 {
+		t.Fatal("V must remain with groups disabled")
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	cases := map[int]string{
+		0: "V", 62: "V", 63: "A1", 125: "A1", 126: "A2", 189: "A3",
+		252: "A4", 269: "A4", 270: "A5", 272: "A5",
+	}
+	for idx, want := range cases {
+		if got := GroupOf(idx); got != want {
+			t.Errorf("GroupOf(%d) = %q, want %q", idx, got, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{0, 1, 1e6, -3}
+	Normalize(v)
+	if v[0] != 0 {
+		t.Fatal("zero stays zero")
+	}
+	if v[1] <= 0.69 || v[1] >= 0.70 {
+		t.Fatalf("log1p(1) = %v", v[1])
+	}
+	if v[2] < 13 || v[2] > 14 {
+		t.Fatalf("log1p(1e6) = %v", v[2])
+	}
+	if v[3] >= 0 {
+		t.Fatal("negative values keep their sign")
+	}
+}
+
+func TestExtractEmptyFlows(t *testing.T) {
+	e := testExtractor(t)
+	v := e.Extract(customer, t0, nil)
+	for i := 0; i < OffA4; i++ {
+		if v[i] != 0 {
+			t.Fatalf("volumetric feature %d nonzero on empty input", i)
+		}
+	}
+}
+
+func TestTimeAwareness(t *testing.T) {
+	// A source blocklisted tomorrow must not appear in A1 today.
+	e := testExtractor(t)
+	future := netip.MustParseAddr("11.8.8.8")
+	e.Blocklists.Add(blocklist.Scanner, future, t0.Add(24*time.Hour), 0)
+	flows := []netflow.Record{rec(future, netflow.ProtoUDP, 1, 2, 0, 900, 9)}
+	v := e.Extract(customer, t0, flows)
+	if v[OffA1] != 0 {
+		t.Fatal("future blocklisting leaked into the past")
+	}
+	v2 := e.Extract(customer, t0.Add(48*time.Hour), flows)
+	if v2[OffA1] == 0 {
+		t.Fatal("blocklisting must be visible once live")
+	}
+}
+
+func TestBlocklistCategoryFilter(t *testing.T) {
+	e := testExtractor(t)
+	// srcBad is listed under Bot only.
+	flows := []netflow.Record{rec(srcBad, netflow.ProtoUDP, 1, 2, 0, 400, 4)}
+	e.BlocklistCategories = []blocklist.Category{blocklist.Scanner}
+	v := e.Extract(customer, t0, flows)
+	if v[OffA1] != 0 {
+		t.Fatal("Scanner-only filter must exclude a Bot-listed source")
+	}
+	e.BlocklistCategories = []blocklist.Category{blocklist.Bot}
+	v = e.Extract(customer, t0, flows)
+	if v[OffA1] != 1 {
+		t.Fatal("Bot filter must include the Bot-listed source")
+	}
+}

@@ -1,0 +1,81 @@
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/xatu-go/xatu/internal/ddos"
+)
+
+// Names returns the 273 feature names in vector order, for documentation,
+// saliency reporting (Fig 11) and tests.
+func Names() []string {
+	out := make([]string, 0, NumFeatures)
+	for _, group := range []string{"V", "A1", "A2", "A3"} {
+		out = append(out, volumetricNames(group)...)
+	}
+	for at := ddos.AttackType(0); at < ddos.NumAttackTypes; at++ {
+		for s := ddos.Severity(0); s < ddos.NumSeverities; s++ {
+			out = append(out, fmt.Sprintf("A4.%s.%s", at, s))
+		}
+	}
+	out = append(out, "A5.clustering.dot", "A5.clustering.min", "A5.clustering.max")
+	return out
+}
+
+func volumetricNames(group string) []string {
+	names := []string{"unique_sources", "mean_bytes", "max_bytes", "mean_pkts", "max_pkts"}
+	for _, proto := range []string{"udp", "tcp", "icmp"} {
+		names = append(names, proto+"_bytes", proto+"_pkts")
+	}
+	for _, p := range PopularPorts {
+		names = append(names, fmt.Sprintf("srcport%d_bytes", p), fmt.Sprintf("srcport%d_pkts", p))
+	}
+	for _, p := range PopularPorts {
+		names = append(names, fmt.Sprintf("dstport%d_bytes", p), fmt.Sprintf("dstport%d_pkts", p))
+	}
+	for _, f := range []string{"fin", "syn", "rst", "psh", "ack", "urg"} {
+		names = append(names, "flag_"+f+"_bytes", "flag_"+f+"_pkts")
+	}
+	for _, c := range PopularCountries {
+		names = append(names, "country_"+c+"_bytes", "country_"+c+"_pkts")
+	}
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = group + "." + n
+	}
+	return out
+}
+
+// GroupOf returns the signal group ("V", "A1".."A5") a feature index
+// belongs to, used by the Fig 11 saliency aggregation.
+func GroupOf(idx int) string {
+	switch {
+	case idx < OffA1:
+		return "V"
+	case idx < OffA2:
+		return "A1"
+	case idx < OffA3:
+		return "A2"
+	case idx < OffA4:
+		return "A3"
+	case idx < OffA5:
+		return "A4"
+	default:
+		return "A5"
+	}
+}
+
+// Normalize rescales a raw feature vector in place for neural-network
+// input: every count-like value goes through log1p (traffic spans many
+// orders of magnitude), which leaves the already-small clustering
+// coefficients essentially untouched.
+func Normalize(v []float64) {
+	for i := range v {
+		if v[i] > 0 {
+			v[i] = math.Log1p(v[i])
+		} else if v[i] < 0 {
+			v[i] = -math.Log1p(-v[i])
+		}
+	}
+}

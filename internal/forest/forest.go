@@ -1,0 +1,219 @@
+// Package forest implements the random-forest baseline the paper compares
+// Xatu against (§6, "RF"): CART trees with Gini impurity, bootstrap
+// aggregation, per-split feature subsampling, and an exhaustive grid search
+// over hyper-parameters. The classifier is pointwise — it sees the same
+// features as Xatu (at the same three timescales, flattened) but has no
+// temporal credit assignment, which is exactly the handicap the paper's
+// comparison highlights.
+package forest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config holds forest hyper-parameters.
+type Config struct {
+	NumTrees    int
+	MaxDepth    int
+	MinLeaf     int // minimum samples per leaf
+	MaxFeatures int // features tried per split; 0 = sqrt(d)
+	Seed        int64
+}
+
+// DefaultConfig returns reasonable defaults for a few hundred samples.
+func DefaultConfig() Config {
+	return Config{NumTrees: 60, MaxDepth: 10, MinLeaf: 2, Seed: 1}
+}
+
+// Forest is a trained random forest returning attack probabilities.
+type Forest struct {
+	trees []*node
+	dim   int
+}
+
+type node struct {
+	feature     int
+	threshold   float64
+	left, right *node
+	prob        float64 // leaf: fraction of positive samples
+	leaf        bool
+}
+
+// ErrBadInput reports malformed training input.
+var ErrBadInput = errors.New("forest: empty or inconsistent training data")
+
+// Train fits a forest on X (n×d) with boolean labels y.
+func Train(X [][]float64, y []bool, cfg Config) (*Forest, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, ErrBadInput
+	}
+	d := len(X[0])
+	for _, row := range X {
+		if len(row) != d {
+			return nil, ErrBadInput
+		}
+	}
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 1
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 8
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	mf := cfg.MaxFeatures
+	if mf <= 0 || mf > d {
+		mf = int(math.Sqrt(float64(d)))
+		if mf < 1 {
+			mf = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{dim: d, trees: make([]*node, cfg.NumTrees)}
+	idx := make([]int, len(X))
+	for t := 0; t < cfg.NumTrees; t++ {
+		// Bootstrap sample.
+		for i := range idx {
+			idx[i] = rng.Intn(len(X))
+		}
+		f.trees[t] = grow(X, y, append([]int(nil), idx...), cfg.MaxDepth, cfg.MinLeaf, mf, rng)
+	}
+	return f, nil
+}
+
+// grow recursively builds one CART tree over the sample indices.
+func grow(X [][]float64, y []bool, idx []int, depth, minLeaf, maxFeatures int, rng *rand.Rand) *node {
+	pos := 0
+	for _, i := range idx {
+		if y[i] {
+			pos++
+		}
+	}
+	prob := float64(pos) / float64(len(idx))
+	if depth == 0 || len(idx) < 2*minLeaf || pos == 0 || pos == len(idx) {
+		return &node{leaf: true, prob: prob}
+	}
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+	parentImp := gini(prob)
+	d := len(X[0])
+	// Sample candidate features without replacement.
+	feats := rng.Perm(d)[:maxFeatures]
+	vals := make([]float64, 0, len(idx))
+	for _, fi := range feats {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][fi])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds: midpoints between distinct quantile probes.
+		for _, q := range []float64{0.25, 0.5, 0.75} {
+			thr := vals[int(q*float64(len(vals)-1))]
+			gain := splitGain(X, y, idx, fi, thr, parentImp, minLeaf)
+			if gain > bestGain {
+				bestFeat, bestThr, bestGain = fi, thr, gain
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{leaf: true, prob: prob}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < minLeaf || len(ri) < minLeaf {
+		return &node{leaf: true, prob: prob}
+	}
+	return &node{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      grow(X, y, li, depth-1, minLeaf, maxFeatures, rng),
+		right:     grow(X, y, ri, depth-1, minLeaf, maxFeatures, rng),
+	}
+}
+
+func gini(p float64) float64 { return 2 * p * (1 - p) }
+
+func splitGain(X [][]float64, y []bool, idx []int, feat int, thr, parentImp float64, minLeaf int) float64 {
+	var nl, nr, pl, pr int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			nl++
+			if y[i] {
+				pl++
+			}
+		} else {
+			nr++
+			if y[i] {
+				pr++
+			}
+		}
+	}
+	if nl < minLeaf || nr < minLeaf {
+		return 0
+	}
+	n := float64(nl + nr)
+	impL := gini(float64(pl) / float64(nl))
+	impR := gini(float64(pr) / float64(nr))
+	return parentImp - (float64(nl)/n)*impL - (float64(nr)/n)*impR
+}
+
+// PredictProb returns the forest's attack probability for x.
+func (f *Forest) PredictProb(x []float64) float64 {
+	if len(x) != f.dim {
+		return 0
+	}
+	var sum float64
+	for _, t := range f.trees {
+		n := t
+		for !n.leaf {
+			if x[n.feature] <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		sum += n.prob
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Dim returns the expected feature-vector width.
+func (f *Forest) Dim() int { return f.dim }
+
+// GridSearch trains a forest per candidate config and returns the one with
+// the highest validation accuracy at threshold 0.5 (the paper: "an
+// exhaustive grid search to identify the best hyper-parameters").
+func GridSearch(trainX [][]float64, trainY []bool, valX [][]float64, valY []bool, grid []Config) (Config, *Forest, error) {
+	if len(grid) == 0 {
+		return Config{}, nil, errors.New("forest: empty grid")
+	}
+	bestAcc := -1.0
+	var bestCfg Config
+	var bestForest *Forest
+	for _, cfg := range grid {
+		f, err := Train(trainX, trainY, cfg)
+		if err != nil {
+			return Config{}, nil, err
+		}
+		correct := 0
+		for i, x := range valX {
+			if (f.PredictProb(x) >= 0.5) == valY[i] {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(max(1, len(valX)))
+		if acc > bestAcc {
+			bestAcc, bestCfg, bestForest = acc, cfg, f
+		}
+	}
+	return bestCfg, bestForest, nil
+}

@@ -1,0 +1,179 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// xorish makes a dataset separable by axis-aligned splits but not by a
+// single threshold.
+func blob(rng *rand.Rand, n int) ([][]float64, []bool) {
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		label := rng.Float64() < 0.5
+		if label {
+			a += 3
+			b -= 3
+		}
+		X[i] = []float64{a, b, rng.NormFloat64()} // third feature is noise
+		y[i] = label
+	}
+	return X, y
+}
+
+func TestTrainAndPredictSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := blob(rng, 400)
+	f, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := blob(rng, 200)
+	correct := 0
+	for i := range testX {
+		if (f.PredictProb(testX[i]) >= 0.5) == testY[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.95 {
+		t.Fatalf("accuracy = %v, want ≥0.95 on a separable problem", acc)
+	}
+}
+
+func TestPredictProbRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := blob(rng, 100)
+	f, err := Train(X, y, Config{NumTrees: 10, MaxDepth: 4, MinLeaf: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := f.PredictProb([]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()})
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultConfig()); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := Train([][]float64{{1}}, []bool{true, false}, DefaultConfig()); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Train([][]float64{{1, 2}, {1}}, []bool{true, false}, DefaultConfig()); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+}
+
+func TestPredictWrongDimIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, y := blob(rng, 60)
+	f, err := Train(X, y, Config{NumTrees: 5, MaxDepth: 3, MinLeaf: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PredictProb([]float64{1}) != 0 {
+		t.Fatal("wrong-width input must score 0")
+	}
+	if f.Dim() != 3 {
+		t.Fatalf("Dim = %d", f.Dim())
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := blob(rng, 120)
+	cfg := Config{NumTrees: 8, MaxDepth: 5, MinLeaf: 2, Seed: 42}
+	f1, _ := Train(X, y, cfg)
+	f2, _ := Train(X, y, cfg)
+	for i := 0; i < 30; i++ {
+		x := []float64{float64(i) - 15, float64(i%5) - 2, 0}
+		if f1.PredictProb(x) != f2.PredictProb(x) {
+			t.Fatal("same seed must give identical forests")
+		}
+	}
+}
+
+func TestPureLabelTraining(t *testing.T) {
+	// All-positive labels: every prediction must be 1.
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []bool{true, true, true, true}
+	f, err := Train(X, y, Config{NumTrees: 4, MaxDepth: 3, MinLeaf: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := f.PredictProb([]float64{2.5}); p != 1 {
+		t.Fatalf("prob = %v, want 1", p)
+	}
+}
+
+func TestGridSearchPicksBetterConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y := blob(rng, 300)
+	valX, valY := blob(rng, 150)
+	grid := []Config{
+		{NumTrees: 1, MaxDepth: 1, MinLeaf: 50, Seed: 1}, // crippled
+		{NumTrees: 40, MaxDepth: 8, MinLeaf: 2, Seed: 1}, // reasonable
+	}
+	cfg, f, err := GridSearch(X, y, valX, valY, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumTrees != 40 {
+		t.Fatalf("grid search picked the crippled config: %+v", cfg)
+	}
+	if f == nil {
+		t.Fatal("no forest returned")
+	}
+}
+
+func TestGridSearchEmptyGrid(t *testing.T) {
+	if _, _, err := GridSearch(nil, nil, nil, nil, nil); err == nil {
+		t.Fatal("empty grid must error")
+	}
+}
+
+func TestNoiseFeatureRobustness(t *testing.T) {
+	// With many pure-noise features the forest should still learn the two
+	// informative dimensions (feature subsampling at work).
+	rng := rand.New(rand.NewSource(7))
+	n, d := 400, 30
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		y[i] = rng.Float64() < 0.5
+		if y[i] {
+			row[0] += 4
+		}
+		X[i] = row
+	}
+	f, err := Train(X, y, Config{NumTrees: 60, MaxDepth: 8, MinLeaf: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		label := rng.Float64() < 0.5
+		if label {
+			row[0] += 4
+		}
+		if (f.PredictProb(row) >= 0.5) == label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.9 {
+		t.Fatalf("accuracy = %v with noise features", acc)
+	}
+}

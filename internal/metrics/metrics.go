@@ -1,0 +1,252 @@
+// Package metrics implements the paper's evaluation measures (§2.3, §2.4,
+// §6): mitigation effectiveness (B/A), scrubbing overhead (C/A, cumulative
+// per customer), detection delay, percentile summaries, and ROC/AUC.
+package metrics
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/ddos"
+)
+
+// AttackOutcome is the accounting for one ground-truth attack under one
+// detection system, in bytes.
+type AttackOutcome struct {
+	Customer netip.Addr
+	Type     ddos.AttackType
+	// Anomalous is area A: traffic matching the signature from the anomaly
+	// start until mitigation end.
+	Anomalous float64
+	// ScrubbedAnomalous is area B: the part of A diverted to scrubbing.
+	ScrubbedAnomalous float64
+	// Extraneous is area C: matching traffic scrubbed outside the anomalous
+	// window, attributed to this attack's customer.
+	Extraneous float64
+	// Detected reports whether the system raised any alert for this attack.
+	Detected bool
+	// Delay is detection time minus anomaly start (negative = early).
+	// Only meaningful when Detected.
+	Delay time.Duration
+}
+
+// Effectiveness returns B/A as a fraction in [0,1]; undetected attacks
+// score 0. A zero-A attack (no anomalous traffic observed) scores 1 when
+// detected, else 0.
+func (o AttackOutcome) Effectiveness() float64 {
+	if !o.Detected {
+		return 0
+	}
+	if o.Anomalous <= 0 {
+		return 1
+	}
+	e := o.ScrubbedAnomalous / o.Anomalous
+	if e > 1 {
+		e = 1
+	}
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// EffectivenessSeries maps outcomes to their effectiveness values.
+func EffectivenessSeries(outcomes []AttackOutcome) []float64 {
+	out := make([]float64, len(outcomes))
+	for i, o := range outcomes {
+		out[i] = o.Effectiveness()
+	}
+	return out
+}
+
+// DelaySeries returns detection delays in minutes. Undetected attacks are
+// assigned missPenalty (the paper treats "no detection until the end of the
+// time series" as the window tail, e.g. 15 minutes).
+func DelaySeries(outcomes []AttackOutcome, missPenalty time.Duration) []float64 {
+	out := make([]float64, len(outcomes))
+	for i, o := range outcomes {
+		if o.Detected {
+			out[i] = o.Delay.Minutes()
+		} else {
+			out[i] = missPenalty.Minutes()
+		}
+	}
+	return out
+}
+
+// CumulativeOverheads computes the per-customer cumulative scrubbing
+// overhead Σ_at C / Σ_at A (§2.4), returning one value per customer with at
+// least one attack. Customers whose anomalous traffic sums to zero are
+// skipped.
+func CumulativeOverheads(outcomes []AttackOutcome) []float64 {
+	type acc struct{ c, a float64 }
+	byCustomer := make(map[netip.Addr]*acc)
+	for _, o := range outcomes {
+		a := byCustomer[o.Customer]
+		if a == nil {
+			a = &acc{}
+			byCustomer[o.Customer] = a
+		}
+		a.c += o.Extraneous
+		a.a += o.Anomalous
+	}
+	// Deterministic order for reproducible percentile output.
+	addrs := make([]netip.Addr, 0, len(byCustomer))
+	for addr := range byCustomer {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	out := make([]float64, 0, len(addrs))
+	for _, addr := range addrs {
+		a := byCustomer[addr]
+		if a.a <= 0 {
+			continue
+		}
+		out = append(out, a.c/a.a)
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0..1) of xs using linear interpolation,
+// without modifying xs. NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Summary is the percentile box the paper plots (10/25/50/75/90).
+type Summary struct {
+	P10, P25, P50, P75, P90 float64
+	N                       int
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		P10: Quantile(xs, 0.10),
+		P25: Quantile(xs, 0.25),
+		P50: Quantile(xs, 0.50),
+		P75: Quantile(xs, 0.75),
+		P90: Quantile(xs, 0.90),
+		N:   len(xs),
+	}
+}
+
+// ROCPoint is one point on a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// ROC computes the ROC curve for scores where higher score = more
+// attack-like, against boolean labels. Points are ordered from strictest to
+// loosest threshold and include the (0,0) and (1,1) endpoints.
+func ROC(scores []float64, labels []bool) []ROCPoint {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return nil
+	}
+	type sl struct {
+		s float64
+		l bool
+	}
+	items := make([]sl, len(scores))
+	var pos, neg int
+	for i := range scores {
+		items[i] = sl{scores[i], labels[i]}
+		if labels[i] {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].s > items[j].s })
+	points := []ROCPoint{{Threshold: math.Inf(1)}}
+	var tp, fp int
+	for i := 0; i < len(items); {
+		j := i
+		for j < len(items) && items[j].s == items[i].s {
+			if items[j].l {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		p := ROCPoint{Threshold: items[i].s}
+		if pos > 0 {
+			p.TPR = float64(tp) / float64(pos)
+		}
+		if neg > 0 {
+			p.FPR = float64(fp) / float64(neg)
+		}
+		points = append(points, p)
+		i = j
+	}
+	return points
+}
+
+// AUC integrates a ROC curve with the trapezoid rule.
+func AUC(points []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// ConfusionCounts tallies binary classification outcomes at a threshold.
+type ConfusionCounts struct{ TP, FP, TN, FN int }
+
+// Confusion counts outcomes for scores ≥ threshold predicted positive.
+func Confusion(scores []float64, labels []bool, threshold float64) ConfusionCounts {
+	var c ConfusionCounts
+	for i, s := range scores {
+		pred := s >= threshold
+		switch {
+		case pred && labels[i]:
+			c.TP++
+		case pred && !labels[i]:
+			c.FP++
+		case !pred && labels[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// FPR returns the false positive rate.
+func (c ConfusionCounts) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// TPR returns the true positive rate (recall).
+func (c ConfusionCounts) TPR() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}

@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	c1 = netip.MustParseAddr("23.1.1.1")
+	c2 = netip.MustParseAddr("23.1.1.2")
+)
+
+func TestEffectivenessBounds(t *testing.T) {
+	cases := []struct {
+		o    AttackOutcome
+		want float64
+	}{
+		{AttackOutcome{Anomalous: 100, ScrubbedAnomalous: 60, Detected: true}, 0.6},
+		{AttackOutcome{Anomalous: 100, ScrubbedAnomalous: 60, Detected: false}, 0},
+		{AttackOutcome{Anomalous: 100, ScrubbedAnomalous: 150, Detected: true}, 1}, // clamp
+		{AttackOutcome{Anomalous: 0, Detected: true}, 1},
+		{AttackOutcome{Anomalous: 0, Detected: false}, 0},
+		{AttackOutcome{Anomalous: 100, ScrubbedAnomalous: -5, Detected: true}, 0}, // clamp
+	}
+	for i, c := range cases {
+		if got := c.o.Effectiveness(); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestIdealDetectorInvariant(t *testing.T) {
+	// DESIGN.md: an ideal detector (everything scrubbed, nothing extra)
+	// yields effectiveness 1 and overhead 0.
+	outs := []AttackOutcome{
+		{Customer: c1, Anomalous: 500, ScrubbedAnomalous: 500, Extraneous: 0, Detected: true},
+		{Customer: c1, Anomalous: 300, ScrubbedAnomalous: 300, Extraneous: 0, Detected: true},
+	}
+	for _, e := range EffectivenessSeries(outs) {
+		if e != 1 {
+			t.Fatalf("effectiveness = %v", e)
+		}
+	}
+	ov := CumulativeOverheads(outs)
+	if len(ov) != 1 || ov[0] != 0 {
+		t.Fatalf("overheads = %v", ov)
+	}
+}
+
+func TestCumulativeOverheadGroupsByCustomer(t *testing.T) {
+	outs := []AttackOutcome{
+		{Customer: c1, Anomalous: 100, Extraneous: 10},
+		{Customer: c1, Anomalous: 300, Extraneous: 30},
+		{Customer: c2, Anomalous: 200, Extraneous: 2},
+	}
+	ov := CumulativeOverheads(outs)
+	if len(ov) != 2 {
+		t.Fatalf("len = %d", len(ov))
+	}
+	// Deterministic order: c1 before c2.
+	if math.Abs(ov[0]-0.1) > 1e-12 || math.Abs(ov[1]-0.01) > 1e-12 {
+		t.Fatalf("overheads = %v", ov)
+	}
+}
+
+func TestCumulativeOverheadSkipsZeroAnomalous(t *testing.T) {
+	outs := []AttackOutcome{{Customer: c1, Anomalous: 0, Extraneous: 50}}
+	if got := CumulativeOverheads(outs); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDelaySeries(t *testing.T) {
+	outs := []AttackOutcome{
+		{Detected: true, Delay: 5 * time.Minute},
+		{Detected: true, Delay: -2 * time.Minute},
+		{Detected: false},
+	}
+	d := DelaySeries(outs, 15*time.Minute)
+	if d[0] != 5 || d[1] != -2 || d[2] != 15 {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Fatal("extremes")
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Fatalf("median = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty input must be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.P10 != 10 || s.P50 != 50 || s.P90 != 90 || s.N != 101 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	pts := ROC(scores, labels)
+	if auc := AUC(pts); auc != 1 {
+		t.Fatalf("AUC = %v, want 1", auc)
+	}
+}
+
+func TestROCRandomClassifierNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Float64() < 0.5
+	}
+	auc := AUC(ROC(scores, labels))
+	if auc < 0.45 || auc > 0.55 {
+		t.Fatalf("AUC = %v, want ≈0.5", auc)
+	}
+}
+
+func TestROCInvertedClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	if auc := AUC(ROC(scores, labels)); auc != 0 {
+		t.Fatalf("AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCHandlesTies(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	pts := ROC(scores, labels)
+	// Ties collapse into one step from (0,0) to (1,1): AUC 0.5.
+	if auc := AUC(pts); auc != 0.5 {
+		t.Fatalf("AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestROCDegenerateInputs(t *testing.T) {
+	if ROC(nil, nil) != nil {
+		t.Fatal("empty input must return nil")
+	}
+	if ROC([]float64{1}, []bool{true, false}) != nil {
+		t.Fatal("mismatched lengths must return nil")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	scores := []float64{0.9, 0.4, 0.6, 0.1}
+	labels := []bool{true, true, false, false}
+	c := Confusion(scores, labels, 0.5)
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.FPR() != 0.5 || c.TPR() != 0.5 {
+		t.Fatalf("rates: FPR=%v TPR=%v", c.FPR(), c.TPR())
+	}
+	empty := ConfusionCounts{}
+	if empty.FPR() != 0 || empty.TPR() != 0 {
+		t.Fatal("zero-division guards")
+	}
+}
+
+func TestOverheadMonotoneInEarliness(t *testing.T) {
+	// DESIGN.md invariant: detecting earlier (more pre-anomaly scrubbing)
+	// can only grow the extraneous area, hence the overhead.
+	base := AttackOutcome{Customer: c1, Anomalous: 1000, ScrubbedAnomalous: 1000, Detected: true}
+	prev := -1.0
+	for early := 0; early <= 10; early++ {
+		o := base
+		o.Extraneous = float64(early) * 37 // extra pre-anomaly traffic grows with earliness
+		ov := CumulativeOverheads([]AttackOutcome{o})[0]
+		if ov < prev {
+			t.Fatalf("overhead decreased: %v -> %v", prev, ov)
+		}
+		prev = ov
+	}
+}

@@ -1,0 +1,88 @@
+package netflow
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Aggregator rolls a stream of flow records (whose timestamps may arrive
+// slightly out of order, as NetFlow exports do) into fixed-duration step
+// batches grouped by destination — the per-customer per-minute view the
+// feature extractor consumes. A watermark seals a bucket once records
+// Lateness past its end have been seen; later stragglers are counted and
+// dropped rather than reopening history.
+type Aggregator struct {
+	Step     time.Duration
+	Lateness time.Duration
+
+	buckets   map[int64]*StepBatch
+	watermark time.Time
+	dropped   uint64
+}
+
+// StepBatch is one sealed aggregation step.
+type StepBatch struct {
+	Start time.Time
+	ByDst map[netip.Addr][]Record
+}
+
+// NewAggregator returns an aggregator with the given step and lateness
+// allowance (how far out of order records may arrive).
+func NewAggregator(step, lateness time.Duration) *Aggregator {
+	if step <= 0 {
+		step = time.Minute
+	}
+	if lateness < 0 {
+		lateness = 0
+	}
+	return &Aggregator{Step: step, Lateness: lateness, buckets: make(map[int64]*StepBatch)}
+}
+
+// Add consumes one record and returns any batches its arrival sealed,
+// oldest first.
+func (a *Aggregator) Add(r Record) []StepBatch {
+	bucketStart := r.Start.Truncate(a.Step)
+	if !a.watermark.IsZero() && bucketStart.Add(a.Step+a.Lateness).Before(a.watermark) {
+		a.dropped++
+		return a.advance(r.Start)
+	}
+	key := bucketStart.UnixNano()
+	b := a.buckets[key]
+	if b == nil {
+		b = &StepBatch{Start: bucketStart, ByDst: make(map[netip.Addr][]Record)}
+		a.buckets[key] = b
+	}
+	b.ByDst[r.Dst] = append(b.ByDst[r.Dst], r)
+	return a.advance(r.Start)
+}
+
+// advance moves the watermark and seals ripe buckets.
+func (a *Aggregator) advance(eventTime time.Time) []StepBatch {
+	if eventTime.After(a.watermark) {
+		a.watermark = eventTime
+	}
+	var sealed []StepBatch
+	for key, b := range a.buckets {
+		if b.Start.Add(a.Step + a.Lateness).Before(a.watermark) {
+			sealed = append(sealed, *b)
+			delete(a.buckets, key)
+		}
+	}
+	sort.Slice(sealed, func(i, j int) bool { return sealed[i].Start.Before(sealed[j].Start) })
+	return sealed
+}
+
+// Flush seals and returns every pending bucket, oldest first.
+func (a *Aggregator) Flush() []StepBatch {
+	out := make([]StepBatch, 0, len(a.buckets))
+	for key, b := range a.buckets {
+		out = append(out, *b)
+		delete(a.buckets, key)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Dropped reports records discarded for arriving later than the allowance.
+func (a *Aggregator) Dropped() uint64 { return a.dropped }

@@ -1,0 +1,95 @@
+package netflow
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var aggBase = time.Date(2019, 7, 3, 12, 0, 0, 0, time.UTC)
+
+func aggRec(dst netip.Addr, at time.Time, bytes uint32) Record {
+	return Record{
+		Src: netip.MustParseAddr("11.1.1.1"), Dst: dst,
+		Proto: ProtoUDP, Packets: 1, Bytes: bytes,
+		Start: at, End: at.Add(10 * time.Second),
+	}
+}
+
+func TestAggregatorInOrder(t *testing.T) {
+	d1 := netip.MustParseAddr("23.1.1.1")
+	d2 := netip.MustParseAddr("23.1.1.2")
+	a := NewAggregator(time.Minute, 0)
+	// Two records in minute 0; nothing seals while the watermark is inside
+	// minute 0.
+	if got := a.Add(aggRec(d1, aggBase.Add(5*time.Second), 100)); len(got) != 0 {
+		t.Fatalf("sealed too early: %v", got)
+	}
+	if got := a.Add(aggRec(d2, aggBase.Add(30*time.Second), 200)); len(got) != 0 {
+		t.Fatalf("sealed too early: %v", got)
+	}
+	// A record at 70 s moves the watermark past minute 0's end (lateness 0),
+	// sealing it.
+	sealed := a.Add(aggRec(d1, aggBase.Add(70*time.Second), 300))
+	if len(sealed) != 1 || !sealed[0].Start.Equal(aggBase) {
+		t.Fatalf("minute 0 should seal: %v", sealed)
+	}
+	if len(sealed[0].ByDst[d1]) != 1 || len(sealed[0].ByDst[d2]) != 1 {
+		t.Fatalf("bucket 0 contents wrong: %v", sealed[0].ByDst)
+	}
+	// Jumping to minute 3 seals minute 1.
+	sealed = a.Add(aggRec(d1, aggBase.Add(3*time.Minute), 400))
+	if len(sealed) != 1 || !sealed[0].Start.Equal(aggBase.Add(time.Minute)) {
+		t.Fatalf("minute 1 should seal: %v", sealed)
+	}
+	rest := a.Flush()
+	if len(rest) != 1 || !rest[0].Start.Equal(aggBase.Add(3*time.Minute)) {
+		t.Fatalf("flush = %v", rest)
+	}
+}
+
+func TestAggregatorOutOfOrderWithinLateness(t *testing.T) {
+	d := netip.MustParseAddr("23.1.1.1")
+	a := NewAggregator(time.Minute, 2*time.Minute)
+	a.Add(aggRec(d, aggBase.Add(2*time.Minute), 1))
+	// A record from minute 0 arrives late but within the 2-minute allowance.
+	sealed := a.Add(aggRec(d, aggBase.Add(30*time.Second), 2))
+	if len(sealed) != 0 {
+		t.Fatal("lateness allowance must keep the bucket open")
+	}
+	if a.Dropped() != 0 {
+		t.Fatal("in-allowance record must not be dropped")
+	}
+	all := a.Flush()
+	if len(all) != 2 || len(all[0].ByDst[d]) != 1 {
+		t.Fatalf("flush = %+v", all)
+	}
+}
+
+func TestAggregatorDropsTooLate(t *testing.T) {
+	d := netip.MustParseAddr("23.1.1.1")
+	a := NewAggregator(time.Minute, 0)
+	a.Add(aggRec(d, aggBase.Add(10*time.Minute), 1))
+	a.Add(aggRec(d, aggBase, 2)) // ten minutes late, zero allowance
+	if a.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", a.Dropped())
+	}
+	all := a.Flush()
+	if len(all) != 1 {
+		t.Fatalf("late record leaked into %d buckets", len(all))
+	}
+}
+
+func TestAggregatorDefaults(t *testing.T) {
+	a := NewAggregator(0, -time.Minute)
+	if a.Step != time.Minute || a.Lateness != 0 {
+		t.Fatalf("defaults wrong: %v %v", a.Step, a.Lateness)
+	}
+}
+
+func TestAggregatorFlushEmpty(t *testing.T) {
+	a := NewAggregator(time.Minute, 0)
+	if got := a.Flush(); len(got) != 0 {
+		t.Fatalf("empty flush = %v", got)
+	}
+}

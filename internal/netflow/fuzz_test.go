@@ -1,0 +1,89 @@
+package netflow
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeV5 asserts the v5 decoder never panics and that anything it
+// accepts re-encodes to an equivalent record set.
+func FuzzDecodeV5(f *testing.F) {
+	// Seed with a valid packet and some mutations.
+	boot := time.Date(2019, 4, 24, 0, 0, 0, 0, time.UTC)
+	now := boot.Add(time.Hour)
+	rec := Record{
+		Src: mustAddr4(11, 1, 2, 3), Dst: mustAddr4(23, 4, 5, 6),
+		SrcPort: 53, DstPort: 4444, Proto: ProtoUDP,
+		Packets: 10, Bytes: 640,
+		Start: boot.Add(30 * time.Minute), End: boot.Add(31 * time.Minute),
+	}
+	good, err := EncodeV5([]Record{rec}, boot, now, 1, 100)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:10])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 100))
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		h, recs, err := DecodeV5(pkt)
+		if err != nil {
+			return
+		}
+		if int(h.Count) != len(recs) {
+			t.Fatalf("header count %d != records %d", h.Count, len(recs))
+		}
+		for _, r := range recs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("decoder accepted invalid record: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzJournalReader asserts the journal reader never panics on corrupt
+// streams and either errors or yields valid records.
+func FuzzJournalReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewJournalWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	base := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	_ = w.Write(Record{
+		Src: mustAddr4(11, 1, 1, 1), Dst: mustAddr4(23, 1, 1, 1),
+		Proto: ProtoTCP, TCPFlags: FlagACK, Packets: 5, Bytes: 500,
+		Start: base, End: base.Add(time.Minute),
+	})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:5])
+	f.Add([]byte("XFJ1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jr, err := NewJournalReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			r, err := jr.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return // truncation/corruption errors are fine
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("reader yielded invalid record: %v", err)
+			}
+		}
+	})
+}
+
+func mustAddr4(a, b, c, d byte) netip.Addr { return netip.AddrFrom4([4]byte{a, b, c, d}) }

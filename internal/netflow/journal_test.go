@@ -1,0 +1,133 @@
+package netflow
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func journalRecords(rng *rand.Rand, n int) []Record {
+	base := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]Record, n)
+	for i := range out {
+		start := base.Add(time.Duration(rng.Intn(100000)) * time.Second)
+		out[i] = Record{
+			Src:      netip.AddrFrom4([4]byte{11, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(254) + 1)}),
+			Dst:      netip.AddrFrom4([4]byte{23, 1, 0, byte(rng.Intn(254) + 1)}),
+			SrcPort:  uint16(rng.Intn(65536)),
+			DstPort:  uint16(rng.Intn(65536)),
+			Proto:    []Proto{ProtoTCP, ProtoUDP, ProtoICMP}[rng.Intn(3)],
+			TCPFlags: uint8(rng.Intn(64)),
+			SrcAS:    uint16(rng.Intn(65536)),
+			Packets:  uint32(rng.Intn(100000) + 1),
+			Bytes:    uint32(rng.Intn(1 << 30)),
+			Start:    start,
+			End:      start.Add(time.Duration(rng.Intn(120)) * time.Second),
+		}
+	}
+	return out
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	recs := journalRecords(rng, 500)
+	var buf bytes.Buffer
+	w, err := NewJournalWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 500 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	rd, err := NewJournalReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		got, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			if i != 500 {
+				t.Fatalf("read %d records, want 500", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != recs[i] {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got, recs[i])
+		}
+	}
+	if rd.Count() != 500 {
+		t.Fatalf("reader Count = %d", rd.Count())
+	}
+}
+
+func TestJournalRejectsInvalidRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewJournalWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Record{} // invalid addresses
+	if err := w.Write(bad); err == nil {
+		t.Fatal("invalid record must be rejected")
+	}
+}
+
+func TestJournalBadMagic(t *testing.T) {
+	if _, err := NewJournalReader(bytes.NewReader([]byte("NOPE..."))); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	if _, err := NewJournalReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream must error")
+	}
+}
+
+func TestJournalTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	recs := journalRecords(rng, 3)
+	var buf bytes.Buffer
+	w, _ := NewJournalWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Cut the last record in half.
+	rd, err := NewJournalReader(bytes.NewReader(raw[:len(raw)-20]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for {
+		_, err := rd.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrJournalTruncated) {
+		t.Fatalf("got %v, want ErrJournalTruncated", lastErr)
+	}
+	if rd.Count() != 2 {
+		t.Fatalf("should have read 2 complete records, got %d", rd.Count())
+	}
+}

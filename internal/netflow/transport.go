@@ -1,0 +1,237 @@
+package netflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Exporter batches flow records into NetFlow v5 datagrams and sends them to
+// a collector over UDP, mirroring a router's NetFlow export engine.
+type Exporter struct {
+	conn     net.Conn
+	bootTime time.Time
+	sampling uint16
+
+	mu      sync.Mutex
+	pending []Record
+	seq     uint32
+	sent    uint64
+}
+
+// NewExporter dials the collector at addr ("host:port").
+func NewExporter(addr string, sampling uint16) (*Exporter, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: dialing collector: %w", err)
+	}
+	return &Exporter{
+		conn:     conn,
+		bootTime: time.Now().Add(-time.Minute), // pretend the router booted a minute ago
+		sampling: sampling,
+	}, nil
+}
+
+// Export queues a record, flushing a full datagram when 30 records are
+// pending.
+func (e *Exporter) Export(r Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pending = append(e.pending, r)
+	if len(e.pending) >= MaxRecordsPerPacket {
+		return e.flushLocked()
+	}
+	return nil
+}
+
+// Flush sends any pending records immediately.
+func (e *Exporter) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flushLocked()
+}
+
+func (e *Exporter) flushLocked() error {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	// Clamp flow timestamps into the exporter's uptime epoch; simulated
+	// flows may carry synthetic wall-clock times predating bootTime.
+	now := time.Now()
+	batch := make([]Record, len(e.pending))
+	copy(batch, e.pending)
+	for i := range batch {
+		if batch[i].Start.Before(e.bootTime) {
+			d := batch[i].End.Sub(batch[i].Start)
+			batch[i].Start = e.bootTime
+			batch[i].End = e.bootTime.Add(d)
+		}
+		if batch[i].End.After(now) {
+			batch[i].End = now
+			if batch[i].Start.After(now) {
+				batch[i].Start = now
+			}
+		}
+	}
+	pkt, err := EncodeV5(batch, e.bootTime, now, e.seq, e.sampling)
+	if err != nil {
+		return err
+	}
+	if _, err := e.conn.Write(pkt); err != nil {
+		return fmt.Errorf("netflow: sending datagram: %w", err)
+	}
+	e.seq += uint32(len(batch))
+	e.sent += uint64(len(batch))
+	e.pending = e.pending[:0]
+	return nil
+}
+
+// Sent reports the number of records exported so far.
+func (e *Exporter) Sent() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sent
+}
+
+// Close flushes and closes the underlying socket.
+func (e *Exporter) Close() error {
+	flushErr := e.Flush()
+	closeErr := e.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Collector listens for NetFlow v5 datagrams and delivers decoded records
+// on a channel, the shape Xatu's online detector consumes.
+type Collector struct {
+	pc      net.PacketConn
+	out     chan Record
+	dropped uint64
+	badPkts uint64
+	mu      sync.Mutex
+}
+
+// NewCollector binds a UDP listener on addr (use "127.0.0.1:0" for an
+// ephemeral test port). bufSize is the channel capacity; records are
+// dropped (and counted) when the consumer falls behind, matching how real
+// collectors shed load rather than block the socket reader.
+func NewCollector(addr string, bufSize int) (*Collector, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: binding collector: %w", err)
+	}
+	return &Collector{pc: pc, out: make(chan Record, bufSize)}, nil
+}
+
+// Addr returns the bound listen address.
+func (c *Collector) Addr() string { return c.pc.LocalAddr().String() }
+
+// Records is the stream of decoded flow records. It is closed when Run
+// returns.
+func (c *Collector) Records() <-chan Record { return c.out }
+
+// Run reads datagrams until ctx is canceled or the socket is closed.
+// Malformed packets are counted and skipped.
+func (c *Collector) Run(ctx context.Context) error {
+	defer close(c.out)
+	go func() {
+		<-ctx.Done()
+		c.pc.Close()
+	}()
+	buf := make([]byte, 65535)
+	for {
+		n, _, err := c.pc.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("netflow: reading datagram: %w", err)
+		}
+		_, recs, err := DecodeV5(buf[:n])
+		if err != nil {
+			c.mu.Lock()
+			c.badPkts++
+			c.mu.Unlock()
+			continue
+		}
+		for _, r := range recs {
+			select {
+			case c.out <- r:
+			default:
+				c.mu.Lock()
+				c.dropped++
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Stats reports dropped records and malformed packets seen so far.
+func (c *Collector) Stats() (dropped, badPackets uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped, c.badPkts
+}
+
+// Sampler applies 1:N random packet sampling to a flow stream, the way the
+// ISP's routers sample NetFlow (§2.2). For a flow of P packets it draws the
+// number of sampled packets from Binomial(P, 1/N) and, when positive, emits
+// the flow with packet and byte counts scaled back up by N — the standard
+// inversion estimator, unbiased in expectation (verified by tests).
+type Sampler struct {
+	N   int
+	rng *rand.Rand
+}
+
+// NewSampler returns a 1:n sampler; n <= 1 passes everything through.
+func NewSampler(n int, rng *rand.Rand) *Sampler {
+	if n < 1 {
+		n = 1
+	}
+	return &Sampler{N: n, rng: rng}
+}
+
+// Sample returns the sampled-and-rescaled record and whether it survived.
+func (s *Sampler) Sample(r Record) (Record, bool) {
+	if s.N == 1 {
+		return r, true
+	}
+	p := 1 / float64(s.N)
+	var kept uint32
+	// Binomial draw; flows are small enough (minutes of traffic) that a
+	// direct Bernoulli loop is fine and exact.
+	if r.Packets > 10000 {
+		// Gaussian approximation for big flows to bound CPU.
+		mean := float64(r.Packets) * p
+		sd := mean * (1 - p)
+		k := s.rng.NormFloat64()*math.Sqrt(sd) + mean
+		if k < 0 {
+			k = 0
+		}
+		kept = uint32(k + 0.5)
+		if kept > r.Packets {
+			kept = r.Packets
+		}
+	} else {
+		for i := uint32(0); i < r.Packets; i++ {
+			if s.rng.Float64() < p {
+				kept++
+			}
+		}
+	}
+	if kept == 0 {
+		return Record{}, false
+	}
+	bytesPerPkt := float64(r.Bytes) / float64(r.Packets)
+	out := r
+	out.Packets = kept * uint32(s.N)
+	out.Bytes = uint32(bytesPerPkt*float64(kept)*float64(s.N) + 0.5)
+	return out, true
+}

@@ -1,0 +1,195 @@
+package netflow
+
+import (
+	"context"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestExporterCollectorEndToEnd(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- col.Run(ctx) }()
+
+	exp, err := NewExporter(col.Addr(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 95 // forces 3 full packets + 1 partial flush
+	start := time.Now().Add(-30 * time.Second)
+	for i := 0; i < total; i++ {
+		r := Record{
+			Src:     netip.AddrFrom4([4]byte{11, 0, byte(i / 250), byte(i%250 + 1)}),
+			Dst:     netip.MustParseAddr("23.1.1.1"),
+			SrcPort: uint16(1000 + i),
+			DstPort: 53,
+			Proto:   ProtoUDP,
+			Packets: uint32(i + 1),
+			Bytes:   uint32((i + 1) * 64),
+			Start:   start,
+			End:     start.Add(time.Second),
+		}
+		if err := exp.Export(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if exp.Sent() != total {
+		t.Fatalf("Sent = %d, want %d", exp.Sent(), total)
+	}
+
+	received := 0
+	timeout := time.After(5 * time.Second)
+	for received < total {
+		select {
+		case r, ok := <-col.Records():
+			if !ok {
+				t.Fatalf("collector closed early after %d records", received)
+			}
+			if r.Proto != ProtoUDP || r.DstPort != 53 {
+				t.Fatalf("corrupted record: %+v", r)
+			}
+			received++
+		case <-timeout:
+			t.Fatalf("timed out after %d/%d records", received, total)
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	dropped, bad := col.Stats()
+	if dropped != 0 || bad != 0 {
+		t.Fatalf("dropped=%d bad=%d", dropped, bad)
+	}
+}
+
+func TestCollectorIgnoresGarbageDatagrams(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go col.Run(ctx)
+
+	exp, err := NewExporter(col.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	// Send garbage straight through the exporter's socket.
+	if _, err := exp.conn.Write([]byte("this is not netflow")); err != nil {
+		t.Fatal(err)
+	}
+	// Then a valid record; it must still arrive.
+	r := Record{
+		Src: netip.MustParseAddr("11.1.1.1"), Dst: netip.MustParseAddr("23.1.1.1"),
+		Proto: ProtoICMP, Packets: 1, Bytes: 64,
+		Start: time.Now().Add(-time.Second), End: time.Now(),
+	}
+	if err := exp.Export(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-col.Records():
+		if got.Proto != ProtoICMP {
+			t.Fatalf("got %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("valid record never arrived")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, bad := col.Stats()
+		if bad == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bad packet counter = %d, want 1", bad)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSamplerPassThrough(t *testing.T) {
+	s := NewSampler(1, rand.New(rand.NewSource(1)))
+	r := Record{Packets: 10, Bytes: 1000}
+	got, ok := s.Sample(r)
+	if !ok || got.Packets != 10 || got.Bytes != 1000 {
+		t.Fatalf("1:1 sampling must pass through, got %+v ok=%v", got, ok)
+	}
+	if NewSampler(0, nil).N != 1 {
+		t.Fatal("n<1 must clamp to 1")
+	}
+}
+
+func TestSamplerUnbiasedInExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	s := NewSampler(100, rng)
+	const trials = 3000
+	r := Record{Packets: 500, Bytes: 500 * 64}
+	var sumPkts, sumBytes float64
+	for i := 0; i < trials; i++ {
+		got, ok := s.Sample(r)
+		if ok {
+			sumPkts += float64(got.Packets)
+			sumBytes += float64(got.Bytes)
+		}
+	}
+	meanPkts := sumPkts / trials
+	meanBytes := sumBytes / trials
+	// Expectation equals the original value; allow 10% statistical slack.
+	if meanPkts < 450 || meanPkts > 550 {
+		t.Fatalf("mean packets %v, want ≈500", meanPkts)
+	}
+	if meanBytes < 0.9*500*64 || meanBytes > 1.1*500*64 {
+		t.Fatalf("mean bytes %v, want ≈%v", meanBytes, 500*64)
+	}
+}
+
+func TestSamplerLargeFlowApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	s := NewSampler(1000, rng)
+	r := Record{Packets: 1_000_000, Bytes: 64_000_000}
+	var sum float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		got, ok := s.Sample(r)
+		if !ok {
+			t.Fatal("million-packet flow should essentially always survive 1:1000 sampling")
+		}
+		sum += float64(got.Packets)
+	}
+	mean := sum / trials
+	if mean < 0.95e6 || mean > 1.05e6 {
+		t.Fatalf("mean %v, want ≈1e6", mean)
+	}
+}
+
+func TestSamplerDropsSmallFlowsSometimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	s := NewSampler(1000, rng)
+	r := Record{Packets: 2, Bytes: 128}
+	dropped := 0
+	for i := 0; i < 500; i++ {
+		if _, ok := s.Sample(r); !ok {
+			dropped++
+		}
+	}
+	if dropped < 400 {
+		t.Fatalf("2-packet flow under 1:1000 sampling should almost always vanish, dropped %d/500", dropped)
+	}
+}

@@ -1,0 +1,149 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// NetFlow v5 wire format. One datagram carries a 24-byte header and up to
+// 30 fixed 48-byte records. Flow start/end are expressed as router uptime
+// in milliseconds; the header carries the router's wall clock, which lets
+// the decoder recover absolute times.
+
+const (
+	v5Version    = 5
+	v5HeaderLen  = 24
+	v5RecordLen  = 48
+	v5MaxRecords = 30
+)
+
+// MaxRecordsPerPacket is the v5 per-datagram record limit.
+const MaxRecordsPerPacket = v5MaxRecords
+
+// Header is the decoded v5 packet header.
+type Header struct {
+	Count            uint16
+	SysUptime        uint32 // ms since router boot
+	UnixTime         time.Time
+	FlowSequence     uint32
+	EngineType       uint8
+	EngineID         uint8
+	SamplingInterval uint16 // lower 14 bits
+}
+
+// EncodeV5 serializes up to MaxRecordsPerPacket records into one v5
+// datagram. bootTime anchors the uptime clock; flowSeq is the sequence
+// number of the first record; sampling is the 1:N sampling interval
+// advertised in the header.
+func EncodeV5(records []Record, bootTime, now time.Time, flowSeq uint32, sampling uint16) ([]byte, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("netflow: encode of empty record set")
+	}
+	if len(records) > v5MaxRecords {
+		return nil, fmt.Errorf("netflow: %d records exceed v5 limit %d", len(records), v5MaxRecords)
+	}
+	uptime := now.Sub(bootTime)
+	if uptime < 0 {
+		return nil, fmt.Errorf("netflow: now precedes bootTime")
+	}
+	buf := make([]byte, v5HeaderLen+v5RecordLen*len(records))
+	be := binary.BigEndian
+	be.PutUint16(buf[0:], v5Version)
+	be.PutUint16(buf[2:], uint16(len(records)))
+	be.PutUint32(buf[4:], uint32(uptime.Milliseconds()))
+	be.PutUint32(buf[8:], uint32(now.Unix()))
+	be.PutUint32(buf[12:], uint32(now.Nanosecond()))
+	be.PutUint32(buf[16:], flowSeq)
+	buf[20] = 0 // engine type
+	buf[21] = 1 // engine id
+	be.PutUint16(buf[22:], sampling&0x3FFF)
+
+	for i, r := range records {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("netflow: record %d: %w", i, err)
+		}
+		off := v5HeaderLen + i*v5RecordLen
+		src := r.Src.Unmap().As4()
+		dst := r.Dst.Unmap().As4()
+		copy(buf[off:], src[:])
+		copy(buf[off+4:], dst[:])
+		// next hop (off+8), input/output ifindex (off+12) left zero
+		be.PutUint32(buf[off+16:], r.Packets)
+		be.PutUint32(buf[off+20:], r.Bytes)
+		first := r.Start.Sub(bootTime).Milliseconds()
+		last := r.End.Sub(bootTime).Milliseconds()
+		if first < 0 || last < 0 {
+			return nil, fmt.Errorf("netflow: record %d starts before bootTime", i)
+		}
+		be.PutUint32(buf[off+24:], uint32(first))
+		be.PutUint32(buf[off+28:], uint32(last))
+		be.PutUint16(buf[off+32:], r.SrcPort)
+		be.PutUint16(buf[off+34:], r.DstPort)
+		// pad1 at off+36
+		buf[off+37] = r.TCPFlags
+		buf[off+38] = uint8(r.Proto)
+		// tos at off+39
+		be.PutUint16(buf[off+40:], r.SrcAS)
+		be.PutUint16(buf[off+42:], r.DstAS)
+		// masks + pad2 at off+44..47
+	}
+	return buf, nil
+}
+
+// DecodeV5 parses a v5 datagram, recovering absolute flow times from the
+// header clock. Malformed input returns an error; it never panics.
+func DecodeV5(pkt []byte) (Header, []Record, error) {
+	if len(pkt) < v5HeaderLen {
+		return Header{}, nil, fmt.Errorf("netflow: packet too short for header: %d bytes", len(pkt))
+	}
+	be := binary.BigEndian
+	if v := be.Uint16(pkt[0:]); v != v5Version {
+		return Header{}, nil, fmt.Errorf("netflow: unsupported version %d", v)
+	}
+	h := Header{
+		Count:            be.Uint16(pkt[2:]),
+		SysUptime:        be.Uint32(pkt[4:]),
+		UnixTime:         time.Unix(int64(be.Uint32(pkt[8:])), int64(be.Uint32(pkt[12:]))).UTC(),
+		FlowSequence:     be.Uint32(pkt[16:]),
+		EngineType:       pkt[20],
+		EngineID:         pkt[21],
+		SamplingInterval: be.Uint16(pkt[22:]) & 0x3FFF,
+	}
+	if h.Count == 0 || h.Count > v5MaxRecords {
+		return Header{}, nil, fmt.Errorf("netflow: implausible record count %d", h.Count)
+	}
+	want := v5HeaderLen + int(h.Count)*v5RecordLen
+	if len(pkt) < want {
+		return Header{}, nil, fmt.Errorf("netflow: truncated packet: have %d bytes, header claims %d", len(pkt), want)
+	}
+	// bootTime = headerWallClock − sysUptime
+	boot := h.UnixTime.Add(-time.Duration(h.SysUptime) * time.Millisecond)
+	records := make([]Record, h.Count)
+	for i := 0; i < int(h.Count); i++ {
+		off := v5HeaderLen + i*v5RecordLen
+		var src, dst [4]byte
+		copy(src[:], pkt[off:off+4])
+		copy(dst[:], pkt[off+4:off+8])
+		r := Record{
+			Src:      netip.AddrFrom4(src),
+			Dst:      netip.AddrFrom4(dst),
+			Packets:  be.Uint32(pkt[off+16:]),
+			Bytes:    be.Uint32(pkt[off+20:]),
+			Start:    boot.Add(time.Duration(be.Uint32(pkt[off+24:])) * time.Millisecond),
+			End:      boot.Add(time.Duration(be.Uint32(pkt[off+28:])) * time.Millisecond),
+			SrcPort:  be.Uint16(pkt[off+32:]),
+			DstPort:  be.Uint16(pkt[off+34:]),
+			TCPFlags: pkt[off+37],
+			Proto:    Proto(pkt[off+38]),
+			SrcAS:    be.Uint16(pkt[off+40:]),
+			DstAS:    be.Uint16(pkt[off+42:]),
+		}
+		if err := r.Validate(); err != nil {
+			return Header{}, nil, fmt.Errorf("netflow: record %d: %w", i, err)
+		}
+		records[i] = r
+	}
+	return h, records, nil
+}

@@ -1,0 +1,211 @@
+package netflow
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	boot = time.Date(2019, 4, 24, 0, 0, 0, 0, time.UTC)
+	now  = boot.Add(10 * time.Minute)
+)
+
+func sampleRecord() Record {
+	return Record{
+		Src:     netip.MustParseAddr("11.1.2.3"),
+		Dst:     netip.MustParseAddr("23.4.5.6"),
+		SrcPort: 53,
+		DstPort: 4444,
+		Proto:   ProtoUDP,
+		Packets: 100,
+		Bytes:   64000,
+		Start:   boot.Add(5 * time.Minute),
+		End:     boot.Add(6 * time.Minute),
+		SrcAS:   64500,
+		DstAS:   64999,
+	}
+}
+
+func TestV5RoundTrip(t *testing.T) {
+	recs := []Record{sampleRecord()}
+	r2 := sampleRecord()
+	r2.Proto = ProtoTCP
+	r2.TCPFlags = FlagSYN | FlagACK
+	r2.SrcPort = 80
+	recs = append(recs, r2)
+
+	pkt, err := EncodeV5(recs, boot, now, 42, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := DecodeV5(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count != 2 || h.FlowSequence != 42 || h.SamplingInterval != 1000 {
+		t.Fatalf("header = %+v", h)
+	}
+	for i := range recs {
+		w, g := recs[i], got[i]
+		if g.Src != w.Src || g.Dst != w.Dst || g.SrcPort != w.SrcPort ||
+			g.DstPort != w.DstPort || g.Proto != w.Proto || g.TCPFlags != w.TCPFlags ||
+			g.Packets != w.Packets || g.Bytes != w.Bytes || g.SrcAS != w.SrcAS || g.DstAS != w.DstAS {
+			t.Fatalf("record %d: got %+v want %+v", i, g, w)
+		}
+		if d := g.Start.Sub(w.Start); d > time.Millisecond || d < -time.Millisecond {
+			t.Fatalf("record %d start drift %v", i, d)
+		}
+		if d := g.End.Sub(w.End); d > time.Millisecond || d < -time.Millisecond {
+			t.Fatalf("record %d end drift %v", i, d)
+		}
+	}
+}
+
+func TestV5RoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%MaxRecordsPerPacket + 1
+		recs := make([]Record, n)
+		for i := range recs {
+			start := boot.Add(time.Duration(rng.Intn(500)) * time.Second)
+			recs[i] = Record{
+				Src:      netip.AddrFrom4([4]byte{11, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(255) + 1)}),
+				Dst:      netip.AddrFrom4([4]byte{23, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(255) + 1)}),
+				SrcPort:  uint16(rng.Intn(65536)),
+				DstPort:  uint16(rng.Intn(65536)),
+				Proto:    Proto([]Proto{ProtoTCP, ProtoUDP, ProtoICMP}[rng.Intn(3)]),
+				TCPFlags: uint8(rng.Intn(64)),
+				Packets:  uint32(rng.Intn(100000) + 1),
+				Bytes:    uint32(rng.Intn(1 << 30)),
+				Start:    start,
+				End:      start.Add(time.Duration(rng.Intn(60)) * time.Second),
+				SrcAS:    uint16(rng.Intn(65536)),
+				DstAS:    uint16(rng.Intn(65536)),
+			}
+		}
+		pkt, err := EncodeV5(recs, boot, now, rng.Uint32(), uint16(rng.Intn(1<<14)))
+		if err != nil {
+			return false
+		}
+		_, got, err := DecodeV5(pkt)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range recs {
+			if got[i].Src != recs[i].Src || got[i].Packets != recs[i].Packets ||
+				got[i].Bytes != recs[i].Bytes || got[i].TCPFlags != recs[i].TCPFlags {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeV5Limits(t *testing.T) {
+	if _, err := EncodeV5(nil, boot, now, 0, 0); err == nil {
+		t.Fatal("empty record set must error")
+	}
+	recs := make([]Record, MaxRecordsPerPacket+1)
+	for i := range recs {
+		recs[i] = sampleRecord()
+	}
+	if _, err := EncodeV5(recs, boot, now, 0, 0); err == nil {
+		t.Fatal("over-limit record set must error")
+	}
+	if _, err := EncodeV5(recs[:1], now, boot, 0, 0); err == nil {
+		t.Fatal("now before bootTime must error")
+	}
+	bad := sampleRecord()
+	bad.Packets = 0
+	if _, err := EncodeV5([]Record{bad}, boot, now, 0, 0); err == nil {
+		t.Fatal("invalid record must error")
+	}
+	early := sampleRecord()
+	early.Start = boot.Add(-time.Second)
+	if _, err := EncodeV5([]Record{early}, boot, now, 0, 0); err == nil {
+		t.Fatal("flow starting before bootTime must error")
+	}
+}
+
+func TestDecodeV5Malformed(t *testing.T) {
+	good, err := EncodeV5([]Record{sampleRecord()}, boot, now, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:10],
+		"truncated": good[:len(good)-1],
+	}
+	for name, pkt := range cases {
+		if _, _, err := DecodeV5(pkt); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// wrong version
+	badVer := append([]byte(nil), good...)
+	badVer[1] = 9
+	if _, _, err := DecodeV5(badVer); err == nil {
+		t.Error("wrong version: expected error")
+	}
+	// zero count
+	zeroCount := append([]byte(nil), good...)
+	zeroCount[2], zeroCount[3] = 0, 0
+	if _, _, err := DecodeV5(zeroCount); err == nil {
+		t.Error("zero count: expected error")
+	}
+	// implausible count
+	bigCount := append([]byte(nil), good...)
+	bigCount[2], bigCount[3] = 0xFF, 0xFF
+	if _, _, err := DecodeV5(bigCount); err == nil {
+		t.Error("huge count: expected error")
+	}
+}
+
+func TestDecodeV5NeverPanicsOnFuzzInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(200)
+		pkt := make([]byte, n)
+		rng.Read(pkt)
+		// Must not panic; errors are fine.
+		DecodeV5(pkt)
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	r := sampleRecord()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := r
+	bad.Src = netip.Addr{}
+	if bad.Validate() == nil {
+		t.Fatal("invalid src must fail")
+	}
+	bad = r
+	bad.End = r.Start.Add(-time.Second)
+	if bad.Validate() == nil {
+		t.Fatal("end before start must fail")
+	}
+	bad = r
+	bad.Src = netip.MustParseAddr("2001:db8::1")
+	if bad.Validate() == nil {
+		t.Fatal("IPv6 must fail")
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if ProtoUDP.String() != "udp" || ProtoTCP.String() != "tcp" || ProtoICMP.String() != "icmp" {
+		t.Fatal("named protocols")
+	}
+	if Proto(47).String() != "proto-47" {
+		t.Fatal("unnamed protocol formatting")
+	}
+}

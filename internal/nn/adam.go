@@ -1,0 +1,83 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2014), the optimizer the
+// paper trains Xatu with (learning rate 1e-4 in the prototype). One Adam
+// instance owns the moment estimates for a fixed parameter list.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	Clip    float64 // global gradient-norm clip; 0 disables
+	step    int
+	m, v    []*Mat
+	params  []Param
+	numEl   int
+	prepped bool
+}
+
+// NewAdam returns an Adam optimizer over params with standard defaults
+// (beta1=0.9, beta2=0.999, eps=1e-8) and a gradient-norm clip of 5, which
+// keeps BPTT over long Xatu sequences stable.
+func NewAdam(lr float64, params []Param) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Clip: 5, params: params}
+	a.m = make([]*Mat, len(params))
+	a.v = make([]*Mat, len(params))
+	for i, p := range params {
+		a.m[i] = NewMat(p.W.Rows, p.W.Cols)
+		a.v[i] = NewMat(p.W.Rows, p.W.Cols)
+		a.numEl += len(p.W.Data)
+	}
+	a.prepped = true
+	return a
+}
+
+// Step applies one Adam update using the gradients currently accumulated in
+// the parameter list, then zeroes them. scale divides the gradients first
+// (use 1/batchSize for mean-gradient semantics).
+func (a *Adam) Step(scale float64) {
+	a.step++
+	if scale != 1 {
+		for _, p := range a.params {
+			for i := range p.G.Data {
+				p.G.Data[i] *= scale
+			}
+		}
+	}
+	if a.Clip > 0 {
+		var norm2 float64
+		for _, p := range a.params {
+			for _, g := range p.G.Data {
+				norm2 += g * g
+			}
+		}
+		norm := math.Sqrt(norm2)
+		if norm > a.Clip {
+			s := a.Clip / norm
+			for _, p := range a.params {
+				for i := range p.G.Data {
+					p.G.Data[i] *= s
+				}
+			}
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		m := a.m[i].Data
+		v := a.v[i].Data
+		for j, g := range p.G.Data {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p.W.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.G.Zero()
+	}
+}
+
+// StepCount returns the number of updates applied so far.
+func (a *Adam) StepCount() int { return a.step }

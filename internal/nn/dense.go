@@ -1,0 +1,69 @@
+package nn
+
+import "math/rand"
+
+// Param is a named weight matrix paired with its gradient accumulator.
+// Optimizers walk a slice of Params; layers expose their weights this way.
+type Param struct {
+	Name string
+	W    *Mat
+	G    *Mat
+}
+
+// Dense is a fully connected layer y = W·x + b.
+type Dense struct {
+	In, Out int
+	W       *Mat // Out×In
+	B       Vec  // Out
+	GW      *Mat
+	GB      Vec
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:  NewMat(out, in),
+		B:  NewVec(out),
+		GW: NewMat(out, in),
+		GB: NewVec(out),
+	}
+	d.W.XavierInit(rng)
+	return d
+}
+
+// Params exposes the layer's weights for optimization.
+func (d *Dense) Params() []Param {
+	return []Param{
+		{Name: "dense.W", W: d.W, G: d.GW},
+		{Name: "dense.b", W: vecAsMat(d.B), G: vecAsMat(d.GB)},
+	}
+}
+
+// Forward computes y = W·x + b.
+func (d *Dense) Forward(x Vec) Vec {
+	y := NewVec(d.Out)
+	d.W.MulVec(x, y)
+	y.Add(d.B)
+	return y
+}
+
+// Backward accumulates weight gradients for the pair (x, dy) and returns
+// dL/dx. x must be the input that produced the output whose gradient is dy.
+func (d *Dense) Backward(x, dy Vec) Vec {
+	d.GW.AddOuter(dy, x)
+	d.GB.Add(dy)
+	dx := NewVec(d.In)
+	d.W.MulVecTrans(dy, dx)
+	return dx
+}
+
+// ZeroGrad clears accumulated gradients.
+func (d *Dense) ZeroGrad() {
+	d.GW.Zero()
+	d.GB.Zero()
+}
+
+// vecAsMat views a Vec as a 1×n matrix sharing storage, so optimizers can
+// treat biases uniformly with weight matrices.
+func vecAsMat(v Vec) *Mat { return &Mat{Rows: 1, Cols: len(v), Data: v} }

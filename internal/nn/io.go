@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The nn binary format is deliberately simple: a magic header, then for
+// each parameter its name, shape, and row-major float64 payload, all
+// little-endian. It round-trips bit-exactly and needs no reflection.
+
+var paramMagic = [4]byte{'X', 'N', 'N', '1'}
+
+// WriteParams serializes params to w in declaration order.
+func WriteParams(w io.Writer, params []Param) error {
+	if _, err := w.Write(paramMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := w.Write(name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(p.W.Rows)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(p.W.Cols)); err != nil {
+			return err
+		}
+		buf := make([]byte, 8*len(p.W.Data))
+		for i, v := range p.W.Data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadParams deserializes parameters from r into params, matching by
+// position and verifying name and shape. The weight data is copied in
+// place, so layer structs holding these matrices see the loaded values.
+func ReadParams(r io.Reader, params []Param) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if magic != paramMagic {
+		return fmt.Errorf("nn: bad magic %q", magic)
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n) != len(params) {
+		return fmt.Errorf("nn: param count mismatch: file has %d, model has %d", n, len(params))
+	}
+	for i := range params {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("nn: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return err
+		}
+		if string(name) != params[i].Name {
+			return fmt.Errorf("nn: param %d name mismatch: file %q, model %q", i, name, params[i].Name)
+		}
+		var rows, cols uint32
+		if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+			return err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
+			return err
+		}
+		if int(rows) != params[i].W.Rows || int(cols) != params[i].W.Cols {
+			return fmt.Errorf("nn: param %q shape mismatch: file %dx%d, model %dx%d",
+				params[i].Name, rows, cols, params[i].W.Rows, params[i].W.Cols)
+		}
+		buf := make([]byte, 8*rows*cols)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for j := range params[i].W.Data {
+			params[i].W.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		}
+	}
+	return nil
+}

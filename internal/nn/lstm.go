@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-layer long short-term memory network processing one
+// sequence at a time. Gate order in the stacked weight matrices is
+// input (i), forget (f), cell candidate (g), output (o).
+//
+// The layer keeps no per-sequence state; Forward returns an LSTMTape the
+// caller hands back to Backward, so one LSTM instance can be evaluated on
+// many sequences (and reused across goroutines as long as gradient
+// accumulation is externally serialized).
+type LSTM struct {
+	In, Hidden int
+	Wx         *Mat // (4*Hidden)×In, input weights for all gates stacked
+	Wh         *Mat // (4*Hidden)×Hidden, recurrent weights
+	B          Vec  // 4*Hidden
+	GWx        *Mat
+	GWh        *Mat
+	GB         Vec
+}
+
+// NewLSTM returns an LSTM with Xavier-initialized weights and the forget
+// gate biased to 1 (the standard trick that lets memory persist early in
+// training, which matters for Xatu's long lookback windows).
+func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		Wx:  NewMat(4*hidden, in),
+		Wh:  NewMat(4*hidden, hidden),
+		B:   NewVec(4 * hidden),
+		GWx: NewMat(4*hidden, in),
+		GWh: NewMat(4*hidden, hidden),
+		GB:  NewVec(4 * hidden),
+	}
+	l.Wx.XavierInit(rng)
+	l.Wh.XavierInit(rng)
+	for j := 0; j < hidden; j++ {
+		l.B[hidden+j] = 1 // forget-gate bias
+	}
+	return l
+}
+
+// Params exposes the layer's weights for optimization.
+func (l *LSTM) Params() []Param {
+	return []Param{
+		{Name: "lstm.Wx", W: l.Wx, G: l.GWx},
+		{Name: "lstm.Wh", W: l.Wh, G: l.GWh},
+		{Name: "lstm.b", W: vecAsMat(l.B), G: vecAsMat(l.GB)},
+	}
+}
+
+// ZeroGrad clears accumulated gradients.
+func (l *LSTM) ZeroGrad() {
+	l.GWx.Zero()
+	l.GWh.Zero()
+	l.GB.Zero()
+}
+
+// LSTMTape caches per-step activations from a Forward pass for use in
+// Backward. H[t] is the hidden state after consuming xs[t].
+type LSTMTape struct {
+	Xs    []Vec // inputs, aliased from the caller
+	H     []Vec // hidden states, len T
+	C     []Vec // cell states, len T
+	Gates []Vec // pre-activation-applied gate values [i f g o], len T, each 4*Hidden
+}
+
+// T returns the sequence length recorded on the tape.
+func (tp *LSTMTape) T() int { return len(tp.H) }
+
+// Forward runs the LSTM over xs starting from zero state and returns the
+// tape of hidden states and cached gate activations.
+func (l *LSTM) Forward(xs []Vec) *LSTMTape {
+	T := len(xs)
+	hd := l.Hidden
+	tape := &LSTMTape{
+		Xs:    xs,
+		H:     make([]Vec, T),
+		C:     make([]Vec, T),
+		Gates: make([]Vec, T),
+	}
+	hPrev := NewVec(hd)
+	cPrev := NewVec(hd)
+	pre := NewVec(4 * hd)
+	rec := NewVec(4 * hd)
+	for t := 0; t < T; t++ {
+		l.Wx.MulVec(xs[t], pre)
+		l.Wh.MulVec(hPrev, rec)
+		gates := NewVec(4 * hd)
+		h := NewVec(hd)
+		c := NewVec(hd)
+		for j := 0; j < hd; j++ {
+			zi := pre[j] + rec[j] + l.B[j]
+			zf := pre[hd+j] + rec[hd+j] + l.B[hd+j]
+			zg := pre[2*hd+j] + rec[2*hd+j] + l.B[2*hd+j]
+			zo := pre[3*hd+j] + rec[3*hd+j] + l.B[3*hd+j]
+			gi := Sigmoid(zi)
+			gf := Sigmoid(zf)
+			gg := math.Tanh(zg)
+			go_ := Sigmoid(zo)
+			gates[j] = gi
+			gates[hd+j] = gf
+			gates[2*hd+j] = gg
+			gates[3*hd+j] = go_
+			c[j] = gf*cPrev[j] + gi*gg
+			h[j] = go_ * math.Tanh(c[j])
+		}
+		tape.Gates[t] = gates
+		tape.C[t] = c
+		tape.H[t] = h
+		hPrev = h
+		cPrev = c
+	}
+	return tape
+}
+
+// Backward runs backpropagation through time. dH[t] is dL/dH[t] injected
+// from above (nil entries are treated as zero). Weight gradients are
+// accumulated into the layer; the returned slice holds dL/dxs[t] so callers
+// can chain further (e.g. through pooling, or for input-gradient saliency).
+func (l *LSTM) Backward(tape *LSTMTape, dH []Vec) []Vec {
+	T := tape.T()
+	hd := l.Hidden
+	dXs := make([]Vec, T)
+	dhNext := NewVec(hd) // dL/dh flowing from step t+1
+	dcNext := NewVec(hd) // dL/dc flowing from step t+1
+	dz := NewVec(4 * hd) // pre-activation gradients at step t
+	for t := T - 1; t >= 0; t-- {
+		dh := dhNext.Clone()
+		if t < len(dH) && dH[t] != nil {
+			dh.Add(dH[t])
+		}
+		gates := tape.Gates[t]
+		c := tape.C[t]
+		var cPrev Vec
+		if t > 0 {
+			cPrev = tape.C[t-1]
+		} else {
+			cPrev = NewVec(hd)
+		}
+		dcPrev := NewVec(hd)
+		for j := 0; j < hd; j++ {
+			gi := gates[j]
+			gf := gates[hd+j]
+			gg := gates[2*hd+j]
+			go_ := gates[3*hd+j]
+			tc := math.Tanh(c[j])
+			dc := dcNext[j] + dh[j]*go_*(1-tc*tc)
+			dz[j] = dc * gg * gi * (1 - gi)          // input gate
+			dz[hd+j] = dc * cPrev[j] * gf * (1 - gf) // forget gate
+			dz[2*hd+j] = dc * gi * (1 - gg*gg)       // candidate
+			dz[3*hd+j] = dh[j] * tc * go_ * (1 - go_)
+			dcPrev[j] = dc * gf
+		}
+		var hPrev Vec
+		if t > 0 {
+			hPrev = tape.H[t-1]
+		} else {
+			hPrev = NewVec(hd)
+		}
+		l.GWx.AddOuter(dz, tape.Xs[t])
+		l.GWh.AddOuter(dz, hPrev)
+		l.GB.Add(dz)
+		dx := NewVec(l.In)
+		l.Wx.MulVecTrans(dz, dx)
+		dXs[t] = dx
+		dhPrev := NewVec(hd)
+		l.Wh.MulVecTrans(dz, dhPrev)
+		dhNext = dhPrev
+		dcNext = dcPrev
+	}
+	return dXs
+}

@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestVecAddDotScale(t *testing.T) {
+	v := Vec{1, 2, 3}
+	o := Vec{4, 5, 6}
+	v.Add(o)
+	if v[0] != 5 || v[1] != 7 || v[2] != 9 {
+		t.Fatalf("Add: got %v", v)
+	}
+	if got := v.Dot(o); got != 5*4+7*5+9*6 {
+		t.Fatalf("Dot: got %v", got)
+	}
+	v.Scale(2)
+	if v[2] != 18 {
+		t.Fatalf("Scale: got %v", v)
+	}
+}
+
+func TestVecCloneIndependent(t *testing.T) {
+	v := Vec{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestVecAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vec{1}.Add(Vec{1, 2})
+}
+
+func TestMatMulVec(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	x := Vec{1, 1, 1}
+	y := NewVec(2)
+	m.MulVec(x, y)
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec: got %v", y)
+	}
+}
+
+func TestMatMulVecTransMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMat(5, 7)
+	m.XavierInit(rng)
+	x := NewVec(5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := NewVec(7)
+	m.MulVecTrans(x, dst)
+	for c := 0; c < 7; c++ {
+		var want float64
+		for r := 0; r < 5; r++ {
+			want += m.At(r, c) * x[r]
+		}
+		if !almostEq(dst[c], want, 1e-12) {
+			t.Fatalf("col %d: got %v want %v", c, dst[c], want)
+		}
+	}
+}
+
+func TestMatAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	m.AddOuter(Vec{1, 2}, Vec{3, 4})
+	want := []float64{3, 4, 6, 8}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("AddOuter: got %v want %v", m.Data, want)
+		}
+	}
+}
+
+func TestMatRowAliases(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Row(1)[2] = 42
+	if m.At(1, 2) != 42 {
+		t.Fatal("Row must alias matrix storage")
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1000, 1},
+		{-1000, 0},
+	}
+	for _, c := range cases {
+		got := Sigmoid(c.x)
+		if math.IsNaN(got) || math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Sigmoid(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSigmoidSymmetryProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 100)
+		return almostEq(Sigmoid(x)+Sigmoid(-x), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftplusProperties(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 200)
+		sp := Softplus(x)
+		// positive, ≥ x, ≥ 0, derivative in (0,1)
+		if sp < 0 || sp < x-1e-9 {
+			return false
+		}
+		d := SoftplusPrime(x)
+		return d > 0 && d < 1 || almostEq(d, 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftplusPrimeNumeric(t *testing.T) {
+	for _, x := range []float64{-5, -1, 0, 0.3, 2, 10} {
+		h := 1e-6
+		num := (Softplus(x+h) - Softplus(x-h)) / (2 * h)
+		if !almostEq(num, SoftplusPrime(x), 1e-5) {
+			t.Fatalf("SoftplusPrime(%v): analytic %v numeric %v", x, SoftplusPrime(x), num)
+		}
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMat(10, 20)
+	m.XavierInit(rng)
+	limit := math.Sqrt(6.0 / 30.0)
+	var nonzero int
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("value %v outside Xavier limit %v", v, limit)
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(m.Data)/2 {
+		t.Fatal("init left too many zeros")
+	}
+}

@@ -1,0 +1,74 @@
+package nn
+
+// MeanPool downsamples a sequence of feature vectors by averaging
+// non-overlapping windows of k consecutive steps. A trailing partial window
+// is averaged over its actual length, so no input step is dropped. k <= 1
+// returns xs unchanged (aliasing the input).
+func MeanPool(xs []Vec, k int) []Vec {
+	if k <= 1 || len(xs) == 0 {
+		return xs
+	}
+	n := (len(xs) + k - 1) / k
+	out := make([]Vec, n)
+	dim := len(xs[0])
+	for w := 0; w < n; w++ {
+		lo := w * k
+		hi := lo + k
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		acc := NewVec(dim)
+		for t := lo; t < hi; t++ {
+			acc.Add(xs[t])
+		}
+		acc.Scale(1 / float64(hi-lo))
+		out[w] = acc
+	}
+	return out
+}
+
+// MeanPoolBackward distributes gradients of the pooled sequence back to the
+// original resolution: each input step in window w receives dPooled[w]/len(w).
+// origLen is the pre-pooling sequence length. nil entries in dPooled are
+// treated as zero.
+func MeanPoolBackward(dPooled []Vec, k, origLen, dim int) []Vec {
+	dXs := make([]Vec, origLen)
+	if k <= 1 {
+		for t := 0; t < origLen && t < len(dPooled); t++ {
+			if dPooled[t] != nil {
+				dXs[t] = dPooled[t].Clone()
+			} else {
+				dXs[t] = NewVec(dim)
+			}
+		}
+		for t := range dXs {
+			if dXs[t] == nil {
+				dXs[t] = NewVec(dim)
+			}
+		}
+		return dXs
+	}
+	for t := 0; t < origLen; t++ {
+		dXs[t] = NewVec(dim)
+	}
+	for w, dp := range dPooled {
+		if dp == nil {
+			continue
+		}
+		lo := w * k
+		hi := lo + k
+		if hi > origLen {
+			hi = origLen
+		}
+		if lo >= origLen {
+			break
+		}
+		scale := 1 / float64(hi-lo)
+		for t := lo; t < hi; t++ {
+			for j := range dp {
+				dXs[t][j] += dp[j] * scale
+			}
+		}
+	}
+	return dXs
+}

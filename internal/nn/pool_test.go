@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanPoolBasic(t *testing.T) {
+	xs := []Vec{{2}, {4}, {6}, {8}, {10}}
+	out := MeanPool(xs, 2)
+	if len(out) != 3 {
+		t.Fatalf("len = %d, want 3", len(out))
+	}
+	if out[0][0] != 3 || out[1][0] != 7 || out[2][0] != 10 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestMeanPoolK1Identity(t *testing.T) {
+	xs := []Vec{{1, 2}, {3, 4}}
+	out := MeanPool(xs, 1)
+	if len(out) != 2 || &out[0][0] != &xs[0][0] {
+		t.Fatal("k=1 should alias input")
+	}
+}
+
+func TestMeanPoolEmpty(t *testing.T) {
+	if got := MeanPool(nil, 3); len(got) != 0 {
+		t.Fatal("empty input must give empty output")
+	}
+}
+
+// TestMeanPoolConservesMean: the weighted mean of pooled outputs equals the
+// mean of inputs (invariant from DESIGN.md §5).
+func TestMeanPoolConservesMean(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		k := int(kRaw)%10 + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]Vec, n)
+		var total float64
+		for i := range xs {
+			xs[i] = Vec{rng.NormFloat64()}
+			total += xs[i][0]
+		}
+		out := MeanPool(xs, k)
+		var pooledTotal float64
+		for w, v := range out {
+			lo := w * k
+			hi := lo + k
+			if hi > n {
+				hi = n
+			}
+			pooledTotal += v[0] * float64(hi-lo)
+		}
+		return almostEq(total, pooledTotal, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanPoolBackwardMatchesNumeric(t *testing.T) {
+	// L = Σ_w pooled[w][0]; dL/dx[t][0] must be 1/windowLen for t's window.
+	xs := []Vec{{1}, {2}, {3}, {4}, {5}}
+	k := 2
+	out := MeanPool(xs, k)
+	dPooled := make([]Vec, len(out))
+	for i := range dPooled {
+		dPooled[i] = Vec{1}
+	}
+	dXs := MeanPoolBackward(dPooled, k, len(xs), 1)
+	want := []float64{0.5, 0.5, 0.5, 0.5, 1} // last window has length 1
+	for t2, w := range want {
+		if !almostEq(dXs[t2][0], w, 1e-12) {
+			t.Fatalf("dXs[%d] = %v, want %v", t2, dXs[t2][0], w)
+		}
+	}
+}
+
+func TestMeanPoolBackwardNilEntries(t *testing.T) {
+	dXs := MeanPoolBackward([]Vec{nil, {2}}, 2, 4, 1)
+	if dXs[0][0] != 0 || dXs[1][0] != 0 {
+		t.Fatal("nil pooled gradient must contribute zero")
+	}
+	if dXs[2][0] != 1 || dXs[3][0] != 1 {
+		t.Fatalf("got %v", dXs)
+	}
+}
+
+func TestMeanPoolBackwardK1(t *testing.T) {
+	dXs := MeanPoolBackward([]Vec{{3}, nil, {5}}, 1, 3, 1)
+	if dXs[0][0] != 3 || dXs[1][0] != 0 || dXs[2][0] != 5 {
+		t.Fatalf("got %v", dXs)
+	}
+}

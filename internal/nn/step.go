@@ -1,0 +1,74 @@
+package nn
+
+import "math"
+
+// Step advances the LSTM by one timestep from state (h, c) with input x,
+// returning the next hidden and cell states. It allocates fresh state
+// vectors and performs no caching, making it suitable for long-running
+// online inference (Xatu's streaming detector) where full-sequence tapes
+// would grow without bound.
+func (l *LSTM) Step(h, c, x Vec) (Vec, Vec) {
+	hd := l.Hidden
+	if h == nil {
+		h = NewVec(hd)
+	}
+	if c == nil {
+		c = NewVec(hd)
+	}
+	pre := NewVec(4 * hd)
+	rec := NewVec(4 * hd)
+	l.Wx.MulVec(x, pre)
+	l.Wh.MulVec(h, rec)
+	hNext := NewVec(hd)
+	cNext := NewVec(hd)
+	for j := 0; j < hd; j++ {
+		gi := Sigmoid(pre[j] + rec[j] + l.B[j])
+		gf := Sigmoid(pre[hd+j] + rec[hd+j] + l.B[hd+j])
+		gg := math.Tanh(pre[2*hd+j] + rec[2*hd+j] + l.B[2*hd+j])
+		go_ := Sigmoid(pre[3*hd+j] + rec[3*hd+j] + l.B[3*hd+j])
+		cNext[j] = gf*c[j] + gi*gg
+		hNext[j] = go_ * math.Tanh(cNext[j])
+	}
+	return hNext, cNext
+}
+
+// ShareWeights returns an LSTM that aliases l's weight matrices but owns
+// fresh gradient accumulators. Replicas are safe to run concurrently for
+// forward/backward as long as nothing mutates the shared weights while
+// replicas are active; merge replica gradients with MergeGradsInto before
+// the optimizer step.
+func (l *LSTM) ShareWeights() *LSTM {
+	return &LSTM{
+		In: l.In, Hidden: l.Hidden,
+		Wx: l.Wx, Wh: l.Wh, B: l.B,
+		GWx: NewMat(4*l.Hidden, l.In),
+		GWh: NewMat(4*l.Hidden, l.Hidden),
+		GB:  NewVec(4 * l.Hidden),
+	}
+}
+
+// MergeGradsInto adds l's accumulated gradients into dst's accumulators and
+// zeroes l's.
+func (l *LSTM) MergeGradsInto(dst *LSTM) {
+	dst.GWx.AddScaled(l.GWx, 1)
+	dst.GWh.AddScaled(l.GWh, 1)
+	dst.GB.Add(l.GB)
+	l.ZeroGrad()
+}
+
+// ShareWeights returns a Dense aliasing d's weights with fresh gradients.
+func (d *Dense) ShareWeights() *Dense {
+	return &Dense{
+		In: d.In, Out: d.Out,
+		W: d.W, B: d.B,
+		GW: NewMat(d.Out, d.In),
+		GB: NewVec(d.Out),
+	}
+}
+
+// MergeGradsInto adds d's accumulated gradients into dst's and zeroes d's.
+func (d *Dense) MergeGradsInto(dst *Dense) {
+	dst.GW.AddScaled(d.GW, 1)
+	dst.GB.Add(d.GB)
+	d.ZeroGrad()
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStepMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	l := NewLSTM(3, 5, rng)
+	xs := make([]Vec, 8)
+	for i := range xs {
+		xs[i] = NewVec(3)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+	tape := l.Forward(xs)
+	var h, c Vec
+	for i, x := range xs {
+		h, c = l.Step(h, c, x)
+		for j := range h {
+			if h[j] != tape.H[i][j] {
+				t.Fatalf("step %d hidden %d: %v != %v", i, j, h[j], tape.H[i][j])
+			}
+			if c[j] != tape.C[i][j] {
+				t.Fatalf("step %d cell %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestStepNilStateIsZeroState(t *testing.T) {
+	l := NewLSTM(2, 3, rand.New(rand.NewSource(1)))
+	h1, c1 := l.Step(nil, nil, Vec{1, 2})
+	h2, c2 := l.Step(NewVec(3), NewVec(3), Vec{1, 2})
+	for j := range h1 {
+		if h1[j] != h2[j] || c1[j] != c2[j] {
+			t.Fatal("nil state must equal zero state")
+		}
+	}
+}
+
+func TestShareWeightsAliasesWeightsNotGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLSTM(2, 3, rng)
+	r := l.ShareWeights()
+	if &r.Wx.Data[0] != &l.Wx.Data[0] {
+		t.Fatal("weights must alias")
+	}
+	if &r.GWx.Data[0] == &l.GWx.Data[0] {
+		t.Fatal("gradients must be independent")
+	}
+	// A replica backward must not touch the primary's gradients.
+	xs := []Vec{{1, 1}}
+	tape := r.Forward(xs)
+	r.Backward(tape, []Vec{{1, 1, 1}})
+	for _, g := range l.GWx.Data {
+		if g != 0 {
+			t.Fatal("primary grads must stay zero")
+		}
+	}
+	// Merge moves them over and zeroes the replica.
+	r.MergeGradsInto(l)
+	var sum float64
+	for _, g := range l.GWx.Data {
+		sum += g * g
+	}
+	if sum == 0 {
+		t.Fatal("merge must transfer gradients")
+	}
+	for _, g := range r.GWx.Data {
+		if g != 0 {
+			t.Fatal("replica grads must be zeroed after merge")
+		}
+	}
+}
+
+func TestDenseShareWeightsAndMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense(2, 2, rng)
+	r := d.ShareWeights()
+	if &r.W.Data[0] != &d.W.Data[0] || &r.GW.Data[0] == &d.GW.Data[0] {
+		t.Fatal("sharing semantics wrong")
+	}
+	r.Backward(Vec{1, 2}, Vec{3, 4})
+	r.MergeGradsInto(d)
+	if d.GW.At(0, 0) != 3 || d.GW.At(1, 1) != 8 {
+		t.Fatalf("merged grads wrong: %v", d.GW.Data)
+	}
+	if r.GW.At(0, 0) != 0 {
+		t.Fatal("replica must be zeroed")
+	}
+}
+
+func TestReplicaForwardIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewLSTM(3, 4, rng)
+	r := l.ShareWeights()
+	xs := []Vec{{1, 0, -1}, {0.5, 0.5, 0.5}}
+	h1 := l.Forward(xs).H
+	h2 := r.Forward(xs).H
+	for i := range h1 {
+		for j := range h1[i] {
+			if h1[i][j] != h2[i][j] {
+				t.Fatal("replica forward must match primary")
+			}
+		}
+	}
+}

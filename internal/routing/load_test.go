@@ -1,0 +1,66 @@
+package routing
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestLoadTextBasic(t *testing.T) {
+	input := `
+# synthetic table
+11.0.0.0/14 64500
+23.4.0.0/16 64501
+`
+	tbl, err := LoadText(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	r, ok := tbl.Lookup(netip.MustParseAddr("11.1.2.3"))
+	if !ok || r.Origin != 64500 {
+		t.Fatalf("lookup: %v %v", r, ok)
+	}
+}
+
+func TestLoadTextErrors(t *testing.T) {
+	for name, input := range map[string]string{
+		"fields": "11.0.0.0/14",
+		"prefix": "nope 64500",
+		"asn":    "11.0.0.0/14 notanumber",
+		"ipv6":   "2001:db8::/32 64500",
+	} {
+		if _, err := LoadText(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tbl := SyntheticTable(16, rng)
+	var buf bytes.Buffer
+	if err := tbl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := LoadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.Len() != tbl.Len() {
+		t.Fatalf("round trip lost prefixes: %d vs %d", tbl2.Len(), tbl.Len())
+	}
+	// Probe lookups must agree.
+	for i := 0; i < 500; i++ {
+		addr := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+		r1, ok1 := tbl.Lookup(addr)
+		r2, ok2 := tbl2.Lookup(addr)
+		if ok1 != ok2 || (ok1 && (r1.Prefix != r2.Prefix || r1.Origin != r2.Origin)) {
+			t.Fatalf("lookup disagreement for %v: %v/%v vs %v/%v", addr, r1, ok1, r2, ok2)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package routing
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLookupLongestPrefixWins(t *testing.T) {
+	var tbl Table
+	if err := tbl.Insert(mustPrefix(t, "10.0.0.0/8"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(mustPrefix(t, "10.1.0.0/16"), 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(mustPrefix(t, "10.1.2.0/24"), 300); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr string
+		want ASN
+	}{
+		{"10.2.3.4", 100},
+		{"10.1.9.9", 200},
+		{"10.1.2.3", 300},
+	}
+	for _, c := range cases {
+		r, ok := tbl.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || r.Origin != c.want {
+			t.Fatalf("Lookup(%s) = %v,%v want origin %d", c.addr, r, ok, c.want)
+		}
+	}
+}
+
+func TestLookupUnrouted(t *testing.T) {
+	var tbl Table
+	if err := tbl.Insert(mustPrefix(t, "10.0.0.0/8"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Lookup(netip.MustParseAddr("11.0.0.1")); ok {
+		t.Fatal("11.0.0.1 must be unrouted")
+	}
+}
+
+func TestLookupEmptyTable(t *testing.T) {
+	var tbl Table
+	if _, ok := tbl.Lookup(netip.MustParseAddr("1.2.3.4")); ok {
+		t.Fatal("empty table must not match")
+	}
+}
+
+func TestInsertReplacesOrigin(t *testing.T) {
+	var tbl Table
+	p := mustPrefix(t, "192.0.2.0/24")
+	if err := tbl.Insert(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+	r, _ := tbl.Lookup(netip.MustParseAddr("192.0.2.55"))
+	if r.Origin != 2 {
+		t.Fatalf("origin = %d, want 2", r.Origin)
+	}
+}
+
+func TestInsertRejectsIPv6(t *testing.T) {
+	var tbl Table
+	if err := tbl.Insert(mustPrefix(t, "2001:db8::/32"), 1); err == nil {
+		t.Fatal("expected error for IPv6 prefix")
+	}
+}
+
+func TestInsertDefaultRoute(t *testing.T) {
+	var tbl Table
+	if err := tbl.Insert(mustPrefix(t, "0.0.0.0/0"), 7); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := tbl.Lookup(netip.MustParseAddr("203.0.113.9"))
+	if !ok || r.Origin != 7 {
+		t.Fatal("default route must match everything")
+	}
+}
+
+// TestLookupMatchesBruteForce is the DESIGN.md invariant: trie LPM agrees
+// with a linear scan over all inserted prefixes.
+func TestLookupMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tbl Table
+		var routes []Route
+		for i := 0; i < 50; i++ {
+			a := [4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}
+			bits := rng.Intn(33)
+			p := netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked()
+			origin := ASN(i + 1)
+			if err := tbl.Insert(p, origin); err != nil {
+				return false
+			}
+			// Mirror replacement semantics in the reference list.
+			replaced := false
+			for j := range routes {
+				if routes[j].Prefix == p {
+					routes[j].Origin = origin
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				routes = append(routes, Route{Prefix: p, Origin: origin})
+			}
+		}
+		for i := 0; i < 200; i++ {
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+			var want *Route
+			for j := range routes {
+				if routes[j].Prefix.Contains(addr) {
+					if want == nil || routes[j].Prefix.Bits() > want.Prefix.Bits() {
+						want = &routes[j]
+					}
+				}
+			}
+			got, ok := tbl.Lookup(addr)
+			if want == nil {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || got.Origin != want.Origin || got.Prefix != want.Prefix {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticTableProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tbl := SyntheticTable(50, rng)
+	if tbl.Len() < 100 {
+		t.Fatalf("synthetic table too small: %d prefixes", tbl.Len())
+	}
+	// Must contain both routed and unrouted addresses.
+	routed, unrouted := 0, 0
+	for i := 0; i < 2000; i++ {
+		addr := netip.AddrFrom4([4]byte{11, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+		if _, ok := tbl.Lookup(addr); ok {
+			routed++
+		} else {
+			unrouted++
+		}
+	}
+	if routed == 0 || unrouted == 0 {
+		t.Fatalf("want both routed and unrouted space, got routed=%d unrouted=%d", routed, unrouted)
+	}
+	// Deterministic for a fixed seed.
+	tbl2 := SyntheticTable(50, rand.New(rand.NewSource(42)))
+	if tbl2.Len() != tbl.Len() {
+		t.Fatal("SyntheticTable must be deterministic for a fixed seed")
+	}
+}

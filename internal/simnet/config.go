@@ -1,0 +1,170 @@
+// Package simnet simulates the ISP world the paper measures (§2.2, §3): a
+// provider serving many customers, with diurnal benign traffic, benign
+// bursts, botnets that prepare and launch the six prevalent DDoS attack
+// types, public blocklists that partially cover those botnets, spoofed
+// traffic, per-customer attack repetition, and cross-customer correlated
+// campaigns. Flow records are generated lazily and deterministically: the
+// same (seed, customer, step) always yields the same flows, so multiple
+// passes over the dataset (CDet labeling, feature extraction, metric
+// accounting) see identical traffic without storing terabytes.
+package simnet
+
+import (
+	"time"
+
+	"github.com/xatu-go/xatu/internal/ddos"
+)
+
+// Config parameterizes a World. The zero value is unusable; start from
+// DefaultConfig and override.
+type Config struct {
+	Seed int64
+	// Start is the wall-clock time of step 0.
+	Start time.Time
+	// Step is the simulation resolution. The paper operates on 1-minute
+	// NetFlow aggregates; scaled-down experiments may use coarser steps.
+	Step time.Duration
+	// Days is the simulated horizon.
+	Days int
+
+	// NumCustomers is the number of protected customer addresses.
+	NumCustomers int
+	// NumBotnets is the number of independent attacker pools.
+	NumBotnets int
+	// BotsPerBotnet is the size of each pool.
+	BotsPerBotnet int
+	// ResolverPoolSize is the shared pool of open DNS resolvers used by
+	// DNS-amplification attacks (deliberately not blocklisted, mirroring
+	// §6.3's observation that reflector sources evade A1/A3).
+	ResolverPoolSize int
+
+	// MeanAttacksPerBotnetPerWeek controls campaign density.
+	MeanAttacksPerBotnetPerWeek float64
+	// TypeMix is the stationary distribution over attack types; defaults to
+	// Table 2's proportions. Must sum to ~1.
+	TypeMix [ddos.NumAttackTypes]float64
+	// SameTypeRepeatProb is the probability the next attack on a customer
+	// repeats the previous type (97.9% in the paper's Fig 4(b)).
+	SameTypeRepeatProb float64
+	// BotnetReuseProb is the probability a repeat attack reuses the same
+	// botnet (drives the A2 signal strength).
+	BotnetReuseProb float64
+
+	// PrepDaysMax bounds the preparation window before an attack (the paper
+	// observes activity up to 10 days ahead).
+	PrepDaysMax int
+	// BlocklistCoverage is the fraction of bot /24s that appear on public
+	// blocklists ("blocklists may miss some repeat offenders").
+	BlocklistCoverage float64
+	// BlocklistFalsePositives is the number of benign /24s listed anyway
+	// ("and may contain legitimate addresses").
+	BlocklistFalsePositives int
+	// SpoofFraction is the fraction of attack traffic carrying obviously
+	// spoofed sources for spoof-capable attack types.
+	SpoofFraction float64
+
+	// MeanPeakMbps scales attack volume; the paper reports ~75% of attacks
+	// peak below 21 Mbps.
+	MeanPeakMbps float64
+	// BaseMbpsMin/Max bound per-customer benign baselines.
+	BaseMbpsMin, BaseMbpsMax float64
+	// BenignBurstsPerDay is the Poisson rate of benign traffic spikes per
+	// customer (what makes naive sensitive detection produce false alarms).
+	BenignBurstsPerDay float64
+
+	// BenignFlowsPerStep bounds how many benign flow records a customer
+	// emits per step (the generator splits baseline volume across them).
+	BenignFlowsPerStep int
+}
+
+// DefaultConfig returns a laptop-scale configuration that preserves the
+// paper's signal structure. Durations/volumes follow §2.3: most attacks are
+// short and low-volume.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		Start:            time.Date(2019, 4, 24, 0, 0, 0, 0, time.UTC),
+		Step:             time.Minute,
+		Days:             25,
+		NumCustomers:     24,
+		NumBotnets:       6,
+		BotsPerBotnet:    80,
+		ResolverPoolSize: 120,
+
+		MeanAttacksPerBotnetPerWeek: 6,
+		TypeMix: [ddos.NumAttackTypes]float64{
+			ddos.UDPFlood: 0.263, ddos.TCPACK: 0.620, ddos.TCPSYN: 0.014,
+			ddos.TCPRST: 0.011, ddos.DNSAmp: 0.072, ddos.ICMPFlood: 0.020,
+		},
+		SameTypeRepeatProb: 0.979,
+		BotnetReuseProb:    0.85,
+
+		PrepDaysMax:             10,
+		BlocklistCoverage:       0.6,
+		BlocklistFalsePositives: 40,
+		SpoofFraction:           0.35,
+
+		MeanPeakMbps:       14,
+		BaseMbpsMin:        1.5,
+		BaseMbpsMax:        8,
+		BenignBurstsPerDay: 0.8,
+		BenignFlowsPerStep: 8,
+	}
+}
+
+// Steps returns the total number of simulation steps in the horizon.
+func (c Config) Steps() int {
+	return int((time.Duration(c.Days) * 24 * time.Hour) / c.Step)
+}
+
+// StepsPerDay returns how many steps make up one simulated day.
+func (c Config) StepsPerDay() int {
+	return int((24 * time.Hour) / c.Step)
+}
+
+// TimeOf converts a step index to wall-clock time.
+func (c Config) TimeOf(step int) time.Time {
+	return c.Start.Add(time.Duration(step) * c.Step)
+}
+
+// StepOf converts a wall-clock time to the step index containing it.
+func (c Config) StepOf(t time.Time) int {
+	return int(t.Sub(c.Start) / c.Step)
+}
+
+// Validate reports configuration errors early.
+func (c Config) Validate() error {
+	switch {
+	case c.Step <= 0:
+		return errConfig("Step must be positive")
+	case c.Days <= 0:
+		return errConfig("Days must be positive")
+	case c.NumCustomers <= 0 || c.NumCustomers > 60000:
+		return errConfig("NumCustomers out of range")
+	case c.NumBotnets <= 0:
+		return errConfig("NumBotnets must be positive")
+	case c.BotsPerBotnet <= 0:
+		return errConfig("BotsPerBotnet must be positive")
+	case c.PrepDaysMax < 0:
+		return errConfig("PrepDaysMax must be non-negative")
+	case c.BaseMbpsMin <= 0 || c.BaseMbpsMax < c.BaseMbpsMin:
+		return errConfig("benign baseline bounds invalid")
+	case c.BenignFlowsPerStep <= 0:
+		return errConfig("BenignFlowsPerStep must be positive")
+	}
+	var mix float64
+	for _, p := range c.TypeMix {
+		if p < 0 {
+			return errConfig("TypeMix entries must be non-negative")
+		}
+		mix += p
+	}
+	if mix < 0.99 || mix > 1.01 {
+		return errConfig("TypeMix must sum to 1")
+	}
+	return nil
+}
+
+type errConfig string
+
+func (e errConfig) Error() string { return "simnet: invalid config: " + string(e) }

@@ -1,0 +1,353 @@
+package simnet
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/netflow"
+)
+
+// FlowsAt deterministically generates the flow records arriving at customer
+// ci during step. The same (world seed, ci, step) always produces the same
+// flows. Records carry wall-clock times inside the step.
+func (w *World) FlowsAt(ci, step int) []netflow.Record {
+	if ci < 0 || ci >= len(w.Customers) || step < 0 || step >= w.Cfg.Steps() {
+		return nil
+	}
+	var out []netflow.Record
+	out = w.benignFlows(out, ci, step)
+	out = w.chatterFlows(out, ci, step)
+	for _, ei := range w.eventsByVictim[ci] {
+		ev := &w.Events[ei]
+		out = w.prepFlowsAt(out, ev, step)
+		if step >= ev.StartStep && step < ev.EndStep() {
+			out = w.attackFlows(out, ev, step)
+		}
+	}
+	return out
+}
+
+// BenignMbps returns the benign traffic model's rate for customer ci at
+// step (before flow-level discretization), exposed for tests and the
+// example detectors.
+func (w *World) BenignMbps(ci, step int) float64 {
+	c := &w.Customers[ci]
+	t := w.Cfg.TimeOf(step)
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	diurnal := 1 + c.DiurnalAmp*math.Cos(2*math.Pi*(hour-c.PeakHour)/24)
+	weekly := 1.0
+	if wd := t.Weekday(); wd == time.Saturday || wd == time.Sunday {
+		weekly = c.WeekendFactor
+	}
+	d := newDet(uint64(w.Cfg.Seed), 0xBE9199, uint64(ci), uint64(step))
+	noise := d.lognorm(0, c.NoiseSigma)
+	burst := 1.0
+	// Bursts are sorted; binary search for any window containing step.
+	i := sort.Search(len(c.Bursts), func(i int) bool {
+		return c.Bursts[i].StartStep+c.Bursts[i].DurSteps > step
+	})
+	if i < len(c.Bursts) && c.Bursts[i].StartStep <= step {
+		burst = c.Bursts[i].Factor
+	}
+	return c.BaseMbps * diurnal * weekly * noise * burst
+}
+
+// stepBytes converts an Mbps rate into bytes carried during one step.
+func (w *World) stepBytes(mbps float64) float64 {
+	return mbps * 1e6 / 8 * w.Cfg.Step.Seconds()
+}
+
+func (w *World) benignFlows(out []netflow.Record, ci, step int) []netflow.Record {
+	c := &w.Customers[ci]
+	mbps := w.BenignMbps(ci, step)
+	total := w.stepBytes(mbps)
+	d := newDet(uint64(w.Cfg.Seed), 0xF10BE, uint64(ci), uint64(step))
+	nf := w.Cfg.BenignFlowsPerStep - 2 + d.intn(5)
+	if nf < 1 {
+		nf = 1
+	}
+	start, end := w.stepWindow(step)
+	for f := 0; f < nf; f++ {
+		share := total / float64(nf) * (0.5 + d.float64())
+		src := c.BenignPool[d.intn(len(c.BenignPool))]
+		r := netflow.Record{
+			Src: src, Dst: c.Addr,
+			Start: start, End: end,
+			Bytes: clampU32(share),
+		}
+		switch p := d.float64(); {
+		case p < 0.72: // web-ish TCP
+			r.Proto = netflow.ProtoTCP
+			r.TCPFlags = netflow.FlagACK
+			if d.float64() < 0.5 {
+				r.TCPFlags |= netflow.FlagPSH
+			}
+			r.SrcPort = ephemeral(d)
+			r.DstPort = pick(d, 443, 80, 80, 443, 8080)
+			r.Packets = pktsFor(r.Bytes, 900)
+		case p < 0.80: // benign connection setup
+			r.Proto = netflow.ProtoTCP
+			r.TCPFlags = netflow.FlagSYN
+			r.SrcPort = ephemeral(d)
+			r.DstPort = pick(d, 443, 80)
+			r.Bytes = clampU32(float64(min(r.Bytes, 4000)))
+			r.Packets = pktsFor(r.Bytes, 60)
+		case p < 0.92: // DNS / NTP / misc UDP
+			r.Proto = netflow.ProtoUDP
+			if d.float64() < 0.5 {
+				r.SrcPort = 53
+				r.DstPort = ephemeral(d)
+			} else {
+				r.SrcPort = ephemeral(d)
+				r.DstPort = pick(d, 53, 123, 443)
+			}
+			r.Packets = pktsFor(r.Bytes, 300)
+		default: // a little ICMP
+			r.Proto = netflow.ProtoICMP
+			r.Bytes = clampU32(float64(min(r.Bytes, 2000)))
+			r.Packets = pktsFor(r.Bytes, 84)
+		}
+		if route, ok := w.Routes.Lookup(src); ok {
+			r.SrcAS = uint16(route.Origin)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// chatterFlows injects occasional benign-looking traffic from bot addresses
+// unrelated to any scheduled attack. This is what makes the auxiliary
+// signals *weak*: most blocklisted-source activity is not followed by an
+// attack (§3.2: 95.5% of the time in the paper's data).
+func (w *World) chatterFlows(out []netflow.Record, ci, step int) []netflow.Record {
+	d := newDet(uint64(w.Cfg.Seed), 0xC4A77E2, uint64(ci), uint64(step))
+	if d.float64() >= 0.06 {
+		return out
+	}
+	bn := &w.Botnets[d.intn(len(w.Botnets))]
+	start, end := w.stepWindow(step)
+	n := 1 + d.intn(2)
+	for f := 0; f < n; f++ {
+		src := bn.Bots[d.intn(len(bn.Bots))]
+		r := netflow.Record{
+			Src: src, Dst: w.Customers[ci].Addr,
+			Proto: netflow.ProtoTCP, TCPFlags: netflow.FlagSYN,
+			SrcPort: ephemeral(d), DstPort: pick(d, 80, 443, 22, 23),
+			Bytes: uint32(120 + d.intn(2000)), Start: start, End: end,
+		}
+		r.Packets = pktsFor(r.Bytes, 60)
+		if route, ok := w.Routes.Lookup(src); ok {
+			r.SrcAS = uint16(route.Origin)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// prepFlowsAt emits the preparation-phase flows scheduled for this step.
+func (w *World) prepFlowsAt(out []netflow.Record, ev *AttackEvent, step int) []netflow.Record {
+	if ev.VolumeScale == 0 {
+		return out // evasion experiment removed these attackers entirely
+	}
+	pf := ev.prepFlows
+	i := sort.Search(len(pf), func(i int) bool { return pf[i].step >= int32(step) })
+	start, end := w.stepWindow(step)
+	d := newDet(uint64(w.Cfg.Seed), 0x93E9, uint64(ev.ID), uint64(step))
+	for ; i < len(pf) && pf[i].step == int32(step); i++ {
+		var src netip.Addr
+		switch pf[i].kind {
+		case prepResolver:
+			src = w.Resolvers[int(pf[i].bot)%len(w.Resolvers)]
+		default:
+			src = w.Botnets[ev.BotnetID].Bots[int(pf[i].bot)]
+		}
+		r := netflow.Record{
+			Src: src, Dst: ev.Victim,
+			Start: start, End: end,
+			Bytes: uint32(80 + d.intn(4000)),
+		}
+		switch pf[i].kind {
+		case prepScan:
+			r.Proto = netflow.ProtoTCP
+			r.TCPFlags = netflow.FlagSYN
+			r.SrcPort = ephemeral(d)
+			r.DstPort = uint16(d.intn(1024))
+			r.Bytes = uint32(60 + d.intn(500))
+			r.Packets = pktsFor(r.Bytes, 60)
+		case prepResolver:
+			r.Proto = netflow.ProtoUDP
+			r.SrcPort = 53
+			r.DstPort = ephemeral(d)
+			r.Packets = pktsFor(r.Bytes, 400)
+		default: // prepTest: tiny attack-shaped probe
+			w.shapeAttackFlow(&r, ev, d)
+			r.Bytes = uint32(100 + d.intn(3000))
+			r.Packets = pktsFor(r.Bytes, attackPktSize(ev.Type))
+		}
+		if route, ok := w.Routes.Lookup(src); ok {
+			r.SrcAS = uint16(route.Origin)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// AnomalousMbps returns the anomalous (attack) rate of ev at the given
+// step, applying the ramp model of Appendix G and any evasion scaling.
+// Steps outside the anomalous window return 0.
+func (w *World) AnomalousMbps(ev *AttackEvent, step int) float64 {
+	if step < ev.StartStep || step >= ev.EndStep() {
+		return 0
+	}
+	minutes := float64(step-ev.StartStep) * w.Cfg.Step.Minutes()
+	const v0 = 0.5 // Mbps at anomaly start
+	v := v0 * math.Pow(2, ev.DR*minutes)
+	if v > ev.PeakMbps {
+		v = ev.PeakMbps
+	}
+	if ev.VolumeScale != 1 && step-ev.StartStep < ev.VolumeScaleSteps {
+		v *= ev.VolumeScale
+	}
+	return v
+}
+
+func (w *World) attackFlows(out []netflow.Record, ev *AttackEvent, step int) []netflow.Record {
+	mbps := w.AnomalousMbps(ev, step)
+	if mbps <= 0 {
+		return out
+	}
+	total := w.stepBytes(mbps)
+	d := newDet(uint64(w.Cfg.Seed), 0xA77AC4F1, uint64(ev.ID), uint64(step))
+	nf := 6 + d.intn(8)
+	if total < 20000 {
+		nf = 2 + d.intn(3)
+	}
+	bots := w.Botnets[ev.BotnetID].Bots
+	start, end := w.stepWindow(step)
+	for f := 0; f < nf; f++ {
+		share := total / float64(nf) * (0.6 + 0.8*d.float64())
+		r := netflow.Record{Dst: ev.Victim, Start: start, End: end, Bytes: clampU32(share)}
+		w.shapeAttackFlow(&r, ev, d)
+		r.Packets = pktsFor(r.Bytes, attackPktSize(ev.Type))
+		// Source selection: resolvers for reflection, bots otherwise, with a
+		// spoofed fraction for spoof-capable types.
+		switch {
+		case ev.Type == ddos.DNSAmp:
+			r.Src = w.Resolvers[d.intn(len(w.Resolvers))]
+		case spoofCapable(ev.Type) && d.float64() < w.Cfg.SpoofFraction:
+			r.Src = w.randomUnroutedAddr(d)
+		default:
+			r.Src = bots[d.intn(len(bots))]
+		}
+		if route, ok := w.Routes.Lookup(r.Src); ok {
+			r.SrcAS = uint16(route.Origin)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// shapeAttackFlow fills protocol, ports and flags according to attack type.
+func (w *World) shapeAttackFlow(r *netflow.Record, ev *AttackEvent, d *det) {
+	switch ev.Type {
+	case ddos.UDPFlood:
+		r.Proto = netflow.ProtoUDP
+		r.SrcPort = ephemeral(d)
+		r.DstPort = pick(d, 80, 443, 0, 123)
+	case ddos.DNSAmp:
+		r.Proto = netflow.ProtoUDP
+		r.SrcPort = 53
+		r.DstPort = ephemeral(d)
+	case ddos.TCPACK:
+		r.Proto = netflow.ProtoTCP
+		r.TCPFlags = netflow.FlagACK
+		r.SrcPort = ephemeral(d)
+		r.DstPort = pick(d, 80, 443)
+	case ddos.TCPSYN:
+		r.Proto = netflow.ProtoTCP
+		r.TCPFlags = netflow.FlagSYN
+		r.SrcPort = ephemeral(d)
+		r.DstPort = pick(d, 80, 443)
+	case ddos.TCPRST:
+		r.Proto = netflow.ProtoTCP
+		r.TCPFlags = netflow.FlagRST
+		r.SrcPort = ephemeral(d)
+		r.DstPort = pick(d, 80, 443)
+	case ddos.ICMPFlood:
+		r.Proto = netflow.ProtoICMP
+	}
+}
+
+// spoofCapable reports whether the attack type plausibly spoofs sources.
+func spoofCapable(at ddos.AttackType) bool {
+	switch at {
+	case ddos.TCPSYN, ddos.UDPFlood, ddos.ICMPFlood, ddos.TCPRST:
+		return true
+	default:
+		return false // ACK floods need real connections-ish bots; DNSAmp uses resolvers
+	}
+}
+
+// attackPktSize returns a typical packet size in bytes per attack type.
+func attackPktSize(at ddos.AttackType) int {
+	switch at {
+	case ddos.TCPSYN, ddos.TCPRST, ddos.TCPACK:
+		return 60
+	case ddos.DNSAmp:
+		return 1200
+	case ddos.ICMPFlood:
+		return 84
+	default:
+		return 512
+	}
+}
+
+func (w *World) stepWindow(step int) (time.Time, time.Time) {
+	start := w.Cfg.TimeOf(step)
+	return start, start.Add(w.Cfg.Step - time.Second)
+}
+
+// SignatureBytes sums, per attack type, the bytes at customer ci during
+// step that match each canonical signature, plus the total bytes. This is
+// the per-step view CDet-style detectors monitor.
+func (w *World) SignatureBytes(ci, step int) (perType [ddos.NumAttackTypes]float64, total float64) {
+	victim := w.Customers[ci].Addr
+	var sigs [ddos.NumAttackTypes]ddos.Signature
+	for at := ddos.AttackType(0); at < ddos.NumAttackTypes; at++ {
+		sigs[at] = ddos.SignatureFor(at, victim)
+	}
+	for _, r := range w.FlowsAt(ci, step) {
+		total += float64(r.Bytes)
+		for at := range sigs {
+			if sigs[at].Matches(r) {
+				perType[at] += float64(r.Bytes)
+			}
+		}
+	}
+	return perType, total
+}
+
+func ephemeral(d *det) uint16 { return uint16(32768 + d.intn(28000)) }
+
+func pick(d *det, opts ...uint16) uint16 { return opts[d.intn(len(opts))] }
+
+func pktsFor(bytes uint32, pktSize int) uint32 {
+	n := bytes / uint32(pktSize)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func clampU32(v float64) uint32 {
+	if v < 1 {
+		return 1
+	}
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}

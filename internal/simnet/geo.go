@@ -1,0 +1,32 @@
+package simnet
+
+import "net/netip"
+
+// Countries is the list of source countries the volumetric feature set
+// disaggregates (Appendix D's top-10 plus a catch-all).
+var Countries = []string{"US", "IN", "SA", "CN", "GB", "NL", "FR", "DE", "BR", "CA", "other"}
+
+// CountryIndex maps a country code to its position in Countries, or the
+// catch-all index when unknown.
+func CountryIndex(code string) int {
+	for i, c := range Countries {
+		if c == code {
+			return i
+		}
+	}
+	return len(Countries) - 1
+}
+
+// GeoOf deterministically assigns a country to an IPv4 address, standing in
+// for a geolocation database. The mapping hashes the /16 so that subnets
+// are geographically coherent, and is weighted so the named countries carry
+// most traffic (the paper: the top 10 countries cover >95% of traffic).
+func GeoOf(addr netip.Addr) string {
+	a := addr.Unmap().As4()
+	h := hash(uint64(a[0])<<8 | uint64(a[1]))
+	// 95% of /16s land in the 10 named countries, the rest in "other".
+	if h%100 < 95 {
+		return Countries[h%10]
+	}
+	return "other"
+}

@@ -1,0 +1,70 @@
+package simnet
+
+import "math"
+
+// splitmix64 is the deterministic per-event hash/PRNG the generator uses so
+// that flows for a given (seed, customer, step) are reproducible without
+// storing state. It is the standard SplitMix64 finalizer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hash combines parts into one 64-bit value via iterated SplitMix64.
+func hash(parts ...uint64) uint64 {
+	h := uint64(0x243F6A8885A308D3)
+	for _, p := range parts {
+		h = splitmix64(h ^ p)
+	}
+	return h
+}
+
+// det is a tiny deterministic generator seeded from a hash. It is NOT
+// cryptographic; it only needs to be stable and well-mixed.
+type det struct{ state uint64 }
+
+func newDet(parts ...uint64) *det { return &det{state: hash(parts...)} }
+
+func (d *det) next() uint64 {
+	d.state += 0x9E3779B97F4A7C15
+	x := d.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// float64 returns a uniform value in [0,1).
+func (d *det) float64() float64 {
+	return float64(d.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0,n). n must be positive.
+func (d *det) intn(n int) int {
+	return int(d.next() % uint64(n))
+}
+
+// norm returns a standard normal deviate (Box–Muller).
+func (d *det) norm() float64 {
+	u1 := d.float64()
+	for u1 == 0 {
+		u1 = d.float64()
+	}
+	u2 := d.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// expo returns an exponential deviate with the given mean.
+func (d *det) expo(mean float64) float64 {
+	u := d.float64()
+	for u == 0 {
+		u = d.float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// lognorm returns exp(mu + sigma*N(0,1)).
+func (d *det) lognorm(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*d.norm())
+}

@@ -1,0 +1,452 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/blocklist"
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/routing"
+	"github.com/xatu-go/xatu/internal/spoof"
+)
+
+// Customer is one protected network endpoint with its benign-traffic model.
+type Customer struct {
+	Addr          netip.Addr
+	BaseMbps      float64
+	DiurnalAmp    float64 // amplitude of the day/night swing, 0..1
+	PeakHour      float64 // local hour of peak traffic
+	WeekendFactor float64 // multiplier applied on Sat/Sun
+	NoiseSigma    float64 // lognormal per-step noise
+	Bursts        []Burst // benign spikes, sorted by start step
+	BenignPool    []netip.Addr
+}
+
+// Burst is a benign traffic spike.
+type Burst struct {
+	StartStep int
+	DurSteps  int
+	Factor    float64
+}
+
+// Botnet is one attacker pool.
+type Botnet struct {
+	ID   int
+	Bots []netip.Addr
+}
+
+// prep flow kinds.
+const (
+	prepScan     uint8 = iota // TCP SYN probing
+	prepTest                  // small attack-shaped test traffic
+	prepResolver              // resolver-sourced test (DNS amplification)
+)
+
+type prepFlow struct {
+	step int32 // absolute step index
+	bot  int32 // index into the botnet (or resolver pool for prepResolver)
+	kind uint8
+}
+
+// AttackEvent is one scheduled attack with its ground truth.
+type AttackEvent struct {
+	ID        int
+	VictimIdx int
+	Victim    netip.Addr
+	Type      ddos.AttackType
+	BotnetID  int
+	// StartStep is the ground-truth anomaly start (area A begins here).
+	StartStep int
+	// DurSteps is the anomalous period length (ramp + plateau).
+	DurSteps int
+	PeakMbps float64
+	// DR is the ramp rate in doublings per minute (Appendix G).
+	DR float64
+	// PrepDays is how many days of preparation activity precede the attack.
+	PrepDays int
+
+	// Evasion knobs (§6.4). VolumeScale scales anomalous volume during the
+	// first VolumeScaleSteps of the attack (1 = no evasion). When scaled to
+	// 0 the corresponding auxiliary prep flows are suppressed too, matching
+	// the paper's "when we remove these attackers, we also remove their
+	// corresponding auxiliary signals" for the no-aux comparison.
+	VolumeScale      float64
+	VolumeScaleSteps int
+
+	prepFlows []prepFlow // sorted by step
+}
+
+// EndStep returns the step index just past the anomalous period.
+func (e *AttackEvent) EndStep() int { return e.StartStep + e.DurSteps }
+
+// Signature returns the CDet-style signature matching this attack.
+func (e *AttackEvent) Signature() ddos.Signature { return ddos.SignatureFor(e.Type, e.Victim) }
+
+// World is a fully built simulation.
+type World struct {
+	Cfg        Config
+	Customers  []Customer
+	Botnets    []Botnet
+	Resolvers  []netip.Addr
+	Events     []AttackEvent
+	Blocklists *blocklist.Registry
+	Routes     *routing.Table
+	Spoof      *spoof.Checker
+
+	eventsByVictim [][]int
+	customerIdx    map[netip.Addr]int
+}
+
+// NewWorld builds a deterministic world from cfg.
+func NewWorld(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{
+		Cfg:        cfg,
+		Blocklists: blocklist.NewRegistry(),
+		Routes:     routing.SyntheticTable(64, rng),
+	}
+	w.Spoof = spoof.NewChecker(w.Routes)
+	w.buildCustomers(rng)
+	w.buildBotnets(rng)
+	w.buildResolvers(rng)
+	w.populateBlocklists(rng)
+	w.schedule(rng)
+	w.index()
+	return w, nil
+}
+
+// CustomerIndex returns the index for a customer address, or -1.
+func (w *World) CustomerIndex(addr netip.Addr) int {
+	if i, ok := w.customerIdx[addr]; ok {
+		return i
+	}
+	return -1
+}
+
+// EventsFor returns indices into Events for attacks on customer ci,
+// ordered by start step.
+func (w *World) EventsFor(ci int) []int { return w.eventsByVictim[ci] }
+
+func (w *World) buildCustomers(rng *rand.Rand) {
+	cfg := w.Cfg
+	w.Customers = make([]Customer, cfg.NumCustomers)
+	w.customerIdx = make(map[netip.Addr]int, cfg.NumCustomers)
+	for i := range w.Customers {
+		addr := netip.AddrFrom4([4]byte{23, 1, byte(i / 250), byte(i%250 + 1)})
+		base := cfg.BaseMbpsMin + rng.Float64()*(cfg.BaseMbpsMax-cfg.BaseMbpsMin)
+		c := Customer{
+			Addr:          addr,
+			BaseMbps:      base,
+			DiurnalAmp:    0.2 + rng.Float64()*0.35,
+			PeakHour:      9 + rng.Float64()*10,
+			WeekendFactor: 0.6 + rng.Float64()*0.5,
+			NoiseSigma:    0.10 + rng.Float64()*0.12,
+			BenignPool:    w.randomRoutedAddrs(rng, 40+rng.Intn(30)),
+		}
+		// Benign bursts via a Poisson process over the horizon.
+		stepsPerDay := cfg.StepsPerDay()
+		meanGap := float64(stepsPerDay) / cfg.BenignBurstsPerDay
+		for s := rng.ExpFloat64() * meanGap; int(s) < cfg.Steps(); s += rng.ExpFloat64() * meanGap {
+			dur := 3 + rng.Intn(max(1, 30*int(time.Minute/cfg.Step)))
+			// Keep bursts non-overlapping so the per-step lookup can use a
+			// binary search over monotone windows.
+			if n := len(c.Bursts); n > 0 && int(s) < c.Bursts[n-1].StartStep+c.Bursts[n-1].DurSteps {
+				continue
+			}
+			c.Bursts = append(c.Bursts, Burst{
+				StartStep: int(s),
+				DurSteps:  dur,
+				Factor:    1.5 + rng.Float64()*2.5,
+			})
+		}
+		w.Customers[i] = c
+		w.customerIdx[addr] = i
+	}
+}
+
+// randomRoutedAddrs samples addresses covered by the routing table, i.e.
+// plausible real Internet hosts.
+func (w *World) randomRoutedAddrs(rng *rand.Rand, n int) []netip.Addr {
+	blocks := []byte{11, 45, 66, 101, 133, 155, 181, 200}
+	out := make([]netip.Addr, 0, n)
+	for len(out) < n {
+		a := netip.AddrFrom4([4]byte{
+			blocks[rng.Intn(len(blocks))],
+			byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(254) + 1),
+		})
+		if _, ok := w.Routes.Lookup(a); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// randomUnroutedAddr samples an address the routing table does not cover,
+// used for spoofed traffic.
+func (w *World) randomUnroutedAddr(d *det) netip.Addr {
+	for i := 0; i < 64; i++ {
+		a := netip.AddrFrom4([4]byte{
+			byte(d.intn(200) + 1), byte(d.intn(256)), byte(d.intn(256)), byte(d.intn(254) + 1),
+		})
+		if spoof.IsBogon(a) {
+			return a
+		}
+		if _, ok := w.Routes.Lookup(a); !ok {
+			return a
+		}
+	}
+	// Fall back to guaranteed bogon space.
+	return netip.AddrFrom4([4]byte{10, byte(d.intn(256)), byte(d.intn(256)), byte(d.intn(254) + 1)})
+}
+
+func (w *World) buildBotnets(rng *rand.Rand) {
+	w.Botnets = make([]Botnet, w.Cfg.NumBotnets)
+	for i := range w.Botnets {
+		w.Botnets[i] = Botnet{ID: i, Bots: w.randomRoutedAddrs(rng, w.Cfg.BotsPerBotnet)}
+	}
+}
+
+func (w *World) buildResolvers(rng *rand.Rand) {
+	w.Resolvers = w.randomRoutedAddrs(rng, w.Cfg.ResolverPoolSize)
+}
+
+func (w *World) populateBlocklists(rng *rand.Rand) {
+	cfg := w.Cfg
+	// Category mix: the three prevalent categories carry most listings
+	// (Appendix E), the rest share the remainder.
+	heavy := []blocklist.Category{blocklist.DDoSSource, blocklist.Bot, blocklist.Scanner}
+	light := []blocklist.Category{
+		blocklist.Reflector, blocklist.VoIPAbuse, blocklist.CandCServer,
+		blocklist.MalwareMirai, blocklist.MalwareGafgyt, blocklist.BruteForce,
+		blocklist.SpamSource, blocklist.ExploitScan,
+	}
+	for _, bn := range w.Botnets {
+		for _, bot := range bn.Bots {
+			if rng.Float64() >= cfg.BlocklistCoverage {
+				continue // this /24 evades the lists
+			}
+			var cat blocklist.Category
+			if rng.Float64() < 0.75 {
+				cat = heavy[rng.Intn(len(heavy))]
+			} else {
+				cat = light[rng.Intn(len(light))]
+			}
+			listedAt := cfg.Start.Add(-time.Duration(rng.Intn(30*24)) * time.Hour)
+			w.Blocklists.Add(cat, bot, listedAt, 0)
+			// Some bots appear on a second list.
+			if rng.Float64() < 0.25 {
+				w.Blocklists.Add(light[rng.Intn(len(light))], bot, listedAt.Add(24*time.Hour), 0)
+			}
+		}
+	}
+	// False positives: benign /24s listed anyway.
+	for i := 0; i < cfg.BlocklistFalsePositives; i++ {
+		addrs := w.randomRoutedAddrs(rng, 1)
+		cat := blocklist.Category(rng.Intn(int(blocklist.NumCategories)))
+		w.Blocklists.Add(cat, addrs[0], cfg.Start.Add(-time.Duration(rng.Intn(20*24))*time.Hour), 0)
+	}
+}
+
+// schedule builds the attack campaign timeline (§3.3 behaviours).
+func (w *World) schedule(rng *rand.Rand) {
+	cfg := w.Cfg
+	stepsPerMin := float64(time.Minute) / float64(cfg.Step)
+	horizon := cfg.Steps()
+	stepsPerDay := cfg.StepsPerDay()
+	meanGapSteps := float64(stepsPerDay) * 7 / cfg.MeanAttacksPerBotnetPerWeek
+
+	lastType := make([]int, cfg.NumCustomers) // -1 = none yet
+	lastBotnet := make([]int, cfg.NumCustomers)
+	for i := range lastType {
+		lastType[i] = -1
+		lastBotnet[i] = -1
+	}
+	// Per-victim occupied windows to avoid overlapping attacks.
+	busy := make([][][2]int, cfg.NumCustomers)
+
+	id := 0
+	for bi := range w.Botnets {
+		// Each botnet preys on a small, stable set of customers.
+		nTargets := 1 + rng.Intn(4)
+		if nTargets > cfg.NumCustomers {
+			nTargets = cfg.NumCustomers
+		}
+		targets := rng.Perm(cfg.NumCustomers)[:nTargets]
+		// Campaign waves.
+		for s := rng.ExpFloat64() * meanGapSteps; int(s) < horizon; s += rng.ExpFloat64() * meanGapSteps {
+			// A wave hits 1..nTargets customers within ~15 minutes (Fig 4(c)).
+			nWave := 1
+			for nWave < nTargets && rng.Float64() < 0.45 {
+				nWave++
+			}
+			offset := 0
+			for _, vi := range targets[:nWave] {
+				start := int(s) + offset
+				offset += int(float64(5+rng.Intn(11)) * stepsPerMin)
+				ev, ok := w.makeEvent(rng, id, vi, bi, start, lastType, lastBotnet, busy)
+				if !ok {
+					continue
+				}
+				w.Events = append(w.Events, ev)
+				id++
+			}
+		}
+	}
+	sort.Slice(w.Events, func(i, j int) bool { return w.Events[i].StartStep < w.Events[j].StartStep })
+	for i := range w.Events {
+		w.Events[i].ID = i
+		w.buildPrepFlows(&w.Events[i])
+	}
+}
+
+func (w *World) makeEvent(rng *rand.Rand, id, vi, bi, start int, lastType, lastBotnet []int, busy [][][2]int) (AttackEvent, bool) {
+	cfg := w.Cfg
+	horizon := cfg.Steps()
+	if start < 0 || start >= horizon-2 {
+		return AttackEvent{}, false
+	}
+	// Attack type: heavy self-transition per victim (Fig 4(b)).
+	var at ddos.AttackType
+	if lastType[vi] >= 0 && rng.Float64() < cfg.SameTypeRepeatProb {
+		at = ddos.AttackType(lastType[vi])
+	} else {
+		at = sampleType(rng, cfg.TypeMix)
+	}
+	// Botnet: reuse the previous attacker pool with high probability (A2).
+	botnet := bi
+	if lastBotnet[vi] >= 0 && rng.Float64() < cfg.BotnetReuseProb {
+		botnet = lastBotnet[vi]
+	}
+
+	// Duration mixture targeting the paper's CDF: ~30% under 5 minutes,
+	// ~74% under 20 minutes, tail to ~90 minutes.
+	var durMin float64
+	switch r := rng.Float64(); {
+	case r < 0.30:
+		durMin = 2 + rng.Float64()*3
+	case r < 0.74:
+		durMin = 5 + rng.Float64()*15
+	default:
+		durMin = 20 + rng.ExpFloat64()*25
+	}
+	if at == ddos.ICMPFlood {
+		durMin = 1 + rng.Float64()*5 // ICMP attacks are short and sharp
+	}
+	durSteps := max(1, int(durMin*float64(time.Minute)/float64(cfg.Step)))
+	if start+durSteps >= horizon {
+		durSteps = horizon - start - 1
+		if durSteps < 1 {
+			return AttackEvent{}, false
+		}
+	}
+
+	// Reject overlap with an existing attack on the same victim (±30 min).
+	pad := int(30 * time.Minute / cfg.Step)
+	for _, win := range busy[vi] {
+		if start < win[1]+pad && win[0] < start+durSteps+pad {
+			return AttackEvent{}, false
+		}
+	}
+	busy[vi] = append(busy[vi], [2]int{start, start + durSteps})
+	lastType[vi] = int(at)
+	lastBotnet[vi] = botnet
+
+	peak := cfg.MeanPeakMbps * math.Exp(0.6*rng.NormFloat64())
+	if peak < 2 {
+		peak = 2
+	}
+	dr := math.Exp(0.5 * rng.NormFloat64()) // median 1 doubling/min
+	if at == ddos.ICMPFlood {
+		dr *= 3 // ramps up very quickly (§6.1)
+	}
+	prep := 1 + rng.Intn(max(1, cfg.PrepDaysMax))
+	return AttackEvent{
+		ID: id, VictimIdx: vi, Victim: w.Customers[vi].Addr,
+		Type: at, BotnetID: botnet,
+		StartStep: start, DurSteps: durSteps,
+		PeakMbps: peak, DR: dr, PrepDays: prep,
+		VolumeScale: 1,
+	}, true
+}
+
+func sampleType(rng *rand.Rand, mix [ddos.NumAttackTypes]float64) ddos.AttackType {
+	r := rng.Float64()
+	var cum float64
+	for i, p := range mix {
+		cum += p
+		if r < cum {
+			return ddos.AttackType(i)
+		}
+	}
+	return ddos.TCPACK
+}
+
+// buildPrepFlows precomputes the preparation-phase activity for an event:
+// scanning and small test traffic from a growing fraction of the botnet in
+// the days before the anomaly (Fig 15's reappearance ramp).
+func (w *World) buildPrepFlows(ev *AttackEvent) {
+	cfg := w.Cfg
+	stepsPerDay := cfg.StepsPerDay()
+	bots := w.Botnets[ev.BotnetID].Bots
+	d := newDet(uint64(cfg.Seed), 0xA77AC4, uint64(ev.ID))
+	for day := 1; day <= ev.PrepDays; day++ {
+		// Fraction of eventual attackers active `day` days before the
+		// attack; rises from ~10% at day 10 to ~90% the day before.
+		frac := 0.95 - 0.085*float64(day)
+		if frac < 0.08 {
+			frac = 0.08
+		}
+		dayStart := ev.StartStep - day*stepsPerDay
+		for bi := range bots {
+			if d.float64() >= frac {
+				continue
+			}
+			flows := 1 + d.intn(3)
+			for f := 0; f < flows; f++ {
+				step := dayStart + d.intn(stepsPerDay)
+				if step < 0 || step >= ev.StartStep {
+					continue
+				}
+				kind := prepScan
+				if d.float64() < 0.4 {
+					kind = prepTest
+				}
+				ev.prepFlows = append(ev.prepFlows, prepFlow{step: int32(step), bot: int32(bi), kind: kind})
+			}
+		}
+		// DNS amplification rehearsal comes from resolvers.
+		if ev.Type == ddos.DNSAmp && len(w.Resolvers) > 0 {
+			for f := 0; f < 2+d.intn(4); f++ {
+				step := dayStart + d.intn(stepsPerDay)
+				if step < 0 || step >= ev.StartStep {
+					continue
+				}
+				ev.prepFlows = append(ev.prepFlows, prepFlow{
+					step: int32(step), bot: int32(d.intn(len(w.Resolvers))), kind: prepResolver,
+				})
+			}
+		}
+	}
+	sort.Slice(ev.prepFlows, func(i, j int) bool { return ev.prepFlows[i].step < ev.prepFlows[j].step })
+}
+
+func (w *World) index() {
+	w.eventsByVictim = make([][]int, w.Cfg.NumCustomers)
+	for i := range w.Events {
+		vi := w.Events[i].VictimIdx
+		w.eventsByVictim[vi] = append(w.eventsByVictim[vi], i)
+	}
+}
+
+// String summarizes the world.
+func (w *World) String() string {
+	return fmt.Sprintf("simnet.World{customers=%d botnets=%d events=%d days=%d step=%v}",
+		len(w.Customers), len(w.Botnets), len(w.Events), w.Cfg.Days, w.Cfg.Step)
+}

@@ -1,0 +1,122 @@
+// Package spoof classifies traffic sources as (obviously) spoofed, the A3
+// auxiliary signal of the paper (§5.1). Following the paper's three
+// categories, an address is flagged when it is:
+//
+//  1. a bogon (RFC 1918 private, RFC 5737 documentation, RFC 6598 shared
+//     address space, plus loopback/link-local/multicast/reserved), or
+//  2. unrouted — not covered by any prefix in the BGP table, or
+//  3. invalid — routed, but arriving from an ingress whose expected origin
+//     AS does not announce the source prefix (a simplified full-cone check).
+//
+// Like the paper's measure, this deliberately catches only *obvious*
+// spoofing; tests assert both directions of that imperfection.
+package spoof
+
+import (
+	"net/netip"
+
+	"github.com/xatu-go/xatu/internal/routing"
+)
+
+// Class is the spoof classification of a source address.
+type Class int
+
+const (
+	// Legit means the address passed every check.
+	Legit Class = iota
+	// Bogon means the address sits in reserved/private space.
+	Bogon
+	// Unrouted means no BGP prefix covers the address.
+	Unrouted
+	// InvalidOrigin means the source prefix is announced by a different AS
+	// than the one the packet entered from.
+	InvalidOrigin
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Legit:
+		return "legit"
+	case Bogon:
+		return "bogon"
+	case Unrouted:
+		return "unrouted"
+	case InvalidOrigin:
+		return "invalid-origin"
+	default:
+		return "unknown"
+	}
+}
+
+// Spoofed reports whether the class indicates a spoofed source.
+func (c Class) Spoofed() bool { return c != Legit }
+
+// bogonPrefixes are the reserved ranges from RFC 1918, RFC 5737, RFC 6598
+// and friends.
+var bogonPrefixes = func() []netip.Prefix {
+	strs := []string{
+		"0.0.0.0/8",       // "this network"
+		"10.0.0.0/8",      // RFC 1918
+		"100.64.0.0/10",   // RFC 6598 shared address space
+		"127.0.0.0/8",     // loopback
+		"169.254.0.0/16",  // link local
+		"172.16.0.0/12",   // RFC 1918
+		"192.0.2.0/24",    // RFC 5737 TEST-NET-1
+		"192.168.0.0/16",  // RFC 1918
+		"198.18.0.0/15",   // benchmarking
+		"198.51.100.0/24", // RFC 5737 TEST-NET-2
+		"203.0.113.0/24",  // RFC 5737 TEST-NET-3
+		"224.0.0.0/4",     // multicast
+		"240.0.0.0/4",     // reserved
+	}
+	out := make([]netip.Prefix, len(strs))
+	for i, s := range strs {
+		out[i] = netip.MustParsePrefix(s)
+	}
+	return out
+}()
+
+// IsBogon reports whether addr falls in reserved/private space.
+func IsBogon(addr netip.Addr) bool {
+	addr = addr.Unmap()
+	for _, p := range bogonPrefixes {
+		if p.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Checker classifies source addresses against a routing table.
+type Checker struct {
+	table *routing.Table
+}
+
+// NewChecker returns a Checker over the given routing table.
+func NewChecker(table *routing.Table) *Checker {
+	return &Checker{table: table}
+}
+
+// Classify classifies src. ingressAS is the AS the traffic entered the
+// provider from; pass 0 to skip the origin-validity check (the paper notes
+// per-ingress attribution is often unavailable in sampled NetFlow).
+func (c *Checker) Classify(src netip.Addr, ingressAS routing.ASN) Class {
+	if IsBogon(src) {
+		return Bogon
+	}
+	route, ok := c.table.Lookup(src)
+	if !ok {
+		return Unrouted
+	}
+	if ingressAS != 0 && route.Origin != ingressAS {
+		return InvalidOrigin
+	}
+	return Legit
+}
+
+// IsSpoofed is the boolean convenience wrapper used by the feature
+// extractor.
+func (c *Checker) IsSpoofed(src netip.Addr, ingressAS routing.ASN) bool {
+	return c.Classify(src, ingressAS).Spoofed()
+}

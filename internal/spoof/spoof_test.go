@@ -1,0 +1,100 @@
+package spoof
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/xatu-go/xatu/internal/routing"
+)
+
+func table(t *testing.T) *routing.Table {
+	t.Helper()
+	var tbl routing.Table
+	for _, r := range []struct {
+		p string
+		a routing.ASN
+	}{
+		{"11.0.0.0/8", 64500},
+		{"23.0.0.0/8", 64501},
+	} {
+		if err := tbl.Insert(netip.MustParsePrefix(r.p), r.a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &tbl
+}
+
+func TestBogonDetection(t *testing.T) {
+	bogons := []string{
+		"10.1.2.3", "192.168.1.1", "172.16.5.5", "172.31.255.255",
+		"100.64.0.1", "192.0.2.9", "198.51.100.7", "203.0.113.200",
+		"127.0.0.1", "169.254.1.1", "224.0.0.5", "240.1.1.1", "0.1.2.3",
+	}
+	for _, s := range bogons {
+		if !IsBogon(netip.MustParseAddr(s)) {
+			t.Errorf("IsBogon(%s) = false, want true", s)
+		}
+	}
+	legit := []string{"11.2.3.4", "8.8.8.8", "172.32.0.1", "100.128.0.1", "223.255.255.255"}
+	for _, s := range legit {
+		if IsBogon(netip.MustParseAddr(s)) {
+			t.Errorf("IsBogon(%s) = true, want false", s)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	c := NewChecker(table(t))
+	cases := []struct {
+		addr    string
+		ingress routing.ASN
+		want    Class
+	}{
+		{"10.0.0.1", 0, Bogon},
+		{"99.1.2.3", 0, Unrouted},          // not in table
+		{"11.1.2.3", 0, Legit},             // routed, no ingress check
+		{"11.1.2.3", 64500, Legit},         // matching origin
+		{"11.1.2.3", 64501, InvalidOrigin}, // wrong origin
+		{"23.200.1.1", 64501, Legit},       // matching origin
+	}
+	for _, cse := range cases {
+		got := c.Classify(netip.MustParseAddr(cse.addr), cse.ingress)
+		if got != cse.want {
+			t.Errorf("Classify(%s, %d) = %v, want %v", cse.addr, cse.ingress, got, cse.want)
+		}
+	}
+}
+
+func TestSpoofedPredicate(t *testing.T) {
+	if Legit.Spoofed() {
+		t.Fatal("Legit must not be spoofed")
+	}
+	for _, c := range []Class{Bogon, Unrouted, InvalidOrigin} {
+		if !c.Spoofed() {
+			t.Fatalf("%v must be spoofed", c)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		Legit: "legit", Bogon: "bogon", Unrouted: "unrouted",
+		InvalidOrigin: "invalid-origin", Class(99): "unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+// TestImperfection documents the designed incompleteness of the A3 signal:
+// a spoofed address chosen inside routed space with a plausible ingress AS
+// passes every check (the paper: "We likely miss much-spoofed traffic").
+func TestImperfection(t *testing.T) {
+	c := NewChecker(table(t))
+	// Attacker spoofs 11.9.9.9 while entering from AS 64500 (its legit origin).
+	if c.IsSpoofed(netip.MustParseAddr("11.9.9.9"), 64500) {
+		t.Fatal("cleverly spoofed routed address should evade the obvious-spoof check")
+	}
+}

@@ -1,0 +1,137 @@
+// Package survival implements the survival-analysis machinery Xatu uses for
+// early detection (§4.2 and Appendix C of the paper): the hazard-rate to
+// survival-probability transform, the SAFE loss (Zheng, Yuan & Wu, AAAI'19)
+// with its analytic gradient, and threshold calibration under a scrubbing
+// overhead bound.
+//
+// Terminology follows the paper: λ_t is the instantaneous attack probability
+// (hazard rate) at step t, and S_t = exp(-Σ_{k≤t} λ_k) is the probability
+// that no attack has occurred by time t. Xatu raises an alert once S_t drops
+// below a calibrated threshold.
+package survival
+
+import (
+	"errors"
+	"math"
+)
+
+// Survival converts a hazard-rate sequence into the cumulative no-attack
+// probability sequence S_t = exp(-Σ_{k≤t} λ_k). All hazards must be ≥ 0;
+// the output is non-increasing and lies in (0, 1].
+func Survival(hazards []float64) []float64 {
+	out := make([]float64, len(hazards))
+	var cum float64
+	for t, l := range hazards {
+		if l < 0 {
+			l = 0 // defensive: hazards come through Softplus and are ≥0 by construction
+		}
+		cum += l
+		out[t] = math.Exp(-cum)
+	}
+	return out
+}
+
+// Loss computes the SAFE negative log-likelihood for one time series
+// (Appendix C). hazards covers steps 1..t_i (the series is truncated at the
+// label time); attack says whether the series carries an attack label.
+//
+//	attack:    L = Λ − ln(e^Λ − 1)  = −ln(1 − S_{t_i})   (detect any time ≤ t_i)
+//	no attack: L = Λ                = −ln S_{t_i}         (never detect)
+//
+// where Λ = Σ λ_t. The function returns the loss and dL/dλ_t, which is
+// constant across t (this is what lets the model place detection anywhere
+// before the ground-truth time).
+func Loss(hazards []float64, attack bool) (loss float64, dHazard float64) {
+	var lam float64
+	for _, l := range hazards {
+		lam += l
+	}
+	if !attack {
+		return lam, 1
+	}
+	// Attack case. L = Λ − ln(e^Λ − 1). Guard small Λ: e^Λ−1 ≈ Λ, loss ≈ Λ − lnΛ.
+	em1 := math.Expm1(lam)
+	if em1 <= 0 {
+		// Λ == 0 exactly: infinite loss; return a large finite surrogate with
+		// a strong downhill gradient so training recovers.
+		return 745, -1e6
+	}
+	loss = lam - math.Log(em1)
+	// dL/dΛ = 1 − e^Λ/(e^Λ−1) = −1/(e^Λ−1)
+	dHazard = -1 / em1
+	return loss, dHazard
+}
+
+// BCELoss is the classification baseline used by the "Xatu w/o survival
+// model" ablation (§6.3, Fig 18(d)): per-step binary cross-entropy between
+// the instantaneous attack probability p_t = 1−exp(−λ_t) and a per-step
+// label that is 1 only at the ground-truth detection step.
+// It returns the total loss and dL/dλ_t per step.
+func BCELoss(hazards []float64, attackStep int) (loss float64, dHazards []float64) {
+	dHazards = make([]float64, len(hazards))
+	const eps = 1e-12
+	for t, l := range hazards {
+		p := -math.Expm1(-l) // 1 − e^{−λ}
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		y := 0.0
+		if t == attackStep {
+			y = 1
+		}
+		loss += -(y*math.Log(p) + (1-y)*math.Log(1-p))
+		// dL/dp = (p−y)/(p(1−p)); dp/dλ = e^{−λ} = 1−p, so dL/dλ = (p−y)/p.
+		dHazards[t] = (p - y) / p
+	}
+	return loss, dHazards
+}
+
+// ErrNoThreshold is returned by Calibrate when no threshold satisfies the
+// overhead bound.
+var ErrNoThreshold = errors.New("survival: no threshold satisfies the overhead bound")
+
+// CalibrationPoint is one candidate threshold with the validation metrics
+// it achieves. Effectiveness and Overhead are fractions in [0,1] (overhead
+// may exceed 1 when far more extraneous than anomalous traffic is scrubbed).
+type CalibrationPoint struct {
+	Threshold     float64
+	Effectiveness float64 // median mitigation effectiveness across attacks
+	Overhead      float64 // 75th-percentile cumulative per-customer overhead
+}
+
+// Calibrate picks the alert threshold on S_t from candidates: among points
+// whose Overhead ≤ bound it returns the one with maximum Effectiveness
+// (ties broken toward the higher threshold, i.e. earlier detection).
+// This mirrors §5.3: "identify the threshold in the validation data which
+// maximizes mitigation effectiveness, while keeping the scrubbing overhead
+// for 75% of customers below a given bound."
+func Calibrate(points []CalibrationPoint, bound float64) (CalibrationPoint, error) {
+	best := CalibrationPoint{Threshold: math.NaN(), Effectiveness: -1}
+	for _, p := range points {
+		if p.Overhead > bound {
+			continue
+		}
+		if p.Effectiveness > best.Effectiveness ||
+			(p.Effectiveness == best.Effectiveness && p.Threshold > best.Threshold) {
+			best = p
+		}
+	}
+	if math.IsNaN(best.Threshold) {
+		return CalibrationPoint{}, ErrNoThreshold
+	}
+	return best, nil
+}
+
+// DetectStep returns the first step at which S_t < threshold, or -1 when
+// the series never crosses. This is Xatu's alert rule.
+func DetectStep(s []float64, threshold float64) int {
+	for t, v := range s {
+		if v < threshold {
+			return t
+		}
+	}
+	return -1
+}

@@ -1,0 +1,229 @@
+package survival
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSurvivalMonotoneAndBounded(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 1
+		rng := rand.New(rand.NewSource(seed))
+		hz := make([]float64, n)
+		for i := range hz {
+			hz[i] = math.Abs(rng.NormFloat64())
+		}
+		s := Survival(hz)
+		prev := 1.0
+		for _, v := range s {
+			if v <= 0 || v > 1 {
+				return false
+			}
+			if v > prev+1e-15 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurvivalMatchesExpSum(t *testing.T) {
+	hz := []float64{0.1, 0.2, 0.3}
+	s := Survival(hz)
+	want := []float64{math.Exp(-0.1), math.Exp(-0.3), math.Exp(-0.6)}
+	for i := range want {
+		if !almostEq(s[i], want[i], 1e-12) {
+			t.Fatalf("S[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestSurvivalClampsNegativeHazard(t *testing.T) {
+	s := Survival([]float64{-5, 0.5})
+	if s[0] != 1 {
+		t.Fatalf("negative hazard must be treated as 0, got S=%v", s[0])
+	}
+}
+
+func TestLossNonAttackIsSumOfHazards(t *testing.T) {
+	loss, g := Loss([]float64{0.2, 0.3, 0.5}, false)
+	if !almostEq(loss, 1.0, 1e-12) || g != 1 {
+		t.Fatalf("got loss=%v grad=%v", loss, g)
+	}
+}
+
+func TestLossAttackMatchesNegLog1mS(t *testing.T) {
+	hz := []float64{0.4, 0.1, 0.25}
+	loss, _ := Loss(hz, true)
+	s := Survival(hz)
+	want := -math.Log(1 - s[len(s)-1])
+	if !almostEq(loss, want, 1e-12) {
+		t.Fatalf("loss=%v want %v", loss, want)
+	}
+}
+
+func TestLossGradientNumeric(t *testing.T) {
+	// dL/dλ_t must match finite differences for both label values, and be
+	// identical across t (the "detect any time before ground truth" design).
+	for _, attack := range []bool{true, false} {
+		hz := []float64{0.3, 0.7, 0.2}
+		_, g := Loss(hz, attack)
+		for i := range hz {
+			h := 1e-7
+			hp := append([]float64(nil), hz...)
+			hp[i] += h
+			lp, _ := Loss(hp, attack)
+			hm := append([]float64(nil), hz...)
+			hm[i] -= h
+			lm, _ := Loss(hm, attack)
+			num := (lp - lm) / (2 * h)
+			if !almostEq(num, g, 1e-5) {
+				t.Fatalf("attack=%v step %d: analytic %v numeric %v", attack, i, g, num)
+			}
+		}
+	}
+}
+
+func TestLossAttackGradientAlwaysNegative(t *testing.T) {
+	// For attack series the gradient must push hazards up (negative dL/dλ).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hz := make([]float64, 5)
+		for i := range hz {
+			hz[i] = math.Abs(rng.NormFloat64()) * 0.5
+		}
+		_, g := Loss(hz, true)
+		return g < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossZeroHazardAttackFiniteSurrogate(t *testing.T) {
+	loss, g := Loss([]float64{0, 0}, true)
+	if math.IsInf(loss, 0) || math.IsNaN(loss) {
+		t.Fatal("loss must be a finite surrogate")
+	}
+	if g >= 0 {
+		t.Fatal("gradient must push hazards up")
+	}
+}
+
+func TestBCELossGradientNumeric(t *testing.T) {
+	hz := []float64{0.2, 0.9, 0.4}
+	_, grads := BCELoss(hz, 1)
+	for i := range hz {
+		h := 1e-7
+		hp := append([]float64(nil), hz...)
+		hp[i] += h
+		lp, _ := BCELoss(hp, 1)
+		hm := append([]float64(nil), hz...)
+		hm[i] -= h
+		lm, _ := BCELoss(hm, 1)
+		num := (lp - lm) / (2 * h)
+		if !almostEq(num, grads[i], 1e-4) {
+			t.Fatalf("step %d: analytic %v numeric %v", i, grads[i], num)
+		}
+	}
+}
+
+func TestBCELossNoAttack(t *testing.T) {
+	// attackStep = -1 means no step is labeled positive.
+	loss, grads := BCELoss([]float64{0.1, 0.1}, -1)
+	if loss <= 0 {
+		t.Fatal("loss must be positive for nonzero hazards")
+	}
+	for _, g := range grads {
+		if g <= 0 {
+			t.Fatal("no-attack gradient must push hazards down (positive dL/dλ)")
+		}
+	}
+}
+
+func TestCalibratePicksMaxEffectivenessUnderBound(t *testing.T) {
+	pts := []CalibrationPoint{
+		{Threshold: 0.9, Effectiveness: 0.95, Overhead: 0.05},
+		{Threshold: 0.5, Effectiveness: 0.80, Overhead: 0.001},
+		{Threshold: 0.7, Effectiveness: 0.90, Overhead: 0.009},
+	}
+	got, err := Calibrate(pts, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threshold != 0.7 {
+		t.Fatalf("got threshold %v, want 0.7", got.Threshold)
+	}
+}
+
+func TestCalibrateTieBreaksTowardEarlierDetection(t *testing.T) {
+	pts := []CalibrationPoint{
+		{Threshold: 0.3, Effectiveness: 0.9, Overhead: 0},
+		{Threshold: 0.6, Effectiveness: 0.9, Overhead: 0},
+	}
+	got, err := Calibrate(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threshold != 0.6 {
+		t.Fatalf("tie must break to higher threshold, got %v", got.Threshold)
+	}
+}
+
+func TestCalibrateNoFeasiblePoint(t *testing.T) {
+	_, err := Calibrate([]CalibrationPoint{{Threshold: 0.5, Effectiveness: 1, Overhead: 0.5}}, 0.1)
+	if err != ErrNoThreshold {
+		t.Fatalf("got %v, want ErrNoThreshold", err)
+	}
+}
+
+func TestDetectStep(t *testing.T) {
+	s := []float64{0.99, 0.8, 0.4, 0.1}
+	if got := DetectStep(s, 0.5); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+	if got := DetectStep(s, 0.05); got != -1 {
+		t.Fatalf("got %d, want -1", got)
+	}
+	if got := DetectStep(nil, 0.5); got != -1 {
+		t.Fatalf("empty series: got %d, want -1", got)
+	}
+}
+
+func TestDetectStepConsistentWithSurvivalMonotonicity(t *testing.T) {
+	// Because S is non-increasing, once detected the detection persists:
+	// every step after DetectStep also satisfies S < threshold. This is the
+	// "consistent detection" goal from §4.2.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hz := make([]float64, 20)
+		for i := range hz {
+			hz[i] = math.Abs(rng.NormFloat64()) * 0.2
+		}
+		s := Survival(hz)
+		th := rng.Float64()
+		d := DetectStep(s, th)
+		if d < 0 {
+			return true
+		}
+		for t2 := d; t2 < len(s); t2++ {
+			if s[t2] >= th {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

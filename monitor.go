@@ -1,0 +1,158 @@
+package xatu
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+)
+
+// MonitorConfig configures an online Monitor, the deployable unit of §2.6:
+// it consumes one step of flow records per protected customer, maintains
+// per-(customer, attack-type) detector streams, and emits alerts when the
+// survival probability crosses the calibrated threshold.
+type MonitorConfig struct {
+	// Models maps attack types to their trained models. Types not present
+	// fall back to Default.
+	Models map[AttackType]*Model
+	// Default is the fallback model (required if Models is incomplete).
+	Default *Model
+	// Extractor computes the 273 features per step.
+	Extractor *FeatureExtractor
+	// Threshold is the survival threshold: alert when S < Threshold.
+	Threshold float64
+	// Types are the attack types to watch; nil = all six.
+	Types []AttackType
+	// MitigationTimeout releases a diversion with no EndMitigation call
+	// after this duration (CScrub gives up). Zero = 30 minutes.
+	MitigationTimeout time.Duration
+	// RecordHistory, when set, feeds the monitor's own alerts back into the
+	// extractor's history registry (the autoregressive mode of §5.3).
+	RecordHistory bool
+}
+
+// Monitor is a streaming multi-customer DDoS detection booster. It is not
+// safe for concurrent use; shard customers across monitors if needed.
+type Monitor struct {
+	cfg   MonitorConfig
+	types []AttackType
+	chans map[monKey]*monChan
+}
+
+type monKey struct {
+	customer netip.Addr
+	at       AttackType
+}
+
+type monChan struct {
+	stream     *Stream
+	mitigating bool
+	since      time.Time
+}
+
+// NewMonitor validates the configuration and returns a Monitor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if cfg.Extractor == nil {
+		return nil, errors.New("xatu: MonitorConfig.Extractor is required")
+	}
+	if cfg.Threshold <= 0 {
+		return nil, errors.New("xatu: MonitorConfig.Threshold must be positive")
+	}
+	types := cfg.Types
+	if types == nil {
+		for at := AttackType(0); at < 6; at++ {
+			types = append(types, at)
+		}
+	}
+	for _, at := range types {
+		if cfg.Models[at] == nil && cfg.Default == nil {
+			return nil, errors.New("xatu: no model for type " + at.String() + " and no Default")
+		}
+	}
+	if cfg.MitigationTimeout <= 0 {
+		cfg.MitigationTimeout = 30 * time.Minute
+	}
+	return &Monitor{cfg: cfg, types: types, chans: make(map[monKey]*monChan)}, nil
+}
+
+func (m *Monitor) modelFor(at AttackType) *Model {
+	if mm := m.cfg.Models[at]; mm != nil {
+		return mm
+	}
+	return m.cfg.Default
+}
+
+// ObserveStep consumes one step of flows destined to customer and returns
+// any alerts raised at this step. Flows must already be aggregated to the
+// deployment's step resolution (e.g. one minute).
+func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []Record) []Alert {
+	feat := m.cfg.Extractor.Extract(customer, at, flows)
+	NormalizeFeatures(feat)
+	var alerts []Alert
+	for _, atype := range m.types {
+		key := monKey{customer, atype}
+		ch := m.chans[key]
+		if ch == nil {
+			ch = &monChan{stream: NewStream(m.modelFor(atype))}
+			m.chans[key] = ch
+		}
+		s := ch.stream.Push(feat)
+		if ch.mitigating {
+			if at.Sub(ch.since) >= m.cfg.MitigationTimeout {
+				ch.mitigating = false // CScrub gave up waiting
+			} else {
+				continue
+			}
+		}
+		if !ch.stream.Warm() || s >= m.cfg.Threshold {
+			continue
+		}
+		// Only raise a type's alert when traffic matching its signature is
+		// actually present this step — the alert's purpose is to divert that
+		// signature to scrubbing (§2.1), which is pointless on zero match.
+		sig := SignatureFor(atype, customer)
+		matched := false
+		for i := range flows {
+			if sig.Matches(flows[i]) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		ch.mitigating = true
+		ch.since = at
+		alert := Alert{
+			Sig:        sig,
+			DetectedAt: at,
+			Source:     "xatu",
+		}
+		alerts = append(alerts, alert)
+		if m.cfg.RecordHistory && m.cfg.Extractor.History != nil {
+			m.cfg.Extractor.History.RecordAlert(alert)
+			for _, r := range flows {
+				if alert.Sig.Matches(r) {
+					m.cfg.Extractor.History.RecordAttacker(customer, r.Src, at)
+				}
+			}
+		}
+	}
+	return alerts
+}
+
+// EndMitigation signals that CScrub finished mitigating the given customer
+// and attack type; detection for that channel resumes from a clean state.
+func (m *Monitor) EndMitigation(customer netip.Addr, at AttackType) {
+	key := monKey{customer, at}
+	if ch := m.chans[key]; ch != nil {
+		ch.mitigating = false
+		ch.stream.Reset()
+	}
+}
+
+// Mitigating reports whether a diversion is currently active for the
+// customer and attack type.
+func (m *Monitor) Mitigating(customer netip.Addr, at AttackType) bool {
+	ch := m.chans[monKey{customer, at}]
+	return ch != nil && ch.mitigating
+}

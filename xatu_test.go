@@ -1,0 +1,232 @@
+package xatu
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func tinyModel(t *testing.T) *Model {
+	t.Helper()
+	cfg := DefaultModelConfig()
+	cfg.Hidden = 4
+	cfg.PoolShort, cfg.PoolMed, cfg.PoolLong = 1, 2, 4
+	cfg.Window = 4
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tinyExtractor() *FeatureExtractor {
+	return &FeatureExtractor{
+		Blocklists: NewBlocklistRegistry(),
+		History:    NewHistoryRegistry(),
+		Geo:        func(netip.Addr) string { return "US" },
+		A4Window:   240 * time.Hour,
+		A5Window:   24 * time.Hour,
+	}
+}
+
+func TestPublicModelSaveLoad(t *testing.T) {
+	m := tinyModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignatureForPublic(t *testing.T) {
+	victim := netip.MustParseAddr("23.1.1.1")
+	sig := SignatureFor(DNSAmp, victim)
+	if sig.Proto != ProtoUDP || sig.SrcPort != 53 {
+		t.Fatalf("sig = %+v", sig)
+	}
+}
+
+func TestFeatureHelpers(t *testing.T) {
+	if len(FeatureNames()) != NumFeatures || NumFeatures != 273 {
+		t.Fatal("feature inventory mismatch")
+	}
+	if FeatureGroupOf(0) != "V" || FeatureGroupOf(272) != "A5" {
+		t.Fatal("group mapping wrong")
+	}
+	v := []float64{100}
+	NormalizeFeatures(v)
+	if v[0] >= 100 {
+		t.Fatal("normalization did not compress")
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	m := tinyModel(t)
+	if _, err := NewMonitor(MonitorConfig{Default: m, Threshold: 0.5}); err == nil {
+		t.Fatal("missing extractor must error")
+	}
+	if _, err := NewMonitor(MonitorConfig{Default: m, Extractor: tinyExtractor()}); err == nil {
+		t.Fatal("missing threshold must error")
+	}
+	if _, err := NewMonitor(MonitorConfig{Extractor: tinyExtractor(), Threshold: 0.5}); err == nil {
+		t.Fatal("no models must error")
+	}
+	mon, err := NewMonitor(MonitorConfig{Default: m, Extractor: tinyExtractor(), Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon == nil {
+		t.Fatal("nil monitor")
+	}
+}
+
+func TestMonitorAlertAndMitigationLifecycle(t *testing.T) {
+	m := tinyModel(t)
+	customer := netip.MustParseAddr("23.1.1.1")
+	// Threshold above 1 means "alert as soon as warm": exercises the alert
+	// and dedup mechanics without needing a trained model.
+	mon, err := NewMonitor(MonitorConfig{
+		Default:           m,
+		Extractor:         tinyExtractor(),
+		Threshold:         1.5,
+		Types:             []AttackType{UDPFlood},
+		MitigationTimeout: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2019, 7, 3, 0, 0, 0, 0, time.UTC)
+	// Alerts are gated on traffic matching the type signature, so feed a
+	// UDP flow each step.
+	udpFlow := []Record{{
+		Src: netip.MustParseAddr("11.1.1.1"), Dst: customer,
+		Proto: ProtoUDP, SrcPort: 1234, DstPort: 80,
+		Packets: 10, Bytes: 6000, Start: t0, End: t0.Add(time.Minute),
+	}}
+	var first time.Time
+	alerted := 0
+	for i := 0; i < 30; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		alerts := mon.ObserveStep(customer, at, udpFlow)
+		if len(alerts) > 0 {
+			alerted++
+			if first.IsZero() {
+				first = at
+				if alerts[0].Sig.Type != UDPFlood || alerts[0].Source != "xatu" {
+					t.Fatalf("alert = %+v", alerts[0])
+				}
+				if !mon.Mitigating(customer, UDPFlood) {
+					t.Fatal("must be mitigating after alert")
+				}
+			}
+		}
+	}
+	if alerted == 0 {
+		t.Fatal("monitor never alerted")
+	}
+	// With a 10-minute timeout over 30 minutes, the monitor must not alert
+	// every step — mitigation suppresses re-alerts.
+	if alerted > 4 {
+		t.Fatalf("mitigation dedup failed: %d alerts", alerted)
+	}
+	// EndMitigation resets the channel.
+	mon.EndMitigation(customer, UDPFlood)
+	if mon.Mitigating(customer, UDPFlood) {
+		t.Fatal("EndMitigation must clear state")
+	}
+}
+
+func TestMonitorNeverAlertsBelowImpossibleThreshold(t *testing.T) {
+	m := tinyModel(t)
+	customer := netip.MustParseAddr("23.1.1.1")
+	mon, err := NewMonitor(MonitorConfig{
+		Default: m, Extractor: tinyExtractor(), Threshold: 1e-12,
+		Types: []AttackType{UDPFlood},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2019, 7, 3, 0, 0, 0, 0, time.UTC)
+	udpFlow := []Record{{
+		Src: netip.MustParseAddr("11.1.1.1"), Dst: customer,
+		Proto: ProtoUDP, SrcPort: 1234, DstPort: 80,
+		Packets: 10, Bytes: 6000, Start: t0, End: t0.Add(time.Minute),
+	}}
+	for i := 0; i < 50; i++ {
+		if alerts := mon.ObserveStep(customer, t0.Add(time.Duration(i)*time.Minute), udpFlow); len(alerts) != 0 {
+			t.Fatal("impossible threshold must never alert")
+		}
+	}
+}
+
+func TestMonitorRecordsHistory(t *testing.T) {
+	m := tinyModel(t)
+	ext := tinyExtractor()
+	customer := netip.MustParseAddr("23.1.1.1")
+	src := netip.MustParseAddr("11.1.1.1")
+	mon, err := NewMonitor(MonitorConfig{
+		Default: m, Extractor: ext, Threshold: 1.5,
+		Types: []AttackType{UDPFlood}, RecordHistory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2019, 7, 3, 0, 0, 0, 0, time.UTC)
+	flows := []Record{{
+		Src: src, Dst: customer, Proto: ProtoUDP, SrcPort: 1234, DstPort: 80,
+		Packets: 100, Bytes: 60000, Start: t0, End: t0.Add(time.Minute),
+	}}
+	for i := 0; i < 30; i++ {
+		mon.ObserveStep(customer, t0.Add(time.Duration(i)*time.Minute), flows)
+	}
+	if !ext.History.WasAttacker(customer, src, t0.Add(2*time.Hour)) {
+		t.Fatal("autoregressive mode must record attackers from its own alerts")
+	}
+}
+
+func TestWorldPublicAPI(t *testing.T) {
+	cfg := DefaultWorldConfig()
+	cfg.Days = 2
+	cfg.NumCustomers = 4
+	cfg.NumBotnets = 2
+	cfg.BotsPerBotnet = 10
+	cfg.ResolverPoolSize = 10
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Customers) != 4 {
+		t.Fatalf("customers = %d", len(w.Customers))
+	}
+	flows := w.FlowsAt(0, 100)
+	if len(flows) == 0 {
+		t.Fatal("no flows generated")
+	}
+}
+
+func TestMonitorRequiresMatchingTraffic(t *testing.T) {
+	m := tinyModel(t)
+	customer := netip.MustParseAddr("23.1.1.1")
+	mon, err := NewMonitor(MonitorConfig{
+		Default: m, Extractor: tinyExtractor(), Threshold: 1.5,
+		Types: []AttackType{UDPFlood},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2019, 7, 3, 0, 0, 0, 0, time.UTC)
+	// Only TCP traffic: the UDP-flood channel must never alert.
+	tcpFlow := []Record{{
+		Src: netip.MustParseAddr("11.1.1.1"), Dst: customer,
+		Proto: ProtoTCP, TCPFlags: 0x10, SrcPort: 1234, DstPort: 443,
+		Packets: 10, Bytes: 6000, Start: t0, End: t0.Add(time.Minute),
+	}}
+	for i := 0; i < 30; i++ {
+		if got := mon.ObserveStep(customer, t0.Add(time.Duration(i)*time.Minute), tcpFlow); len(got) != 0 {
+			t.Fatal("UDP alert without UDP traffic")
+		}
+	}
+}
