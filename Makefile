@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test race fuzz check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with concurrency: the UDP transport + chaos
+# harness, the model core, and the root-package integration tests.
+race:
+	$(GO) test -race ./internal/netflow ./internal/core .
+
+# Short fuzz pass over the wire codec and journal (CI smoke; run longer
+# locally with -fuzztime as needed).
+fuzz:
+	$(GO) test ./internal/netflow -run '^$$' -fuzz FuzzDecodeV5 -fuzztime 10s
+	$(GO) test ./internal/netflow -run '^$$' -fuzz FuzzJournalRoundTrip -fuzztime 10s
+
+check: build vet test race

@@ -36,6 +36,8 @@ func main() {
 		thFlag   = flag.Float64("threshold", 0, "survival threshold override (0 = use saved)")
 		replay   = flag.String("replay", "", "replay a flow journal file instead of listening on UDP")
 		simStep  = flag.Duration("sim-step", 2*time.Minute, "journal replay: step size of the recorded flows")
+		ckpt     = flag.String("checkpoint", "", "detector state file: restored on startup if present, saved periodically and on shutdown")
+		ckptIval = flag.Duration("checkpoint-interval", time.Minute, "how often to save -checkpoint")
 	)
 	flag.Parse()
 
@@ -60,6 +62,19 @@ func main() {
 		fatal("%v", err)
 	}
 
+	if *ckpt != "" {
+		if f, err := os.Open(*ckpt); err == nil {
+			err := mon.Restore(f)
+			f.Close()
+			if err != nil {
+				fatal("restoring %s: %v", *ckpt, err)
+			}
+			fmt.Printf("restored detector state from %s\n", *ckpt)
+		} else if !os.IsNotExist(err) {
+			fatal("%v", err)
+		}
+	}
+
 	if *replay != "" {
 		replayJournal(mon, *replay, *simStep)
 		return
@@ -74,31 +89,80 @@ func main() {
 	go col.Run(ctx)
 	fmt.Printf("listening on %s, survival threshold %.4f, step %v\n", col.Addr(), threshold, *step)
 
-	pending := map[netip.Addr][]xatu.Record{}
+	var (
+		pending  = map[netip.Addr][]xatu.Record{}
+		known    = map[netip.Addr]bool{} // customers seen at least once
+		lastSave time.Time
+	)
+	shutdown := func() {
+		st := col.FullStats()
+		fmt.Printf("shutting down (records=%d shed=%d lost=%d dup=%d reordered=%d bad=%d exporters=%d)\n",
+			st.Records, st.Shed, st.LostRecords, st.DupPackets, st.ReorderedPackets, st.BadPackets, st.Exporters)
+		saveCheckpoint(mon, *ckpt)
+	}
 	ticker := time.NewTicker(*step)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			dropped, bad := col.Stats()
-			fmt.Printf("shutting down (dropped=%d badPackets=%d)\n", dropped, bad)
+			shutdown()
 			return
 		case r, ok := <-col.Records():
 			if !ok {
+				shutdown()
 				return
 			}
 			pending[r.Dst] = append(pending[r.Dst], r)
 		case <-ticker.C:
 			now := time.Now()
+			// Customers that went quiet this step still get a gap step, so
+			// their detector branches keep advancing in lockstep.
+			for customer := range known {
+				if _, ok := pending[customer]; !ok {
+					mon.ObserveMissing(customer, now)
+				}
+			}
 			for customer, flows := range pending {
+				known[customer] = true
 				for _, a := range mon.ObserveStep(customer, now, flows) {
 					fmt.Printf("%s ALERT %s victim=%v proto=%v srcport=%d\n",
 						now.Format(time.RFC3339), a.Sig.Type, a.Sig.Victim, a.Sig.Proto, a.Sig.SrcPort)
 				}
 				delete(pending, customer)
 			}
+			if *ckpt != "" && now.Sub(lastSave) >= *ckptIval {
+				saveCheckpoint(mon, *ckpt)
+				lastSave = now
+			}
 		}
 	}
+}
+
+// saveCheckpoint writes the monitor state atomically (tmp + rename), so a
+// crash mid-save never corrupts the previous checkpoint.
+func saveCheckpoint(mon *xatu.Monitor, path string) {
+	if path == "" {
+		return
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xatu-detect: checkpoint: %v\n", err)
+		return
+	}
+	err = mon.Checkpoint(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		fmt.Fprintf(os.Stderr, "xatu-detect: checkpoint: %v\n", err)
+		return
+	}
+	fmt.Printf("checkpointed detector state to %s\n", path)
 }
 
 // loadExtractor builds the feature extractor from the registry files

@@ -86,19 +86,23 @@ func main() {
 		if err := exp.Flush(); err != nil {
 			log.Fatal(err)
 		}
-		// ...and drain the collector into the monitor for this step.
+		// ...and drain the collector into the monitor for this step: block
+		// until the first record lands (the datagrams were just flushed),
+		// then a short quiet period on the channel ends the step.
 		deadline := time.After(500 * time.Millisecond)
 	drain:
 		for {
+			var quiet <-chan time.Time
+			if len(pending) > 0 {
+				quiet = time.After(10 * time.Millisecond)
+			}
 			select {
 			case r := <-col.Records():
 				pending[r.Dst] = append(pending[r.Dst], r)
+			case <-quiet:
+				break drain
 			case <-deadline:
 				break drain
-			default:
-				if len(pending) > 0 {
-					break drain
-				}
 			}
 		}
 		at := cfg.World.TimeOf(s)
@@ -111,7 +115,7 @@ func main() {
 			delete(pending, customer)
 		}
 	}
-	dropped, bad := col.Stats()
-	fmt.Printf("done: %d alerts, %d records exported, collector dropped=%d bad=%d\n",
-		alerts, exp.Sent(), dropped, bad)
+	st := col.FullStats()
+	fmt.Printf("done: %d alerts, %d records exported, collector records=%d shed=%d lost=%d dup=%d bad=%d\n",
+		alerts, exp.Sent(), st.Records, st.Shed, st.LostRecords, st.DupPackets, st.BadPackets)
 }

@@ -26,7 +26,24 @@ type Stream struct {
 	hazPos   int
 	hazCount int
 	steps    int
+	// lastX is the most recent real (non-missing) input, feeding the
+	// carry-forward policy of PushMissing.
+	lastX nn.Vec
 }
+
+// MissingPolicy selects what a Stream feeds itself for a step with no
+// telemetry, so the pooled branches keep advancing in lockstep instead of
+// silently desynchronizing from the short branch.
+type MissingPolicy uint8
+
+const (
+	// MissingZero feeds an all-zero feature vector (treat the gap as "no
+	// traffic observed"). The default.
+	MissingZero MissingPolicy = iota
+	// MissingCarry repeats the last real feature vector (assume telemetry
+	// was lost, not that traffic stopped).
+	MissingCarry
+)
 
 // NewStream returns a fresh online detector state for the model.
 func NewStream(m *Model) *Stream {
@@ -57,6 +74,26 @@ func (s *Stream) Warm() bool {
 // probability over the sliding detection window (1.0 while nothing has
 // accumulated yet).
 func (s *Stream) Push(x []float64) float64 {
+	if s.lastX == nil {
+		s.lastX = nn.NewVec(len(x))
+	}
+	copy(s.lastX, x)
+	return s.push(x)
+}
+
+// PushMissing advances the stream one step with no telemetry, substituting
+// an input per the policy. Mitigates detector blindness across collector
+// gaps: every branch still steps, the hazard ring still advances, and the
+// stream stays warm.
+func (s *Stream) PushMissing(policy MissingPolicy) float64 {
+	x := make([]float64, s.m.Cfg.NumFeatures)
+	if policy == MissingCarry && s.lastX != nil {
+		copy(x, s.lastX)
+	}
+	return s.push(x) // lastX deliberately untouched: it tracks real inputs
+}
+
+func (s *Stream) push(x []float64) float64 {
 	v := nn.Vec(x)
 	s.steps++
 	for b, l := range s.m.lstms {
@@ -121,4 +158,5 @@ func (s *Stream) Reset() {
 		s.hazards[i] = 0
 	}
 	s.hazPos, s.hazCount, s.steps = 0, 0, 0
+	s.lastX = nil
 }

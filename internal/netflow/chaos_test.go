@@ -1,0 +1,401 @@
+package netflow
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// captureSink records every delivered datagram.
+type captureSink struct {
+	mu   sync.Mutex
+	pkts [][]byte
+}
+
+func (s *captureSink) HandlePacket(src string, pkt []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pkts = append(s.pkts, append([]byte(nil), pkt...))
+}
+
+func (s *captureSink) snapshot() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.pkts...)
+}
+
+func testRecord(i int) Record {
+	start := time.Date(2019, 4, 24, 0, 0, 0, 0, time.UTC)
+	return Record{
+		Src:     netip.AddrFrom4([4]byte{11, 0, byte(i >> 8), byte(i&0xFF | 1)}),
+		Dst:     netip.MustParseAddr("23.1.1.1"),
+		SrcPort: uint16(1000 + i), DstPort: 53, Proto: ProtoUDP,
+		Packets: uint32(i + 1), Bytes: uint32((i + 1) * 64),
+		Start: start, End: start.Add(time.Second),
+	}
+}
+
+func TestChaosConnDeterministicSchedule(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, DropRate: 0.2, DupRate: 0.1, ReorderRate: 0.1, CorruptRate: 0.05}
+	run := func() ([][]byte, ChaosStats) {
+		sink := &captureSink{}
+		conn := NewChaosPipe(sink, "exp", cfg)
+		pkt := make([]byte, 64)
+		for i := 0; i < 500; i++ {
+			pkt[0] = byte(i)
+			pkt[1] = byte(i >> 8)
+			if _, err := conn.Write(pkt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		conn.Close()
+		return sink.snapshot(), conn.Stats()
+	}
+	pktsA, statsA := run()
+	pktsB, statsB := run()
+	if statsA != statsB {
+		t.Fatalf("stats differ across identical runs:\n%+v\n%+v", statsA, statsB)
+	}
+	if len(pktsA) != len(pktsB) {
+		t.Fatalf("delivery count differs: %d vs %d", len(pktsA), len(pktsB))
+	}
+	for i := range pktsA {
+		if !bytes.Equal(pktsA[i], pktsB[i]) {
+			t.Fatalf("packet %d differs across identical runs", i)
+		}
+	}
+	if statsA.Dropped == 0 || statsA.Duplicated == 0 || statsA.Reordered == 0 || statsA.Corrupted == 0 {
+		t.Fatalf("expected every fault type to fire over 500 writes: %+v", statsA)
+	}
+	want := statsA.Written - statsA.Dropped + statsA.Duplicated
+	if uint64(len(pktsA)) != want {
+		t.Fatalf("delivered %d packets, accounting says %d", len(pktsA), want)
+	}
+}
+
+func TestChaosConnIndependentFaultStreams(t *testing.T) {
+	// The drop schedule at a seed must not shift when duplication is
+	// enabled alongside it.
+	dropsAt := func(cfg ChaosConfig) []int {
+		sink := &captureSink{}
+		conn := NewChaosPipe(sink, "exp", cfg)
+		var drops []int
+		for i := 0; i < 200; i++ {
+			before := conn.Stats().Dropped
+			if _, err := conn.Write([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if conn.Stats().Dropped > before {
+				drops = append(drops, i)
+			}
+		}
+		return drops
+	}
+	a := dropsAt(ChaosConfig{Seed: 3, DropRate: 0.15})
+	b := dropsAt(ChaosConfig{Seed: 3, DropRate: 0.15, DupRate: 0.3, CorruptRate: 0.2})
+	if len(a) == 0 {
+		t.Fatal("no drops at 15% over 200 writes")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("drop schedule shifted when other faults enabled:\n%v\n%v", a, b)
+	}
+}
+
+func TestChaosPipeCollectorSeparatesLossClasses(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.pc.Close()
+	chaos := NewChaosPipe(col, "exporter-1", ChaosConfig{
+		Seed: 42, DropRate: 0.10, DupRate: 0.05, ReorderRate: 0.05,
+	})
+	exp, err := NewExporterWithConfig(ExporterConfig{
+		Sampling: 1,
+		Dial:     func() (net.Conn, error) { return chaos, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 3000
+	for i := 0; i < total; i++ {
+		if err := exp.Export(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := exp.Sent(); got != total {
+		t.Fatalf("Sent = %d, want %d", got, total)
+	}
+
+	cs := chaos.Stats()
+	st := col.FullStats()
+	if cs.Dropped == 0 || cs.Duplicated == 0 || cs.Reordered == 0 {
+		t.Fatalf("chaos did not exercise all faults: %+v", cs)
+	}
+	// Duplicate datagrams are delivered immediately after their original,
+	// so every one must be caught by the recently-seen ring.
+	if st.DupPackets != cs.Duplicated {
+		t.Fatalf("DupPackets = %d, chaos duplicated %d", st.DupPackets, cs.Duplicated)
+	}
+	// Reordered datagrams are delivered one write late and show up as
+	// out-of-order arrivals — unless the intervening write was itself
+	// dropped, in which case they arrive effectively in order. So the
+	// collector sees at most (and usually about) as many as were injected.
+	if st.ReorderedPackets == 0 || st.ReorderedPackets > cs.Reordered {
+		t.Fatalf("ReorderedPackets = %d, chaos reordered %d", st.ReorderedPackets, cs.Reordered)
+	}
+	if st.Shed != 0 {
+		t.Fatalf("nothing should be shed with a %d-record buffer: %+v", 1<<14, st)
+	}
+	if st.LostRecords == 0 {
+		t.Fatal("10% datagram loss must surface as sequence-gap records")
+	}
+	// Conservation: every exported record is either delivered or charged
+	// as lost, modulo a trailing dropped datagram no later packet reveals.
+	delivered := uint64(len(col.out))
+	if delivered != st.Records {
+		t.Fatalf("channel holds %d, stats say %d delivered", delivered, st.Records)
+	}
+	if got := delivered + st.LostRecords; got > total || got < total-MaxRecordsPerPacket {
+		t.Fatalf("delivered(%d) + lost(%d) = %d, want within one datagram of %d",
+			delivered, st.LostRecords, got, total)
+	}
+	if st.Exporters != 1 {
+		t.Fatalf("Exporters = %d, want 1", st.Exporters)
+	}
+}
+
+func TestCollectorShedSeparateFromLoss(t *testing.T) {
+	// Tiny channel, nobody draining: records shed at the collector must
+	// not be charged as upstream loss.
+	col, err := NewCollector("127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.pc.Close()
+	pipe := NewChaosPipe(col, "exporter-1", ChaosConfig{}) // no faults
+	exp, err := NewExporterWithConfig(ExporterConfig{
+		Sampling: 1,
+		Dial:     func() (net.Conn, error) { return pipe, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := exp.Export(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := col.FullStats()
+	if st.LostRecords != 0 || st.DupPackets != 0 {
+		t.Fatalf("clean transport charged loss: %+v", st)
+	}
+	if st.Shed == 0 {
+		t.Fatal("overflowing an 8-record channel must shed")
+	}
+	if st.Records != 8 {
+		t.Fatalf("Records = %d, want 8 (channel capacity)", st.Records)
+	}
+	if st.Records+st.Shed != 300 {
+		t.Fatalf("delivered %d + shed %d != 300", st.Records, st.Shed)
+	}
+}
+
+func TestExporterReconnectsAfterWriteFailure(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.pc.Close()
+	// Fail roughly half the writes: the exporter must keep records
+	// pending across failures, redial, and eventually deliver everything
+	// (chaos write failures are pre-send, so no datagrams are lost).
+	var dials int
+	exp, err := NewExporterWithConfig(ExporterConfig{
+		Sampling:    1,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  10 * time.Microsecond,
+		Dial: func() (net.Conn, error) {
+			dials++
+			return NewChaosPipe(col, "exporter-1", ChaosConfig{Seed: int64(dials), FailRate: 0.5}), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if err := exp.Export(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for exp.Sent() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d sent: %+v", exp.Sent(), total, exp.Stats())
+		}
+		if err := exp.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	es := exp.Stats()
+	if es.WriteErrors == 0 || es.Reconnects == 0 {
+		t.Fatalf("expected write errors and reconnects: %+v", es)
+	}
+	st := col.FullStats()
+	// Each reconnect restarts the chaos conn but the v5 sequence keeps
+	// counting, so the collector must see a contiguous stream: no loss.
+	if st.LostRecords != 0 {
+		t.Fatalf("pre-send failures must not lose records: %+v", st)
+	}
+	if st.Records != total {
+		t.Fatalf("Records = %d, want %d", st.Records, total)
+	}
+}
+
+func TestExporterShedsWhenCollectorDead(t *testing.T) {
+	dead := &deadConn{}
+	exp, err := NewExporterWithConfig(ExporterConfig{
+		Sampling:    1,
+		MaxPending:  100,
+		BaseBackoff: time.Hour, // stay down for the whole test
+		MaxBackoff:  time.Hour,
+		Dial:        func() (net.Conn, error) { return dead, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := exp.Export(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := exp.Stats()
+	if st.Pending > 100 {
+		t.Fatalf("pending %d exceeds MaxPending 100", st.Pending)
+	}
+	if st.Shed == 0 {
+		t.Fatalf("a dead collector must shed, not grow without bound: %+v", st)
+	}
+	if st.Sent != 0 {
+		t.Fatalf("nothing can have been sent: %+v", st)
+	}
+	if st.Shed+uint64(st.Pending) != 1000 {
+		t.Fatalf("shed %d + pending %d != 1000", st.Shed, st.Pending)
+	}
+}
+
+// deadConn fails every write, simulating an unreachable collector.
+type deadConn struct{}
+
+func (deadConn) Write([]byte) (int, error)        { return 0, errors.New("host unreachable") }
+func (deadConn) Read([]byte) (int, error)         { return 0, errors.New("host unreachable") }
+func (deadConn) Close() error                     { return nil }
+func (deadConn) LocalAddr() net.Addr              { return sinkAddr{name: "dead"} }
+func (deadConn) RemoteAddr() net.Addr             { return sinkAddr{name: "dead"} }
+func (deadConn) SetDeadline(time.Time) error      { return nil }
+func (deadConn) SetReadDeadline(time.Time) error  { return nil }
+func (deadConn) SetWriteDeadline(time.Time) error { return nil }
+
+func TestExporterCloseIdempotent(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.pc.Close()
+	exp, err := NewExporter(col.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Export(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatalf("second close must be a no-op, got %v", err)
+	}
+	if err := exp.Export(testRecord(2)); !errors.Is(err, ErrExporterClosed) {
+		t.Fatalf("Export after close = %v, want ErrExporterClosed", err)
+	}
+	if err := exp.Flush(); !errors.Is(err, ErrExporterClosed) {
+		t.Fatalf("Flush after close = %v, want ErrExporterClosed", err)
+	}
+}
+
+func TestChaosConnOverRealUDP(t *testing.T) {
+	// The same chaos schedule over a real kernel socket: content is
+	// deterministic, timing is not, so assertions are structural.
+	col, err := NewCollector("127.0.0.1:0", 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- col.Run(ctx) }()
+
+	exp, err := NewExporterWithConfig(ExporterConfig{
+		Sampling: 1,
+		Dial: func() (net.Conn, error) {
+			conn, err := net.Dial("udp", col.Addr())
+			if err != nil {
+				return nil, err
+			}
+			return NewChaosConn(conn, ChaosConfig{Seed: 99, DropRate: 0.1, DupRate: 0.05}), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 1500
+	for i := 0; i < total; i++ {
+		if err := exp.Export(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain until the delivered count stabilizes.
+	received := 0
+	idle := 0
+	for idle < 20 {
+		select {
+		case <-col.Records():
+			received++
+			idle = 0
+		case <-time.After(10 * time.Millisecond):
+			idle++
+		}
+	}
+	exp.Close()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := col.FullStats()
+	if received == 0 || st.LostRecords == 0 {
+		t.Fatalf("received=%d stats=%+v: expected both delivery and loss", received, st)
+	}
+	if st.DupPackets == 0 {
+		t.Fatalf("5%% duplication over %d datagrams must surface: %+v", total/MaxRecordsPerPacket, st)
+	}
+	if got := uint64(received) + st.LostRecords; got > total || got+MaxRecordsPerPacket < total {
+		t.Fatalf("received(%d) + lost(%d) not within one datagram of %d", received, st.LostRecords, total)
+	}
+}

@@ -11,123 +11,328 @@ import (
 	"time"
 )
 
+// ErrExporterClosed is returned by Export/Flush after Close.
+var ErrExporterClosed = errors.New("netflow: exporter is closed")
+
+// ExporterConfig tunes the fault-tolerant exporter. The zero value of every
+// optional field picks a sensible default.
+type ExporterConfig struct {
+	// Addr is the collector address ("host:port"); used by the default
+	// dialer and ignored when Dial is set.
+	Addr string
+	// Sampling is the advertised 1:N sampling interval.
+	Sampling uint16
+	// MaxPending caps the pending-record queue while the collector is
+	// unreachable; overflow sheds the oldest records (counted in Stats).
+	// Default 4096.
+	MaxPending int
+	// BaseBackoff is the initial reconnect delay after a write or dial
+	// failure; it doubles per consecutive failure up to MaxBackoff.
+	// Defaults 50ms and 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Dial opens the collector socket; nil dials UDP to Addr. Tests inject
+	// chaos conns here.
+	Dial func() (net.Conn, error)
+}
+
+// ExporterStats counts the exporter's fault-handling activity.
+type ExporterStats struct {
+	Sent        uint64 // records successfully written to the socket
+	Shed        uint64 // records dropped because the pending queue overflowed
+	WriteErrors uint64 // datagram write failures
+	DialErrors  uint64 // reconnect attempts that failed
+	Reconnects  uint64 // successful re-dials after a failure
+	Pending     int    // records currently queued
+}
+
 // Exporter batches flow records into NetFlow v5 datagrams and sends them to
-// a collector over UDP, mirroring a router's NetFlow export engine.
+// a collector over UDP, mirroring a router's NetFlow export engine. A write
+// failure no longer kills the exporter: records queue (bounded) while it
+// reconnects with exponential backoff, and overflow is shed oldest-first,
+// exactly like a router's export buffer.
 type Exporter struct {
-	conn     net.Conn
+	dial     func() (net.Conn, error)
 	bootTime time.Time
 	sampling uint16
 
-	mu      sync.Mutex
-	pending []Record
-	seq     uint32
-	sent    uint64
+	mu          sync.Mutex
+	conn        net.Conn // nil while disconnected
+	pending     []Record
+	seq         uint32
+	closed      bool
+	maxPending  int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	backoff     time.Duration // next reconnect delay
+	downUntil   time.Time     // no send attempts before this instant
+	stats       ExporterStats
 }
 
-// NewExporter dials the collector at addr ("host:port").
+// NewExporter dials the collector at addr ("host:port") with default
+// fault-tolerance settings.
 func NewExporter(addr string, sampling uint16) (*Exporter, error) {
-	conn, err := net.Dial("udp", addr)
+	return NewExporterWithConfig(ExporterConfig{Addr: addr, Sampling: sampling})
+}
+
+// NewExporterWithConfig dials the collector with explicit queue and
+// backoff settings. The initial dial must succeed; later failures are
+// absorbed by the reconnect loop.
+func NewExporterWithConfig(cfg ExporterConfig) (*Exporter, error) {
+	dial := cfg.Dial
+	if dial == nil {
+		addr := cfg.Addr
+		dial = func() (net.Conn, error) { return net.Dial("udp", addr) }
+	}
+	conn, err := dial()
 	if err != nil {
 		return nil, fmt.Errorf("netflow: dialing collector: %w", err)
 	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4096
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
 	return &Exporter{
-		conn:     conn,
-		bootTime: time.Now().Add(-time.Minute), // pretend the router booted a minute ago
-		sampling: sampling,
+		dial:        dial,
+		conn:        conn,
+		bootTime:    time.Now().Add(-time.Minute), // pretend the router booted a minute ago
+		sampling:    cfg.Sampling,
+		maxPending:  cfg.MaxPending,
+		baseBackoff: cfg.BaseBackoff,
+		maxBackoff:  cfg.MaxBackoff,
+		backoff:     cfg.BaseBackoff,
 	}, nil
 }
 
 // Export queues a record, flushing a full datagram when 30 records are
-// pending.
+// pending. Invalid records are rejected immediately so they can never
+// poison the retry queue. Transport failures are absorbed (see Stats),
+// not returned.
 func (e *Exporter) Export(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return ErrExporterClosed
+	}
 	e.pending = append(e.pending, r)
+	if over := len(e.pending) - e.maxPending; over > 0 {
+		e.stats.Shed += uint64(over)
+		e.pending = e.pending[over:] // shed oldest: fresher telemetry wins
+	}
 	if len(e.pending) >= MaxRecordsPerPacket {
 		return e.flushLocked()
 	}
 	return nil
 }
 
-// Flush sends any pending records immediately.
+// Flush sends any pending records immediately (as many full datagrams as
+// needed). While the collector is unreachable records stay queued and
+// Flush returns nil; failures are visible via Stats.
 func (e *Exporter) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return ErrExporterClosed
+	}
 	return e.flushLocked()
 }
 
 func (e *Exporter) flushLocked() error {
-	if len(e.pending) == 0 {
-		return nil
-	}
-	// Clamp flow timestamps into the exporter's uptime epoch; simulated
-	// flows may carry synthetic wall-clock times predating bootTime.
-	now := time.Now()
-	batch := make([]Record, len(e.pending))
-	copy(batch, e.pending)
-	for i := range batch {
-		if batch[i].Start.Before(e.bootTime) {
-			d := batch[i].End.Sub(batch[i].Start)
-			batch[i].Start = e.bootTime
-			batch[i].End = e.bootTime.Add(d)
+	for len(e.pending) > 0 {
+		if e.conn == nil && !e.redialLocked() {
+			return nil // still backing off; records stay pending
 		}
-		if batch[i].End.After(now) {
-			batch[i].End = now
-			if batch[i].Start.After(now) {
-				batch[i].Start = now
+		n := len(e.pending)
+		if n > MaxRecordsPerPacket {
+			n = MaxRecordsPerPacket
+		}
+		// Clamp flow timestamps into the exporter's uptime epoch; simulated
+		// flows may carry synthetic wall-clock times predating bootTime.
+		now := time.Now()
+		batch := make([]Record, n)
+		copy(batch, e.pending[:n])
+		for i := range batch {
+			if batch[i].Start.Before(e.bootTime) {
+				d := batch[i].End.Sub(batch[i].Start)
+				batch[i].Start = e.bootTime
+				batch[i].End = e.bootTime.Add(d)
+			}
+			if batch[i].End.After(now) {
+				batch[i].End = now
+				if batch[i].Start.After(now) {
+					batch[i].Start = now
+				}
 			}
 		}
+		pkt, err := EncodeV5(batch, e.bootTime, now, e.seq, e.sampling)
+		if err != nil {
+			// Records are validated on Export, so this is unreachable in
+			// practice; shed the batch rather than wedge the queue on it.
+			e.stats.Shed += uint64(n)
+			e.pending = e.pending[n:]
+			continue
+		}
+		if _, err := e.conn.Write(pkt); err != nil {
+			e.stats.WriteErrors++
+			e.conn.Close()
+			e.conn = nil
+			e.downUntil = time.Now().Add(e.backoff)
+			e.backoff = minDuration(e.backoff*2, e.maxBackoff)
+			return nil // retried on a later Flush/Export
+		}
+		e.backoff = e.baseBackoff
+		e.seq += uint32(n)
+		e.stats.Sent += uint64(n)
+		e.pending = e.pending[n:]
 	}
-	pkt, err := EncodeV5(batch, e.bootTime, now, e.seq, e.sampling)
-	if err != nil {
-		return err
-	}
-	if _, err := e.conn.Write(pkt); err != nil {
-		return fmt.Errorf("netflow: sending datagram: %w", err)
-	}
-	e.seq += uint32(len(batch))
-	e.sent += uint64(len(batch))
-	e.pending = e.pending[:0]
 	return nil
+}
+
+// redialLocked attempts to re-establish the socket, respecting backoff.
+// It reports whether a usable conn is now available.
+func (e *Exporter) redialLocked() bool {
+	if time.Now().Before(e.downUntil) {
+		return false
+	}
+	conn, err := e.dial()
+	if err != nil {
+		e.stats.DialErrors++
+		e.downUntil = time.Now().Add(e.backoff)
+		e.backoff = minDuration(e.backoff*2, e.maxBackoff)
+		return false
+	}
+	e.conn = conn
+	e.stats.Reconnects++
+	e.backoff = e.baseBackoff
+	return true
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Sent reports the number of records exported so far.
 func (e *Exporter) Sent() uint64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.sent
+	return e.stats.Sent
 }
 
-// Close flushes and closes the underlying socket.
+// Stats returns a snapshot of the exporter's counters.
+func (e *Exporter) Stats() ExporterStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.Pending = len(e.pending)
+	return s
+}
+
+// Close flushes, then closes the underlying socket. It is idempotent:
+// closing twice returns nil rather than a socket error.
 func (e *Exporter) Close() error {
-	flushErr := e.Flush()
-	closeErr := e.conn.Close()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	flushErr := e.flushLocked()
+	e.closed = true
+	conn := e.conn
+	e.conn = nil
+	e.mu.Unlock()
+	var closeErr error
+	if conn != nil {
+		closeErr = conn.Close()
+	}
 	if flushErr != nil {
 		return flushErr
 	}
 	return closeErr
 }
 
+// CollectorStats separates the ways telemetry can degrade on the way into
+// the detector, so operators can tell shed load (our fault) from upstream
+// loss (the network's fault) from duplication (usually a misbehaving
+// exporter or chaotic path).
+type CollectorStats struct {
+	Packets          uint64 // well-formed v5 datagrams processed
+	Records          uint64 // records delivered to the consumer channel
+	Shed             uint64 // records dropped because the consumer fell behind
+	BadPackets       uint64 // datagrams that failed to decode
+	DupPackets       uint64 // duplicate datagrams discarded (recently-seen sequence)
+	ReorderedPackets uint64 // late datagrams delivered out of order
+	LostRecords      uint64 // records missing per v5 sequence-gap accounting
+	Exporters        int    // distinct (source, engine) export streams observed
+}
+
+// seenRing remembers the last packet sequence numbers from one exporter so
+// duplicates can be told apart from late (reordered) datagrams.
+const seenRingSize = 64
+
+// exporterState tracks one (source address, engine) NetFlow v5 stream.
+type exporterState struct {
+	inited bool
+	next   uint32 // expected FlowSequence of the next datagram
+	seen   [seenRingSize]uint32
+	seenN  int
+	seenAt int
+}
+
+func (s *exporterState) remember(seq uint32) {
+	s.seen[s.seenAt] = seq
+	s.seenAt = (s.seenAt + 1) % seenRingSize
+	if s.seenN < seenRingSize {
+		s.seenN++
+	}
+}
+
+func (s *exporterState) recentlySeen(seq uint32) bool {
+	for i := 0; i < s.seenN; i++ {
+		if s.seen[i] == seq {
+			return true
+		}
+	}
+	return false
+}
+
 // Collector listens for NetFlow v5 datagrams and delivers decoded records
-// on a channel, the shape Xatu's online detector consumes.
+// on a channel, the shape Xatu's online detector consumes. It tracks v5
+// sequence numbers per exporter stream, so upstream loss, duplication and
+// reordering are separately counted and queryable via FullStats.
 type Collector struct {
-	pc      net.PacketConn
-	out     chan Record
-	dropped uint64
-	badPkts uint64
-	mu      sync.Mutex
+	pc  net.PacketConn
+	out chan Record
+
+	mu    sync.Mutex
+	stats CollectorStats
+	src   map[string]*exporterState
 }
 
 // NewCollector binds a UDP listener on addr (use "127.0.0.1:0" for an
 // ephemeral test port). bufSize is the channel capacity; records are
-// dropped (and counted) when the consumer falls behind, matching how real
+// shed (and counted) when the consumer falls behind, matching how real
 // collectors shed load rather than block the socket reader.
 func NewCollector(addr string, bufSize int) (*Collector, error) {
 	pc, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netflow: binding collector: %w", err)
 	}
-	return &Collector{pc: pc, out: make(chan Record, bufSize)}, nil
+	return &Collector{
+		pc:  pc,
+		out: make(chan Record, bufSize),
+		src: make(map[string]*exporterState),
+	}, nil
 }
 
 // Addr returns the bound listen address.
@@ -147,37 +352,105 @@ func (c *Collector) Run(ctx context.Context) error {
 	}()
 	buf := make([]byte, 65535)
 	for {
-		n, _, err := c.pc.ReadFrom(buf)
+		n, addr, err := c.pc.ReadFrom(buf)
 		if err != nil {
 			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return fmt.Errorf("netflow: reading datagram: %w", err)
 		}
-		_, recs, err := DecodeV5(buf[:n])
-		if err != nil {
-			c.mu.Lock()
-			c.badPkts++
-			c.mu.Unlock()
-			continue
-		}
-		for _, r := range recs {
-			select {
-			case c.out <- r:
-			default:
-				c.mu.Lock()
-				c.dropped++
-				c.mu.Unlock()
-			}
-		}
+		c.HandlePacket(addr.String(), buf[:n])
 	}
 }
 
-// Stats reports dropped records and malformed packets seen so far.
+// HandlePacket processes one raw datagram attributed to the exporter at
+// src. Run calls it for every UDP read; in-process transports (chaos
+// pipes, replays) may call it directly. It must not be called after the
+// record channel has been closed by a returning Run.
+func (c *Collector) HandlePacket(src string, pkt []byte) {
+	h, recs, err := DecodeV5(pkt)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.BadPackets++
+		c.mu.Unlock()
+		return
+	}
+	key := fmt.Sprintf("%s/%d.%d", src, h.EngineType, h.EngineID)
+
+	c.mu.Lock()
+	c.stats.Packets++
+	st := c.src[key]
+	if st == nil {
+		st = &exporterState{}
+		c.src[key] = st
+		c.stats.Exporters = len(c.src)
+	}
+	drop := false
+	switch {
+	case !st.inited:
+		st.inited = true
+		st.next = h.FlowSequence + uint32(len(recs))
+		st.remember(h.FlowSequence)
+	default:
+		// Signed distance handles sequence wraparound at 2^32.
+		switch diff := int32(h.FlowSequence - st.next); {
+		case diff == 0: // in order
+			st.next += uint32(len(recs))
+			st.remember(h.FlowSequence)
+		case diff > 0: // gap: diff records never arrived (so far)
+			c.stats.LostRecords += uint64(diff)
+			st.next = h.FlowSequence + uint32(len(recs))
+			st.remember(h.FlowSequence)
+		default: // datagram from the past
+			if st.recentlySeen(h.FlowSequence) {
+				c.stats.DupPackets++
+				drop = true
+			} else {
+				// Late arrival of a datagram we charged as lost: deliver it
+				// and refund the gap accounting.
+				c.stats.ReorderedPackets++
+				if n := uint64(len(recs)); n <= c.stats.LostRecords {
+					c.stats.LostRecords -= n
+				} else {
+					c.stats.LostRecords = 0
+				}
+				st.remember(h.FlowSequence)
+			}
+		}
+	}
+	c.mu.Unlock()
+	if drop {
+		return
+	}
+
+	var delivered, shed uint64
+	for _, r := range recs {
+		select {
+		case c.out <- r:
+			delivered++
+		default:
+			shed++
+		}
+	}
+	c.mu.Lock()
+	c.stats.Records += delivered
+	c.stats.Shed += shed
+	c.mu.Unlock()
+}
+
+// Stats reports shed records and malformed packets seen so far. Kept for
+// backward compatibility; FullStats has the complete breakdown.
 func (c *Collector) Stats() (dropped, badPackets uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.dropped, c.badPkts
+	return c.stats.Shed, c.stats.BadPackets
+}
+
+// FullStats returns the complete loss-accounting breakdown.
+func (c *Collector) FullStats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // Sampler applies 1:N random packet sampling to a flow stream, the way the

@@ -28,6 +28,9 @@ type MonitorConfig struct {
 	// RecordHistory, when set, feeds the monitor's own alerts back into the
 	// extractor's history registry (the autoregressive mode of §5.3).
 	RecordHistory bool
+	// MissingPolicy selects what detector streams consume for steps with no
+	// telemetry (see ObserveMissing): zero-fill (default) or carry-forward.
+	MissingPolicy MissingPolicy
 }
 
 // Monitor is a streaming multi-customer DDoS detection booster. It is not
@@ -138,6 +141,26 @@ func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []Record)
 		}
 	}
 	return alerts
+}
+
+// ObserveMissing advances every existing detector stream for the customer
+// by one step with no telemetry, applying the configured MissingPolicy.
+// Call it when an aggregation step elapses with no flow records for a
+// customer that is being watched — the branches keep stepping in lockstep
+// instead of silently freezing, and mitigation timeouts keep counting
+// down. No alerts are raised: with no flows there is no signature match to
+// divert (§2.1).
+func (m *Monitor) ObserveMissing(customer netip.Addr, at time.Time) {
+	for _, atype := range m.types {
+		ch := m.chans[monKey{customer, atype}]
+		if ch == nil {
+			continue
+		}
+		ch.stream.PushMissing(m.cfg.MissingPolicy)
+		if ch.mitigating && at.Sub(ch.since) >= m.cfg.MitigationTimeout {
+			ch.mitigating = false // CScrub gave up waiting
+		}
+	}
 }
 
 // EndMitigation signals that CScrub finished mitigating the given customer

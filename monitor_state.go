@@ -1,0 +1,172 @@
+package xatu
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/core"
+)
+
+// Monitor checkpointing. A Monitor restarted cold is blind for Window
+// steps per channel; Checkpoint/Restore persist every channel's full
+// online state — the per-branch LSTM hidden and cell vectors, pooling
+// buffers, the hazard ring, and the mitigation flags — so a restarted
+// detector resumes warm, bitwise-identically to an uninterrupted run.
+//
+// Format (little-endian, versioned; see DESIGN.md §"Fault model"):
+//
+//	magic "XMC1" | uint16 version | uint32 nchans
+//	per channel (sorted by customer, then attack type):
+//	  uint8 addrLen + addr bytes (netip marshal)
+//	  uint8 attack type | uint8 mitigating
+//	  uint8 sinceLen + since bytes (time marshal)
+//	  uint32 streamLen + stream checkpoint (core format "XSC1")
+//
+// The model weights are NOT included — they live in Model.Save files; a
+// checkpoint restores into a Monitor constructed with equivalent models,
+// and the per-stream config digest rejects architecture mismatches.
+
+var monitorCkptMagic = [4]byte{'X', 'M', 'C', '1'}
+
+const monitorCkptVersion = 1
+
+// Checkpoint serializes the monitor's full detection state to w. Channels
+// are written in sorted order, so identical state yields identical bytes.
+func (m *Monitor) Checkpoint(w io.Writer) error {
+	keys := make([]monKey, 0, len(m.chans))
+	for k := range m.chans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if c := keys[i].customer.Compare(keys[j].customer); c != 0 {
+			return c < 0
+		}
+		return keys[i].at < keys[j].at
+	})
+	if _, err := w.Write(monitorCkptMagic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var hdr [6]byte
+	le.PutUint16(hdr[0:], monitorCkptVersion)
+	le.PutUint32(hdr[2:], uint32(len(keys)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		ch := m.chans[k]
+		addr, err := k.customer.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("xatu: checkpoint customer %v: %w", k.customer, err)
+		}
+		since, err := ch.since.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("xatu: checkpoint since time: %w", err)
+		}
+		var stream bytes.Buffer
+		if err := ch.stream.Checkpoint(&stream); err != nil {
+			return fmt.Errorf("xatu: checkpoint stream %v/%v: %w", k.customer, k.at, err)
+		}
+		mit := byte(0)
+		if ch.mitigating {
+			mit = 1
+		}
+		buf := make([]byte, 0, 8+len(addr)+len(since)+stream.Len())
+		buf = append(buf, byte(len(addr)))
+		buf = append(buf, addr...)
+		buf = append(buf, byte(k.at), mit, byte(len(since)))
+		buf = append(buf, since...)
+		buf = le.AppendUint32(buf, uint32(stream.Len()))
+		buf = append(buf, stream.Bytes()...)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore loads a checkpoint written by Checkpoint into this monitor,
+// replacing any existing channel state. The monitor must be configured
+// with models architecturally identical to the checkpointing one (weights
+// come from the model files; only online state is restored). On error the
+// monitor's previous state is left untouched.
+func (m *Monitor) Restore(r io.Reader) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("xatu: reading checkpoint magic: %w", err)
+	}
+	if magic != monitorCkptMagic {
+		return fmt.Errorf("xatu: not a monitor checkpoint (magic %q)", magic)
+	}
+	le := binary.LittleEndian
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("xatu: reading checkpoint header: %w", err)
+	}
+	if v := le.Uint16(hdr[0:]); v != monitorCkptVersion {
+		return fmt.Errorf("xatu: unsupported monitor checkpoint version %d", v)
+	}
+	n := le.Uint32(hdr[2:])
+	if n > 1<<22 {
+		return fmt.Errorf("xatu: implausible channel count %d", n)
+	}
+	chans := make(map[monKey]*monChan, n)
+	for i := uint32(0); i < n; i++ {
+		var addrLen [1]byte
+		if _, err := io.ReadFull(r, addrLen[:]); err != nil {
+			return fmt.Errorf("xatu: channel %d: %w", i, err)
+		}
+		addrBuf := make([]byte, addrLen[0])
+		if _, err := io.ReadFull(r, addrBuf); err != nil {
+			return fmt.Errorf("xatu: channel %d address: %w", i, err)
+		}
+		var customer netip.Addr
+		if err := customer.UnmarshalBinary(addrBuf); err != nil {
+			return fmt.Errorf("xatu: channel %d address: %w", i, err)
+		}
+		var meta [3]byte // attack type, mitigating, sinceLen
+		if _, err := io.ReadFull(r, meta[:]); err != nil {
+			return fmt.Errorf("xatu: channel %d meta: %w", i, err)
+		}
+		at := AttackType(meta[0])
+		if int(meta[0]) >= 6 {
+			return fmt.Errorf("xatu: channel %d: unknown attack type %d", i, meta[0])
+		}
+		sinceBuf := make([]byte, meta[2])
+		if _, err := io.ReadFull(r, sinceBuf); err != nil {
+			return fmt.Errorf("xatu: channel %d since: %w", i, err)
+		}
+		var since time.Time
+		if err := since.UnmarshalBinary(sinceBuf); err != nil {
+			return fmt.Errorf("xatu: channel %d since: %w", i, err)
+		}
+		var slen [4]byte
+		if _, err := io.ReadFull(r, slen[:]); err != nil {
+			return fmt.Errorf("xatu: channel %d stream length: %w", i, err)
+		}
+		streamLen := le.Uint32(slen[:])
+		if streamLen > 1<<26 {
+			return fmt.Errorf("xatu: channel %d: implausible stream length %d", i, streamLen)
+		}
+		streamBuf := make([]byte, streamLen)
+		if _, err := io.ReadFull(r, streamBuf); err != nil {
+			return fmt.Errorf("xatu: channel %d stream: %w", i, err)
+		}
+		stream, err := core.RestoreStream(bytes.NewReader(streamBuf), m.modelFor(at))
+		if err != nil {
+			return fmt.Errorf("xatu: channel %d (%v/%v): %w", i, customer, at, err)
+		}
+		chans[monKey{customer, at}] = &monChan{
+			stream:     stream,
+			mitigating: meta[1] != 0,
+			since:      since,
+		}
+	}
+	m.chans = chans
+	return nil
+}

@@ -15,6 +15,7 @@ package xatu
 
 import (
 	"io"
+	"net"
 
 	"github.com/xatu-go/xatu/internal/attackhist"
 	"github.com/xatu-go/xatu/internal/blocklist"
@@ -38,10 +39,23 @@ type (
 	Proto = netflow.Proto
 	// Collector receives NetFlow v5 datagrams over UDP.
 	Collector = netflow.Collector
+	// CollectorStats separates shed load, upstream loss, duplication and
+	// reordering in the collector's accounting.
+	CollectorStats = netflow.CollectorStats
 	// Exporter batches records into NetFlow v5 datagrams over UDP.
 	Exporter = netflow.Exporter
+	// ExporterConfig tunes the exporter's queue bound and reconnect backoff.
+	ExporterConfig = netflow.ExporterConfig
+	// ExporterStats counts exporter-side shedding and reconnects.
+	ExporterStats = netflow.ExporterStats
 	// Sampler applies 1:N packet sampling with inversion rescaling.
 	Sampler = netflow.Sampler
+	// ChaosConfig sets seeded fault-injection rates for a ChaosConn.
+	ChaosConfig = netflow.ChaosConfig
+	// ChaosConn wraps a net.Conn with deterministic fault injection.
+	ChaosConn = netflow.ChaosConn
+	// ChaosStats counts injected transport faults.
+	ChaosStats = netflow.ChaosStats
 )
 
 // Protocol numbers.
@@ -128,6 +142,22 @@ func LoadModel(r io.Reader) (*Model, error) { return core.Load(r) }
 // NewStream returns an online detector state for the model.
 func NewStream(m *Model) *Stream { return core.NewStream(m) }
 
+// MissingPolicy selects what detector streams consume for steps with no
+// telemetry (zero-fill or carry-forward).
+type MissingPolicy = core.MissingPolicy
+
+// Missing-telemetry policies.
+const (
+	// MissingZero feeds an all-zero feature vector for a missing step.
+	MissingZero = core.MissingZero
+	// MissingCarry repeats the last real feature vector.
+	MissingCarry = core.MissingCarry
+)
+
+// RestoreStream reads a stream checkpoint (written by Stream.Checkpoint)
+// into a fresh online state over m.
+func RestoreStream(r io.Reader, m *Model) (*Stream, error) { return core.RestoreStream(r, m) }
+
 // Commercial-detector baselines.
 type (
 	// CDetDetector is a threshold-based volumetric detector.
@@ -186,4 +216,22 @@ func NewCollector(addr string, bufSize int) (*Collector, error) {
 // sampling interval.
 func NewExporter(addr string, sampling uint16) (*Exporter, error) {
 	return netflow.NewExporter(addr, sampling)
+}
+
+// NewExporterWithConfig dials a NetFlow v5 collector with explicit
+// queue-bound, backoff and dialer settings.
+func NewExporterWithConfig(cfg ExporterConfig) (*Exporter, error) {
+	return netflow.NewExporterWithConfig(cfg)
+}
+
+// NewChaosConn wraps a net.Conn with seeded fault injection (loss,
+// duplication, reordering, corruption, delay, write failures).
+func NewChaosConn(conn net.Conn, cfg ChaosConfig) *ChaosConn {
+	return netflow.NewChaosConn(conn, cfg)
+}
+
+// NewChaosPipe builds a deterministic in-memory chaos transport delivering
+// datagrams synchronously into col (which implements netflow.PacketSink).
+func NewChaosPipe(col *Collector, src string, cfg ChaosConfig) *ChaosConn {
+	return netflow.NewChaosPipe(col, src, cfg)
 }

@@ -187,6 +187,132 @@ func TestMonitorRecordsHistory(t *testing.T) {
 	}
 }
 
+func TestMonitorUnknownKeysSafe(t *testing.T) {
+	m := tinyModel(t)
+	mon, err := NewMonitor(MonitorConfig{
+		Default: m, Extractor: tinyExtractor(), Threshold: 0.5,
+		Types: []AttackType{UDPFlood},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost := netip.MustParseAddr("203.0.113.9")
+	// Neither call may panic or create channel state for unseen keys.
+	mon.EndMitigation(ghost, UDPFlood)
+	mon.EndMitigation(ghost, DNSAmp) // type the monitor doesn't even watch
+	if mon.Mitigating(ghost, UDPFlood) || mon.Mitigating(ghost, DNSAmp) {
+		t.Fatal("unknown keys must not report mitigation")
+	}
+	mon.ObserveMissing(ghost, time.Now()) // no channels yet: must be a no-op
+	if len(mon.chans) != 0 {
+		t.Fatalf("unknown-key calls created %d channels", len(mon.chans))
+	}
+}
+
+func TestMonitorRedetectsAfterEndMitigation(t *testing.T) {
+	m := tinyModel(t)
+	customer := netip.MustParseAddr("23.1.1.1")
+	mon, err := NewMonitor(MonitorConfig{
+		Default: m, Extractor: tinyExtractor(), Threshold: 1.5,
+		Types: []AttackType{UDPFlood}, MitigationTimeout: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2019, 7, 3, 0, 0, 0, 0, time.UTC)
+	udpFlow := []Record{{
+		Src: netip.MustParseAddr("11.1.1.1"), Dst: customer,
+		Proto: ProtoUDP, SrcPort: 1234, DstPort: 80,
+		Packets: 10, Bytes: 6000, Start: t0, End: t0.Add(time.Minute),
+	}}
+	step := 0
+	alertAt := func() int {
+		for ; step < 200; step++ {
+			at := t0.Add(time.Duration(step) * time.Minute)
+			if len(mon.ObserveStep(customer, at, udpFlow)) > 0 {
+				s := step
+				step++
+				return s
+			}
+		}
+		t.Fatal("monitor never alerted")
+		return -1
+	}
+	first := alertAt()
+	if !mon.Mitigating(customer, UDPFlood) {
+		t.Fatal("must be mitigating after first alert")
+	}
+	mon.EndMitigation(customer, UDPFlood)
+	second := alertAt()
+	// EndMitigation resets the stream, so the detector must re-warm before
+	// the second alert — it cannot fire on the very next step.
+	if second <= first+1 {
+		t.Fatalf("re-detection at step %d did not re-warm (first at %d)", second, first)
+	}
+}
+
+func TestMonitorMitigationTimeoutRearms(t *testing.T) {
+	m := tinyModel(t)
+	customer := netip.MustParseAddr("23.1.1.1")
+	mon, err := NewMonitor(MonitorConfig{
+		Default: m, Extractor: tinyExtractor(), Threshold: 1.5,
+		Types: []AttackType{UDPFlood}, MitigationTimeout: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2019, 7, 3, 0, 0, 0, 0, time.UTC)
+	udpFlow := []Record{{
+		Src: netip.MustParseAddr("11.1.1.1"), Dst: customer,
+		Proto: ProtoUDP, SrcPort: 1234, DstPort: 80,
+		Packets: 10, Bytes: 6000, Start: t0, End: t0.Add(time.Minute),
+	}}
+	var alertSteps []int
+	for i := 0; i < 40; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		if len(mon.ObserveStep(customer, at, udpFlow)) > 0 {
+			alertSteps = append(alertSteps, i)
+		}
+	}
+	if len(alertSteps) < 2 {
+		t.Fatalf("timeout never re-armed alerting: alerts at %v", alertSteps)
+	}
+	for i := 1; i < len(alertSteps); i++ {
+		if gap := alertSteps[i] - alertSteps[i-1]; gap < 10 {
+			t.Fatalf("re-alert after %d min, inside the 10 min timeout (alerts %v)", gap, alertSteps)
+		}
+	}
+
+	// ObserveMissing must also count the timeout down: a mitigation started
+	// now and followed only by gap steps past the timeout releases.
+	mon2, err := NewMonitor(MonitorConfig{
+		Default: m, Extractor: tinyExtractor(), Threshold: 1.5,
+		Types: []AttackType{UDPFlood}, MitigationTimeout: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitigated := -1
+	for i := 0; i < 40; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		if mitigated < 0 {
+			mon2.ObserveStep(customer, at, udpFlow)
+			if mon2.Mitigating(customer, UDPFlood) {
+				mitigated = i
+			}
+			continue
+		}
+		mon2.ObserveMissing(customer, at)
+		if !mon2.Mitigating(customer, UDPFlood) {
+			if held := i - mitigated; held < 10 {
+				t.Fatalf("gap steps released mitigation after only %d min", held)
+			}
+			return
+		}
+	}
+	t.Fatal("mitigation never released across gap steps")
+}
+
 func TestWorldPublicAPI(t *testing.T) {
 	cfg := DefaultWorldConfig()
 	cfg.Days = 2
