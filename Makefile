@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz check
+.PHONY: build vet test race fuzz bench-json check
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,16 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with concurrency: the UDP transport + chaos
-# harness, the model core, and the root-package integration tests.
+# harness, the model core, the sharded engine, and the root-package
+# integration tests.
 race:
-	$(GO) test -race ./internal/netflow ./internal/core .
+	$(GO) test -race ./internal/netflow ./internal/core ./internal/engine .
+
+# Engine sharding benchmarks rendered as a committed JSON baseline
+# (BENCH_engine.json): ns/op and customer-steps/sec per shard count.
+bench-json:
+	$(GO) test ./internal/engine -run '^$$' -bench 'BenchmarkEngineShards' | $(GO) run ./cmd/benchjson > BENCH_engine.json
+	@cat BENCH_engine.json
 
 # Short fuzz pass over the wire codec and journal (CI smoke; run longer
 # locally with -fuzztime as needed).

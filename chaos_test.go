@@ -267,7 +267,7 @@ func TestMonitorRestoreRejectsCorruption(t *testing.T) {
 	}
 	good := ck.Bytes()
 	steps := func(m *Monitor) int {
-		return m.chans[monKey{customer, UDPFlood}].stream.Steps()
+		return m.StreamSteps(customer, UDPFlood)
 	}
 	before := steps(mon)
 

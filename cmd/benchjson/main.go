@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON document on stdout, so benchmark baselines can be committed
+// and diffed. It understands the standard benchmark line format
+//
+//	BenchmarkName-8   	     100	  12345 ns/op	  51.2 steps/sec
+//
+// plus the goos/goarch/pkg/cpu header lines. Used by `make bench-json`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Shards     int                `json:"shards,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	rep := report{Benchmarks: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one benchmark result line: a name (with optional
+// -GOMAXPROCS suffix), an iteration count, then value/unit pairs.
+func parseBench(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	// Go appends -GOMAXPROCS to the name unless it is 1, so a bare name
+	// means a single-proc run — worth recording in a committed baseline.
+	r := result{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Procs = p
+			r.Name = r.Name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r.Iterations = n
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "shards":
+			r.Shards = int(v)
+		default:
+			r.Metrics[unit] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}

@@ -1,9 +1,10 @@
 // Command xatu-detect runs the online detection loop of §2.6: it listens
 // for NetFlow v5 datagrams, aggregates flows per customer per step, feeds
-// them through the Monitor (trained models + 273-feature extractor) and
-// prints alerts. Pair it with ispgen:
+// them through a sharded detection Engine (trained models + 273-feature
+// extractor, one single-threaded Monitor per shard) and prints alerts.
+// Pair it with ispgen:
 //
-//	xatu-detect -models ./models -listen 127.0.0.1:2055 -step 5s &
+//	xatu-detect -models ./models -listen 127.0.0.1:2055 -step 5s -shards 4 &
 //	ispgen -export 127.0.0.1:2055 -from 0 -to 720 -rate 10ms
 package main
 
@@ -17,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +40,8 @@ func main() {
 		simStep  = flag.Duration("sim-step", 2*time.Minute, "journal replay: step size of the recorded flows")
 		ckpt     = flag.String("checkpoint", "", "detector state file: restored on startup if present, saved periodically and on shutdown")
 		ckptIval = flag.Duration("checkpoint-interval", time.Minute, "how often to save -checkpoint")
+		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "detection shards (single-threaded monitors); customers are hash-partitioned across them")
+		queue    = flag.Int("queue", 1024, "per-shard mailbox capacity (live ingest sheds oldest on overflow; replay blocks)")
 	)
 	flag.Parse()
 
@@ -53,10 +57,21 @@ func main() {
 		}
 	}
 
-	ext := loadExtractor(*modelDir)
-	mon, err := xatu.NewMonitor(xatu.MonitorConfig{
-		Models: models, Default: def, Extractor: ext,
-		Threshold: threshold, RecordHistory: true,
+	// Live ingest sheds oldest rather than blocking the collector drain
+	// loop; a journal replay has no liveness constraint, so it blocks and
+	// loses nothing.
+	policy := xatu.BackpressureShedOldest
+	if *replay != "" {
+		policy = xatu.BackpressureBlock
+	}
+	eng, err := xatu.NewEngine(xatu.EngineConfig{
+		Monitor: xatu.MonitorConfig{
+			Models: models, Default: def, Extractor: loadExtractor(*modelDir),
+			Threshold: threshold, RecordHistory: true,
+		},
+		Shards: *shards,
+		Queue:  *queue,
+		Policy: policy,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -64,7 +79,7 @@ func main() {
 
 	if *ckpt != "" {
 		if f, err := os.Open(*ckpt); err == nil {
-			err := mon.Restore(f)
+			err := eng.Restore(f)
 			f.Close()
 			if err != nil {
 				fatal("restoring %s: %v", *ckpt, err)
@@ -75,8 +90,22 @@ func main() {
 		}
 	}
 
+	// All alerts, live or replayed, fan into one channel.
+	alertsDone := make(chan struct{})
+	go func() {
+		defer close(alertsDone)
+		for ev := range eng.Alerts() {
+			fmt.Printf("%s ALERT %s victim=%v proto=%v srcport=%d shard=%d\n",
+				ev.At.Format(time.RFC3339), ev.Alert.Sig.Type, ev.Alert.Sig.Victim,
+				ev.Alert.Sig.Proto, ev.Alert.Sig.SrcPort, ev.Shard)
+		}
+	}()
+
 	if *replay != "" {
-		replayJournal(mon, *replay, *simStep)
+		replayJournal(eng, *replay, *simStep)
+		saveCheckpoint(eng, *ckpt)
+		eng.Close()
+		<-alertsDone
 		return
 	}
 
@@ -87,7 +116,8 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 	go col.Run(ctx)
-	fmt.Printf("listening on %s, survival threshold %.4f, step %v\n", col.Addr(), threshold, *step)
+	fmt.Printf("listening on %s, survival threshold %.4f, step %v, %d shards (queue %d)\n",
+		col.Addr(), threshold, *step, eng.Shards(), *queue)
 
 	var (
 		pending  = map[netip.Addr][]xatu.Record{}
@@ -96,9 +126,14 @@ func main() {
 	)
 	shutdown := func() {
 		st := col.FullStats()
+		es := eng.Stats()
 		fmt.Printf("shutting down (records=%d shed=%d lost=%d dup=%d reordered=%d bad=%d exporters=%d)\n",
 			st.Records, st.Shed, st.LostRecords, st.DupPackets, st.ReorderedPackets, st.BadPackets, st.Exporters)
-		saveCheckpoint(mon, *ckpt)
+		fmt.Printf("engine: %d shards, steps=%d missing=%d shed=%d alerts=%d queue-hw=%d\n",
+			eng.Shards(), es.Steps, es.Missing, es.Shed, es.Alerts, es.QueueHighWater)
+		saveCheckpoint(eng, *ckpt)
+		eng.Close()
+		<-alertsDone
 	}
 	ticker := time.NewTicker(*step)
 	defer ticker.Stop()
@@ -119,28 +154,26 @@ func main() {
 			// their detector branches keep advancing in lockstep.
 			for customer := range known {
 				if _, ok := pending[customer]; !ok {
-					mon.ObserveMissing(customer, now)
+					eng.ObserveMissing(customer, now)
 				}
 			}
 			for customer, flows := range pending {
 				known[customer] = true
-				for _, a := range mon.ObserveStep(customer, now, flows) {
-					fmt.Printf("%s ALERT %s victim=%v proto=%v srcport=%d\n",
-						now.Format(time.RFC3339), a.Sig.Type, a.Sig.Victim, a.Sig.Proto, a.Sig.SrcPort)
-				}
+				eng.Submit(customer, now, flows)
 				delete(pending, customer)
 			}
 			if *ckpt != "" && now.Sub(lastSave) >= *ckptIval {
-				saveCheckpoint(mon, *ckpt)
+				saveCheckpoint(eng, *ckpt)
 				lastSave = now
 			}
 		}
 	}
 }
 
-// saveCheckpoint writes the monitor state atomically (tmp + rename), so a
-// crash mid-save never corrupts the previous checkpoint.
-func saveCheckpoint(mon *xatu.Monitor, path string) {
+// saveCheckpoint drains the engine and writes the multi-shard state
+// atomically (tmp + rename), so a crash mid-save never corrupts the
+// previous checkpoint.
+func saveCheckpoint(eng *xatu.Engine, path string) {
 	if path == "" {
 		return
 	}
@@ -150,7 +183,7 @@ func saveCheckpoint(mon *xatu.Monitor, path string) {
 		fmt.Fprintf(os.Stderr, "xatu-detect: checkpoint: %v\n", err)
 		return
 	}
-	err = mon.Checkpoint(f)
+	err = eng.Checkpoint(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -211,9 +244,9 @@ func loadExtractor(dir string) *xatu.FeatureExtractor {
 	return ext
 }
 
-// replayJournal streams a recorded flow journal through the monitor,
+// replayJournal streams a recorded flow journal through the engine,
 // bucketing records into simulated steps by their start timestamps.
-func replayJournal(mon *xatu.Monitor, path string, step time.Duration) {
+func replayJournal(eng *xatu.Engine, path string, step time.Duration) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
@@ -226,12 +259,10 @@ func replayJournal(mon *xatu.Monitor, path string, step time.Duration) {
 	var (
 		curStep time.Time
 		pending = map[netip.Addr][]xatu.Record{}
-		alerts  int
 		flushFn = func() {
 			for customer, flows := range pending {
-				for _, a := range mon.ObserveStep(customer, curStep, flows) {
-					fmt.Printf("%s ALERT %s victim=%v\n", curStep.Format(time.RFC3339), a.Sig.Type, a.Sig.Victim)
-					alerts++
+				if err := eng.Submit(customer, curStep, flows); err != nil {
+					fatal("replay: %v", err)
 				}
 				delete(pending, customer)
 			}
@@ -256,7 +287,11 @@ func replayJournal(mon *xatu.Monitor, path string, step time.Duration) {
 		pending[r.Dst] = append(pending[r.Dst], r)
 	}
 	flushFn()
-	fmt.Printf("replayed %d records, %d alerts\n", jr.Count(), alerts)
+	if err := eng.Drain(); err != nil {
+		fatal("replay: %v", err)
+	}
+	fmt.Printf("replayed %d records, %d alerts across %d shards\n",
+		jr.Count(), eng.Stats().Alerts, eng.Shards())
 }
 
 func loadModels(dir string) (map[xatu.AttackType]*xatu.Model, *xatu.Model, error) {

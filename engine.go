@@ -1,0 +1,53 @@
+package xatu
+
+import (
+	"github.com/xatu-go/xatu/internal/engine"
+)
+
+// The serving layer (internal/engine): the single-threaded Monitor and
+// the sharded concurrent Engine that scales it across customers.
+
+type (
+	// Monitor is the deployable online detector of §2.6: per-(customer,
+	// attack-type) detector streams, mitigation lifecycle, optional
+	// autoregressive history feedback. A Monitor is strictly
+	// single-threaded; wrap it in an Engine to serve many cores.
+	Monitor = engine.Monitor
+	// MonitorConfig configures a Monitor.
+	MonitorConfig = engine.MonitorConfig
+	// Engine is a sharded concurrent detection engine: N single-threaded
+	// Monitors behind bounded mailboxes, customers partitioned by a
+	// stable hash of their address.
+	Engine = engine.Engine
+	// EngineConfig parameterizes an Engine.
+	EngineConfig = engine.Config
+	// BackpressurePolicy selects what Engine.Submit does on a full shard
+	// mailbox (block, or shed oldest with counters).
+	BackpressurePolicy = engine.Policy
+	// AlertEvent is one engine alert annotated with customer, step time
+	// and originating shard.
+	AlertEvent = engine.AlertEvent
+	// EngineStats aggregates per-shard engine counters.
+	EngineStats = engine.Stats
+	// ShardStats is one shard's counter snapshot.
+	ShardStats = engine.ShardStats
+)
+
+// Backpressure policies.
+const (
+	// BackpressureBlock makes Submit wait for mailbox space (lossless).
+	BackpressureBlock = engine.Block
+	// BackpressureShedOldest drops the oldest queued telemetry to make
+	// room, mirroring the exporter's bounded-queue policy.
+	BackpressureShedOldest = engine.ShedOldest
+)
+
+// ErrEngineClosed is returned by Engine methods after Close.
+var ErrEngineClosed = engine.ErrClosed
+
+// NewMonitor validates the configuration and returns a Monitor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return engine.NewMonitor(cfg) }
+
+// NewEngine builds one Monitor per shard and starts the shard goroutines.
+// See EngineConfig for defaults.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }

@@ -1,13 +1,15 @@
 // ispstream demonstrates the §2.6 deployment loop end-to-end over a real
 // UDP socket: a synthetic ISP exports NetFlow v5 datagrams, a collector
-// decodes them, and a Monitor (a quickly trained Xatu model + the
-// 273-feature extractor) raises alerts as an attack window streams by.
+// decodes them, and a sharded detection Engine (a quickly trained Xatu
+// model + the 273-feature extractor, one single-threaded Monitor per
+// shard) raises alerts as an attack window streams by.
 //
-//	go run ./examples/ispstream
+//	go run ./examples/ispstream -shards 4
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"net/netip"
@@ -17,6 +19,10 @@ import (
 )
 
 func main() {
+	shards := flag.Int("shards", 4, "detection shards; customers are hash-partitioned across them")
+	queue := flag.Int("queue", 256, "per-shard mailbox capacity")
+	flag.Parse()
+
 	// 1. Train a small model on a labeled world.
 	cfg := xatu.BenchPipelineConfig(10, 7)
 	cfg.Train.Epochs = 10
@@ -36,7 +42,8 @@ func main() {
 	survivalThreshold := 1 - sys.Threshold
 	fmt.Printf("calibrated survival threshold: %.4f\n", survivalThreshold)
 
-	// 2. Start a NetFlow collector and a Monitor over the trained models.
+	// 2. Start a NetFlow collector and a sharded Engine over the trained
+	// models. Live ingest sheds oldest on overflow rather than blocking.
 	col, err := xatu.NewCollector("127.0.0.1:0", 1<<16)
 	if err != nil {
 		log.Fatal(err)
@@ -45,11 +52,16 @@ func main() {
 	defer cancel()
 	go col.Run(ctx)
 
-	mon, err := xatu.NewMonitor(xatu.MonitorConfig{
-		Models:    ml.Models.ByType,
-		Default:   ml.Models.Shared,
-		Extractor: p.Extractor(nil, nil),
-		Threshold: survivalThreshold,
+	eng, err := xatu.NewEngine(xatu.EngineConfig{
+		Monitor: xatu.MonitorConfig{
+			Models:    ml.Models.ByType,
+			Default:   ml.Models.Shared,
+			Extractor: p.Extractor(nil, nil),
+			Threshold: survivalThreshold,
+		},
+		Shards: *shards,
+		Queue:  *queue,
+		Policy: xatu.BackpressureShedOldest,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -62,8 +74,8 @@ func main() {
 		log.Fatal("no test attacks in this world; try another seed")
 	}
 	ep := eps[0]
-	fmt.Printf("streaming a %v attack on customer %d (steps %d..%d)...\n",
-		ep.Type, ep.CustomerIdx, ep.StreamStart, ep.StreamEnd)
+	fmt.Printf("streaming a %v attack on customer %d (steps %d..%d) into %d shards...\n",
+		ep.Type, ep.CustomerIdx, ep.StreamStart, ep.StreamEnd, eng.Shards())
 
 	exp, err := xatu.NewExporter(col.Addr(), 1)
 	if err != nil {
@@ -86,7 +98,7 @@ func main() {
 		if err := exp.Flush(); err != nil {
 			log.Fatal(err)
 		}
-		// ...and drain the collector into the monitor for this step: block
+		// ...and drain the collector into the engine for this step: block
 		// until the first record lands (the datagrams were just flushed),
 		// then a short quiet period on the channel ends the step.
 		deadline := time.After(500 * time.Millisecond)
@@ -107,15 +119,50 @@ func main() {
 		}
 		at := cfg.World.TimeOf(s)
 		for customer, flows := range pending {
-			for _, a := range mon.ObserveStep(customer, at, flows) {
-				rel := float64(s-ep.AnomStart) * cfg.World.Step.Minutes()
-				fmt.Printf("  ALERT %v at %+.0f min relative to anomaly start\n", a.Sig.Type, rel)
-				alerts++
+			if err := eng.Submit(customer, at, flows); err != nil {
+				log.Fatal(err)
 			}
 			delete(pending, customer)
 		}
+		// Barrier per step so alerts print step-relative (a real deployment
+		// would read eng.Alerts() asynchronously instead).
+		if err := eng.Drain(); err != nil {
+			log.Fatal(err)
+		}
+	alerted:
+		for {
+			select {
+			case ev := <-eng.Alerts():
+				rel := float64(s-ep.AnomStart) * cfg.World.Step.Minutes()
+				fmt.Printf("  ALERT %v at %+.0f min relative to anomaly start (shard %d)\n",
+					ev.Alert.Sig.Type, rel, ev.Shard)
+				alerts++
+			default:
+				break alerted
+			}
+		}
 	}
 	st := col.FullStats()
+	es := eng.Stats()
+	eng.Close()
 	fmt.Printf("done: %d alerts, %d records exported, collector records=%d shed=%d lost=%d dup=%d bad=%d\n",
 		alerts, exp.Sent(), st.Records, st.Shed, st.LostRecords, st.DupPackets, st.BadPackets)
+	fmt.Printf("engine: %d shards, steps=%d shed=%d queue-hw=%d avg-step=%v\n",
+		eng.Shards(), es.Steps, es.Shed, es.QueueHighWater, avgStep(es))
+}
+
+// avgStep averages the per-shard mean step latencies over active shards.
+func avgStep(es xatu.EngineStats) time.Duration {
+	var total time.Duration
+	var n int
+	for _, ss := range es.Shards {
+		if ss.Steps > 0 {
+			total += ss.AvgStep()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
 }

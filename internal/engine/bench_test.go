@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/netflow"
+)
+
+// benchMonitorConfig never alerts (threshold below any reachable survival
+// probability), so the benchmark measures pure observation throughput:
+// feature extraction + model forward per customer-step, fanned across
+// shards.
+func benchMonitorConfig(b *testing.B) MonitorConfig {
+	cfg := tinyMonitorConfig(b)
+	cfg.Threshold = 1e-12
+	return cfg
+}
+
+// benchFlows builds one reusable per-customer step batch. The batch is
+// deliberately larger than the test fixtures so per-step extractor work
+// dominates engine overhead, as it does in deployment.
+func benchFlows(customer netip.Addr, n int, t0 time.Time) []netflow.Record {
+	flows := make([]netflow.Record, 0, n)
+	for j := 0; j < n; j++ {
+		flows = append(flows, netflow.Record{
+			Src:     netip.MustParseAddr(fmt.Sprintf("11.2.%d.%d", j%250+1, j+1)),
+			Dst:     customer,
+			Proto:   netflow.ProtoUDP,
+			SrcPort: uint16(1024 + j),
+			DstPort: 80,
+			Packets: uint32(10 + j),
+			Bytes:   uint32(6000 + 100*j),
+			Start:   t0,
+			End:     t0.Add(30 * time.Second),
+		})
+	}
+	return flows
+}
+
+// benchEngineShards measures engine throughput at a given shard count.
+// One benchmark op is a full round: every customer submits one step, from
+// four concurrent producers. ReportMetric exposes customer-steps/sec so
+// shard counts compare directly.
+func benchEngineShards(b *testing.B, shards int) {
+	const (
+		customers = 64
+		producers = 4
+		flowsPer  = 24
+	)
+	cs := testCustomers(customers)
+	t0 := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	batches := make([][]netflow.Record, customers)
+	for i, c := range cs {
+		batches[i] = benchFlows(c, flowsPer, t0)
+	}
+
+	eng, err := New(Config{
+		Monitor: benchMonitorConfig(b),
+		Shards:  shards,
+		Queue:   1024,
+		Policy:  Block,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	go func() {
+		for range eng.Alerts() {
+		}
+	}()
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := customers / producers
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for n := 0; n < b.N; n++ {
+				at := t0.Add(time.Duration(n) * time.Minute)
+				for i := p * per; i < (p+1)*per; i++ {
+					if err := eng.Submit(cs[i], at, batches[i]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := eng.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+
+	st := eng.Stats()
+	want := uint64(b.N) * customers
+	if st.Steps != want || st.Shed != 0 {
+		b.Fatalf("engine processed %d steps (shed %d), want %d", st.Steps, st.Shed, want)
+	}
+	b.ReportMetric(float64(st.Steps)/b.Elapsed().Seconds(), "steps/sec")
+	b.ReportMetric(float64(shards), "shards")
+}
+
+func BenchmarkEngineShards1(b *testing.B)  { benchEngineShards(b, 1) }
+func BenchmarkEngineShards4(b *testing.B)  { benchEngineShards(b, 4) }
+func BenchmarkEngineShards16(b *testing.B) { benchEngineShards(b, 16) }

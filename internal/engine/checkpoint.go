@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// Engine checkpointing: the drain-then-snapshot protocol.
+//
+// Engine.Checkpoint first runs a Drain barrier (every message submitted
+// before the call is fully processed), then has each shard goroutine
+// serialize its own Monitor — state is only ever touched by its owning
+// shard, so the snapshot needs no locks — and frames the per-shard blobs
+// into one file:
+//
+//	magic "XMC1" | uint16 version=2 | uint32 nshards
+//	per shard: uint32 seglen | version-1 Monitor checkpoint bytes
+//
+// Engine.Restore reads both layouts. The shard count in the file is
+// advisory only: every channel record carries its customer address, so
+// restore re-partitions all channels by the current engine's stable hash
+// (see ShardOf). A checkpoint taken at 16 shards restores onto 4, or onto
+// a single-monitor-per-shard layout, with every stream bit-exact — the
+// split is done at the record-framing level, the stream payloads are
+// never re-encoded. Version-1 files (one bare Monitor, written by older
+// xatu-detect builds or Monitor.Checkpoint) restore the same way.
+
+// Checkpoint drains the engine and writes a version-2 multi-shard
+// snapshot to w. Producers must be quiesced for the duration; the alert
+// channel must keep being drained.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	if err := e.Drain(); err != nil {
+		return err
+	}
+	bufs := make([]bytes.Buffer, len(e.shards))
+	errs, err := e.barrier(func(s *shard) message {
+		return message{op: opCheckpoint, buf: &bufs[s.id]}
+	})
+	if err != nil {
+		return err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("xatu: checkpoint shard %d: %w", i, err)
+		}
+	}
+	le := binary.LittleEndian
+	hdr := make([]byte, 0, 10)
+	hdr = append(hdr, monitorCkptMagic[:]...)
+	hdr = le.AppendUint16(hdr, engineCkptVersion)
+	hdr = le.AppendUint32(hdr, uint32(len(bufs)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for i := range bufs {
+		var seglen [4]byte
+		le.PutUint32(seglen[:], uint32(bufs[i].Len()))
+		if _, err := w.Write(seglen[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore loads a version-1 (single monitor) or version-2 (multi-shard)
+// checkpoint, re-partitioning every channel onto this engine's shards by
+// the stable customer hash. The restore is transactional: fresh monitors
+// are built and populated off to the side, and the shards only swap to
+// them after every segment parsed cleanly — on error the engine's
+// previous state is untouched. Producers must be quiesced.
+func (e *Engine) Restore(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("xatu: reading checkpoint: %w", err)
+	}
+	segs, err := checkpointSegments(data)
+	if err != nil {
+		return err
+	}
+	// Re-partition all channel records across the current shard count.
+	parts := make([][]rawChan, len(e.shards))
+	for i, seg := range segs {
+		chans, err := scanMonitorBody(seg)
+		if err != nil {
+			return fmt.Errorf("xatu: checkpoint segment %d: %w", i, err)
+		}
+		for _, rc := range chans {
+			sh := shardOf(rc.customer, len(e.shards))
+			parts[sh] = append(parts[sh], rc)
+		}
+	}
+	// Build and validate replacement monitors before touching any shard.
+	mons := make([]*Monitor, len(e.shards))
+	for i := range e.shards {
+		mon, err := NewMonitor(e.cfg.Monitor)
+		if err != nil {
+			return err
+		}
+		if err := mon.Restore(bytes.NewReader(buildMonitorBlob(parts[i]))); err != nil {
+			return fmt.Errorf("xatu: restoring shard %d: %w", i, err)
+		}
+		mons[i] = mon
+	}
+	errs, err := e.barrier(func(s *shard) message {
+		return message{op: opSwap, mon: mons[s.id]}
+	})
+	if err != nil {
+		return err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("xatu: swapping shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// checkpointSegments splits a checkpoint file into version-1 monitor
+// bodies (magic + header stripped): one per shard for version 2, a single
+// segment for a bare version-1 file.
+func checkpointSegments(data []byte) ([][]byte, error) {
+	r := bytes.NewReader(data)
+	version, n, err := readMonitorCkptHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	body := data[len(data)-r.Len():]
+	switch version {
+	case monitorCkptVersion:
+		// A bare Monitor checkpoint: the body is one segment holding n
+		// channels. Reconstruct the channel count prefix the scanner wants.
+		seg := make([]byte, 0, 4+len(body))
+		seg = binary.LittleEndian.AppendUint32(seg, n)
+		seg = append(seg, body...)
+		return [][]byte{seg}, nil
+	case engineCkptVersion:
+		if n > 1<<16 {
+			return nil, fmt.Errorf("xatu: implausible shard count %d", n)
+		}
+		segs := make([][]byte, 0, n)
+		for i := uint32(0); i < n; i++ {
+			var seglen [4]byte
+			if _, err := io.ReadFull(r, seglen[:]); err != nil {
+				return nil, fmt.Errorf("xatu: segment %d length: %w", i, err)
+			}
+			sl := binary.LittleEndian.Uint32(seglen[:])
+			if uint64(sl) > uint64(r.Len()) {
+				return nil, fmt.Errorf("xatu: segment %d length %d exceeds remaining %d", i, sl, r.Len())
+			}
+			seg := make([]byte, sl)
+			if _, err := io.ReadFull(r, seg); err != nil {
+				return nil, fmt.Errorf("xatu: segment %d: %w", i, err)
+			}
+			// Each segment is a full version-1 checkpoint; strip its header.
+			sr := bytes.NewReader(seg)
+			sv, sn, err := readMonitorCkptHeader(sr)
+			if err != nil {
+				return nil, fmt.Errorf("xatu: segment %d: %w", i, err)
+			}
+			if sv != monitorCkptVersion {
+				return nil, fmt.Errorf("xatu: segment %d: unexpected inner version %d", i, sv)
+			}
+			inner := make([]byte, 0, 4+sr.Len())
+			inner = binary.LittleEndian.AppendUint32(inner, sn)
+			inner = append(inner, seg[len(seg)-sr.Len():]...)
+			segs = append(segs, inner)
+		}
+		if r.Len() != 0 {
+			return nil, fmt.Errorf("xatu: %d trailing bytes after last segment", r.Len())
+		}
+		return segs, nil
+	default:
+		return nil, fmt.Errorf("xatu: unsupported checkpoint version %d", version)
+	}
+}
+
+// rawChan is one channel record lifted out of a checkpoint without
+// decoding its stream payload: just enough framing to route it.
+type rawChan struct {
+	customer netip.Addr
+	// raw is the complete channel record (addr through stream bytes),
+	// byte-identical to what Checkpoint wrote.
+	raw []byte
+}
+
+// scanMonitorBody walks a segment (uint32 nchans + channel records) at
+// the framing level, returning each record with its routing address.
+func scanMonitorBody(seg []byte) ([]rawChan, error) {
+	le := binary.LittleEndian
+	if len(seg) < 4 {
+		return nil, fmt.Errorf("truncated segment (%d bytes)", len(seg))
+	}
+	n := le.Uint32(seg)
+	if n > 1<<22 {
+		return nil, fmt.Errorf("implausible channel count %d", n)
+	}
+	body := seg[4:]
+	chans := make([]rawChan, 0, n)
+	off := 0
+	need := func(want int, what string) error {
+		if off+want > len(body) {
+			return fmt.Errorf("channel %d: truncated %s at offset %d", len(chans), what, off)
+		}
+		return nil
+	}
+	for i := uint32(0); i < n; i++ {
+		start := off
+		if err := need(1, "address length"); err != nil {
+			return nil, err
+		}
+		addrLen := int(body[off])
+		if err := need(1+addrLen+3, "address + meta"); err != nil {
+			return nil, err
+		}
+		var customer netip.Addr
+		if err := customer.UnmarshalBinary(body[off+1 : off+1+addrLen]); err != nil {
+			return nil, fmt.Errorf("channel %d address: %w", i, err)
+		}
+		off += 1 + addrLen
+		sinceLen := int(body[off+2])
+		off += 3
+		if err := need(sinceLen+4, "since + stream length"); err != nil {
+			return nil, err
+		}
+		off += sinceLen
+		streamLen := int(le.Uint32(body[off:]))
+		off += 4
+		if streamLen > 1<<26 {
+			return nil, fmt.Errorf("channel %d: implausible stream length %d", i, streamLen)
+		}
+		if err := need(streamLen, "stream"); err != nil {
+			return nil, err
+		}
+		off += streamLen
+		chans = append(chans, rawChan{customer: customer, raw: body[start:off]})
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%d trailing bytes after channel %d", len(body)-off, n)
+	}
+	return chans, nil
+}
+
+// buildMonitorBlob reassembles channel records into a version-1 Monitor
+// checkpoint Monitor.Restore accepts. Record bytes pass through verbatim,
+// so streams survive any number of split/merge cycles bit-exactly.
+func buildMonitorBlob(chans []rawChan) []byte {
+	le := binary.LittleEndian
+	size := 10
+	for _, rc := range chans {
+		size += len(rc.raw)
+	}
+	blob := make([]byte, 0, size)
+	blob = append(blob, monitorCkptMagic[:]...)
+	blob = le.AppendUint16(blob, monitorCkptVersion)
+	blob = le.AppendUint32(blob, uint32(len(chans)))
+	for _, rc := range chans {
+		blob = append(blob, rc.raw...)
+	}
+	return blob
+}

@@ -1,0 +1,440 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/netflow"
+)
+
+// ErrClosed is returned by Engine methods after Close.
+var ErrClosed = errors.New("xatu: engine is closed")
+
+// Policy selects what Submit does when a shard's mailbox is full.
+type Policy uint8
+
+const (
+	// Block makes Submit wait for mailbox space: lossless, applies
+	// backpressure to the producer. The right choice for replay.
+	Block Policy = iota
+	// ShedOldest drops the oldest queued telemetry message to make room,
+	// counting it in ShardStats.Shed: the producer never blocks, mirroring
+	// the exporter's bounded-queue policy. The right choice for live
+	// ingest, where blocking the collector loop loses newer data anyway.
+	ShedOldest
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Monitor configures every shard's Monitor. The Extractor and its
+	// registries are shared across shards (they are safe for concurrent
+	// use); per-customer detector state is not shared — each customer's
+	// streams live entirely on the shard that owns the customer.
+	Monitor MonitorConfig
+	// Shards is the number of single-threaded detection shards.
+	// Zero = runtime.GOMAXPROCS(0).
+	Shards int
+	// Queue is each shard's mailbox capacity. Zero = 256.
+	Queue int
+	// Policy is the backpressure policy for Submit and ObserveMissing.
+	Policy Policy
+	// AlertBuffer is the capacity of the fan-in alert channel. The caller
+	// must drain Alerts(); once the buffer fills, shards block on alert
+	// delivery. Zero = 1024.
+	AlertBuffer int
+}
+
+// AlertEvent is one alert annotated with its origin.
+type AlertEvent struct {
+	// Customer is the protected address the alert fired for.
+	Customer netip.Addr
+	// At is the step time passed to Submit.
+	At time.Time
+	// Shard is the index of the shard that raised the alert.
+	Shard int
+	// Alert is the detection event itself.
+	Alert ddos.Alert
+}
+
+// ShardStats is a snapshot of one shard's counters.
+type ShardStats struct {
+	Shard          int
+	Submitted      uint64        // telemetry messages enqueued (steps + missing)
+	Shed           uint64        // telemetry messages dropped by ShedOldest
+	Steps          uint64        // ObserveStep calls processed
+	Missing        uint64        // ObserveMissing calls processed
+	Alerts         uint64        // alerts fanned in from this shard
+	QueueLen       int           // current mailbox depth
+	QueueHighWater int           // max observed mailbox depth
+	StepTotal      time.Duration // cumulative ObserveStep latency
+	StepMax        time.Duration // worst single ObserveStep latency
+}
+
+// AvgStep returns the mean ObserveStep latency, or 0 before any step.
+func (s ShardStats) AvgStep() time.Duration {
+	if s.Steps == 0 {
+		return 0
+	}
+	return s.StepTotal / time.Duration(s.Steps)
+}
+
+// Stats aggregates per-shard snapshots.
+type Stats struct {
+	Shards         []ShardStats
+	Submitted      uint64
+	Shed           uint64
+	Steps          uint64
+	Missing        uint64
+	Alerts         uint64
+	QueueHighWater int // max over shards
+}
+
+type opcode uint8
+
+const (
+	opStep opcode = iota
+	opMissing
+	opEnd
+	opBarrier    // Drain: ack once everything queued before it is done
+	opCheckpoint // serialize the shard's monitor into msg.buf
+	opSwap       // replace the shard's monitor with msg.mon (Restore)
+)
+
+type message struct {
+	op       opcode
+	customer netip.Addr
+	at       time.Time
+	flows    []netflow.Record
+	atype    ddos.AttackType
+	done     chan error    // barrier-family acks (buffered, never blocks)
+	buf      *bytes.Buffer // opCheckpoint target
+	mon      *Monitor      // opSwap replacement
+}
+
+type shard struct {
+	id   int
+	mon  *Monitor
+	mail chan message
+
+	submitted atomic.Uint64
+	shed      atomic.Uint64
+	steps     atomic.Uint64
+	missing   atomic.Uint64
+	alerts    atomic.Uint64
+	stepNanos atomic.Uint64
+	stepMax   atomic.Uint64
+	highWater atomic.Int64
+}
+
+// Engine is a sharded concurrent detection engine: N single-threaded
+// Monitors, each behind a bounded mailbox, with customers partitioned by
+// a stable hash of their address. Submit, ObserveMissing, EndMitigation
+// and Alerts are safe for concurrent use from any number of goroutines.
+//
+// Lifecycle methods — Drain, Checkpoint, Restore, Close — are barriers
+// over the whole fleet and must not race with each other or with
+// producers still submitting; quiesce producers first (the alert channel
+// must keep being drained, or a checkpoint can deadlock behind an
+// undelivered alert).
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	alerts chan AlertEvent
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// New validates the configuration, builds one Monitor per shard and
+// starts the shard goroutines.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 256
+	}
+	if cfg.AlertBuffer <= 0 {
+		cfg.AlertBuffer = 1024
+	}
+	e := &Engine{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		alerts: make(chan AlertEvent, cfg.AlertBuffer),
+		done:   make(chan struct{}),
+	}
+	for i := range e.shards {
+		mon, err := NewMonitor(cfg.Monitor)
+		if err != nil {
+			return nil, err
+		}
+		e.shards[i] = &shard{id: i, mon: mon, mail: make(chan message, cfg.Queue)}
+	}
+	e.wg.Add(len(e.shards))
+	for _, s := range e.shards {
+		go e.runShard(s)
+	}
+	return e, nil
+}
+
+// Shards returns the number of shards.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ShardOf returns the shard index that owns the customer. The mapping is
+// a stable FNV-1a hash over the address's 16-byte form: the same customer
+// lands on the same shard on every run, every process, and every restore
+// with the same shard count.
+func (e *Engine) ShardOf(customer netip.Addr) int {
+	return shardOf(customer, len(e.shards))
+}
+
+func shardOf(customer netip.Addr, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	b := customer.As16()
+	h := uint64(offset64)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime64
+	}
+	return int(h % uint64(n))
+}
+
+// Alerts returns the fan-in alert channel. Alerts from one customer are
+// delivered in step order (its shard processes sequentially); ordering
+// across shards is best-effort. The channel is closed by Close.
+func (e *Engine) Alerts() <-chan AlertEvent { return e.alerts }
+
+// Submit routes one step of flows for the customer to its owning shard.
+// It never blocks under ShedOldest (dropping the oldest queued telemetry
+// instead, counted per shard); under Block it waits for mailbox space.
+// The flows slice is handed off: the caller must not reuse it.
+func (e *Engine) Submit(customer netip.Addr, at time.Time, flows []netflow.Record) error {
+	return e.submitTelemetry(message{op: opStep, customer: customer, at: at, flows: flows})
+}
+
+// ObserveMissing routes a missing-telemetry step for the customer to its
+// owning shard, with the same backpressure policy as Submit.
+func (e *Engine) ObserveMissing(customer netip.Addr, at time.Time) error {
+	return e.submitTelemetry(message{op: opMissing, customer: customer, at: at})
+}
+
+func (e *Engine) submitTelemetry(msg message) error {
+	if e.closed() {
+		return ErrClosed
+	}
+	s := e.shards[e.ShardOf(msg.customer)]
+	if e.cfg.Policy == Block {
+		select {
+		case s.mail <- msg:
+		case <-e.done:
+			return ErrClosed
+		}
+		s.noteEnqueued()
+		return nil
+	}
+	for {
+		select {
+		case s.mail <- msg:
+			s.noteEnqueued()
+			return nil
+		case <-e.done:
+			return ErrClosed
+		default:
+		}
+		// Mailbox full: make room by shedding the oldest queued telemetry.
+		select {
+		case old := <-s.mail:
+			if old.op == opStep || old.op == opMissing {
+				s.shed.Add(1)
+			} else {
+				// A control message (EndMitigation) must never be lost:
+				// requeue it. Under overload it is reordered behind the
+				// queue tail, which beats dropping the signal.
+				s.mail <- old
+			}
+		case <-e.done:
+			return ErrClosed
+		default:
+			// The shard drained the mailbox between the two selects; retry.
+		}
+	}
+}
+
+func (s *shard) noteEnqueued() {
+	s.submitted.Add(1)
+	depth := int64(len(s.mail))
+	for {
+		hw := s.highWater.Load()
+		if depth <= hw || s.highWater.CompareAndSwap(hw, depth) {
+			return
+		}
+	}
+}
+
+// EndMitigation routes a CScrub mitigation-end signal to the customer's
+// owning shard. It is ordered with the customer's queued telemetry and is
+// never shed.
+func (e *Engine) EndMitigation(customer netip.Addr, at ddos.AttackType) error {
+	if e.closed() {
+		return ErrClosed
+	}
+	s := e.shards[e.ShardOf(customer)]
+	select {
+	case s.mail <- message{op: opEnd, customer: customer, atype: at}:
+		return nil
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+// Drain blocks until every message submitted before the call has been
+// fully processed. It must not race with producers still submitting.
+func (e *Engine) Drain() error {
+	_, err := e.barrier(func(s *shard) message {
+		return message{op: opBarrier}
+	})
+	return err
+}
+
+func (e *Engine) closed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// barrier sends one message per shard and waits for every ack.
+func (e *Engine) barrier(mk func(*shard) message) ([]error, error) {
+	if e.closed() {
+		return nil, ErrClosed
+	}
+	acks := make([]chan error, len(e.shards))
+	for i, s := range e.shards {
+		msg := mk(s)
+		msg.done = make(chan error, 1)
+		acks[i] = msg.done
+		select {
+		case s.mail <- msg:
+		case <-e.done:
+			return nil, ErrClosed
+		}
+	}
+	errs := make([]error, len(acks))
+	for i, d := range acks {
+		select {
+		case errs[i] = <-d:
+		case <-e.done:
+			return nil, ErrClosed
+		}
+	}
+	return errs, nil
+}
+
+// Stats snapshots per-shard and aggregate counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, len(e.shards))}
+	for i, s := range e.shards {
+		ss := ShardStats{
+			Shard:          i,
+			Submitted:      s.submitted.Load(),
+			Shed:           s.shed.Load(),
+			Steps:          s.steps.Load(),
+			Missing:        s.missing.Load(),
+			Alerts:         s.alerts.Load(),
+			QueueLen:       len(s.mail),
+			QueueHighWater: int(s.highWater.Load()),
+			StepTotal:      time.Duration(s.stepNanos.Load()),
+			StepMax:        time.Duration(s.stepMax.Load()),
+		}
+		st.Shards[i] = ss
+		st.Submitted += ss.Submitted
+		st.Shed += ss.Shed
+		st.Steps += ss.Steps
+		st.Missing += ss.Missing
+		st.Alerts += ss.Alerts
+		if ss.QueueHighWater > st.QueueHighWater {
+			st.QueueHighWater = ss.QueueHighWater
+		}
+	}
+	return st
+}
+
+// Close stops all shards and closes the alert channel. Queued messages
+// not yet processed are abandoned; Drain first for a graceful stop.
+// Close is idempotent.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.wg.Wait()
+		close(e.alerts)
+	})
+	return nil
+}
+
+func (e *Engine) runShard(s *shard) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case msg := <-s.mail:
+			if !e.handle(s, msg) {
+				return
+			}
+		}
+	}
+}
+
+// handle processes one message; it reports false when the engine closed
+// mid-message (alert delivery aborted).
+func (e *Engine) handle(s *shard, msg message) bool {
+	switch msg.op {
+	case opStep:
+		start := time.Now()
+		alerts := s.mon.ObserveStep(msg.customer, msg.at, msg.flows)
+		el := uint64(time.Since(start))
+		s.stepNanos.Add(el)
+		for {
+			prev := s.stepMax.Load()
+			if el <= prev || s.stepMax.CompareAndSwap(prev, el) {
+				break
+			}
+		}
+		s.steps.Add(1)
+		for _, a := range alerts {
+			s.alerts.Add(1)
+			select {
+			case e.alerts <- AlertEvent{Customer: msg.customer, At: msg.at, Shard: s.id, Alert: a}:
+			case <-e.done:
+				return false
+			}
+		}
+	case opMissing:
+		s.mon.ObserveMissing(msg.customer, msg.at)
+		s.missing.Add(1)
+	case opEnd:
+		s.mon.EndMitigation(msg.customer, msg.atype)
+	case opBarrier:
+		msg.done <- nil
+	case opCheckpoint:
+		msg.done <- s.mon.Checkpoint(msg.buf)
+	case opSwap:
+		s.mon = msg.mon
+		msg.done <- nil
+	default:
+		panic(fmt.Sprintf("engine: unknown opcode %d", msg.op))
+	}
+	return true
+}

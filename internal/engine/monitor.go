@@ -1,9 +1,22 @@
-package xatu
+// Package engine is Xatu's serving layer: the single-threaded Monitor —
+// the deployable detection unit of §2.6 — and the sharded concurrent
+// Engine that scales it across customers. A deployment the size of the
+// paper's (1000+ protected customers behind one ISP) cannot run on one
+// goroutine; the Engine partitions customers across N shards by a stable
+// hash of their address, each shard owning one Monitor behind a bounded
+// mailbox, and coordinates lifecycle (drain, checkpoint, restore) across
+// the fleet.
+package engine
 
 import (
 	"errors"
 	"net/netip"
 	"time"
+
+	"github.com/xatu-go/xatu/internal/core"
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/features"
+	"github.com/xatu-go/xatu/internal/netflow"
 )
 
 // MonitorConfig configures an online Monitor, the deployable unit of §2.6:
@@ -13,15 +26,15 @@ import (
 type MonitorConfig struct {
 	// Models maps attack types to their trained models. Types not present
 	// fall back to Default.
-	Models map[AttackType]*Model
+	Models map[ddos.AttackType]*core.Model
 	// Default is the fallback model (required if Models is incomplete).
-	Default *Model
+	Default *core.Model
 	// Extractor computes the 273 features per step.
-	Extractor *FeatureExtractor
+	Extractor *features.Extractor
 	// Threshold is the survival threshold: alert when S < Threshold.
 	Threshold float64
 	// Types are the attack types to watch; nil = all six.
-	Types []AttackType
+	Types []ddos.AttackType
 	// MitigationTimeout releases a diversion with no EndMitigation call
 	// after this duration (CScrub gives up). Zero = 30 minutes.
 	MitigationTimeout time.Duration
@@ -30,24 +43,30 @@ type MonitorConfig struct {
 	RecordHistory bool
 	// MissingPolicy selects what detector streams consume for steps with no
 	// telemetry (see ObserveMissing): zero-fill (default) or carry-forward.
-	MissingPolicy MissingPolicy
+	MissingPolicy core.MissingPolicy
 }
 
-// Monitor is a streaming multi-customer DDoS detection booster. It is not
-// safe for concurrent use; shard customers across monitors if needed.
+// Monitor is a streaming multi-customer DDoS detection booster.
+//
+// A Monitor is strictly single-threaded: no method may be called
+// concurrently with any other, and there is no internal locking — each
+// ObserveStep mutates per-customer LSTM state, pooling buffers and the
+// mitigation ledger in place. To serve many customers with many cores,
+// do not add locks here; wrap Monitors in an Engine, which partitions
+// customers across single-threaded shards and preserves this contract.
 type Monitor struct {
 	cfg   MonitorConfig
-	types []AttackType
+	types []ddos.AttackType
 	chans map[monKey]*monChan
 }
 
 type monKey struct {
 	customer netip.Addr
-	at       AttackType
+	at       ddos.AttackType
 }
 
 type monChan struct {
-	stream     *Stream
+	stream     *core.Stream
 	mitigating bool
 	since      time.Time
 }
@@ -62,7 +81,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	}
 	types := cfg.Types
 	if types == nil {
-		for at := AttackType(0); at < 6; at++ {
+		for at := ddos.AttackType(0); at < 6; at++ {
 			types = append(types, at)
 		}
 	}
@@ -77,7 +96,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	return &Monitor{cfg: cfg, types: types, chans: make(map[monKey]*monChan)}, nil
 }
 
-func (m *Monitor) modelFor(at AttackType) *Model {
+func (m *Monitor) modelFor(at ddos.AttackType) *core.Model {
 	if mm := m.cfg.Models[at]; mm != nil {
 		return mm
 	}
@@ -87,15 +106,15 @@ func (m *Monitor) modelFor(at AttackType) *Model {
 // ObserveStep consumes one step of flows destined to customer and returns
 // any alerts raised at this step. Flows must already be aggregated to the
 // deployment's step resolution (e.g. one minute).
-func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []Record) []Alert {
+func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []netflow.Record) []ddos.Alert {
 	feat := m.cfg.Extractor.Extract(customer, at, flows)
-	NormalizeFeatures(feat)
-	var alerts []Alert
+	features.Normalize(feat)
+	var alerts []ddos.Alert
 	for _, atype := range m.types {
 		key := monKey{customer, atype}
 		ch := m.chans[key]
 		if ch == nil {
-			ch = &monChan{stream: NewStream(m.modelFor(atype))}
+			ch = &monChan{stream: core.NewStream(m.modelFor(atype))}
 			m.chans[key] = ch
 		}
 		s := ch.stream.Push(feat)
@@ -112,7 +131,7 @@ func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []Record)
 		// Only raise a type's alert when traffic matching its signature is
 		// actually present this step — the alert's purpose is to divert that
 		// signature to scrubbing (§2.1), which is pointless on zero match.
-		sig := SignatureFor(atype, customer)
+		sig := ddos.SignatureFor(atype, customer)
 		matched := false
 		for i := range flows {
 			if sig.Matches(flows[i]) {
@@ -125,7 +144,7 @@ func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []Record)
 		}
 		ch.mitigating = true
 		ch.since = at
-		alert := Alert{
+		alert := ddos.Alert{
 			Sig:        sig,
 			DetectedAt: at,
 			Source:     "xatu",
@@ -165,7 +184,7 @@ func (m *Monitor) ObserveMissing(customer netip.Addr, at time.Time) {
 
 // EndMitigation signals that CScrub finished mitigating the given customer
 // and attack type; detection for that channel resumes from a clean state.
-func (m *Monitor) EndMitigation(customer netip.Addr, at AttackType) {
+func (m *Monitor) EndMitigation(customer netip.Addr, at ddos.AttackType) {
 	key := monKey{customer, at}
 	if ch := m.chans[key]; ch != nil {
 		ch.mitigating = false
@@ -175,7 +194,21 @@ func (m *Monitor) EndMitigation(customer netip.Addr, at AttackType) {
 
 // Mitigating reports whether a diversion is currently active for the
 // customer and attack type.
-func (m *Monitor) Mitigating(customer netip.Addr, at AttackType) bool {
+func (m *Monitor) Mitigating(customer netip.Addr, at ddos.AttackType) bool {
 	ch := m.chans[monKey{customer, at}]
 	return ch != nil && ch.mitigating
+}
+
+// Channels returns the number of live (customer, attack-type) detector
+// channels.
+func (m *Monitor) Channels() int { return len(m.chans) }
+
+// StreamSteps returns how many inputs the detector stream for the given
+// customer and attack type has consumed, or 0 if no such channel exists.
+func (m *Monitor) StreamSteps(customer netip.Addr, at ddos.AttackType) int {
+	ch := m.chans[monKey{customer, at}]
+	if ch == nil {
+		return 0
+	}
+	return ch.stream.Steps()
 }

@@ -1,4 +1,4 @@
-package xatu
+package engine
 
 import (
 	"bytes"
@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/xatu-go/xatu/internal/core"
+	"github.com/xatu-go/xatu/internal/ddos"
 )
 
 // Monitor checkpointing. A Monitor restarted cold is blind for Window
@@ -27,13 +28,21 @@ import (
 //	  uint8 sinceLen + since bytes (time marshal)
 //	  uint32 streamLen + stream checkpoint (core format "XSC1")
 //
+// Version 1 is a single Monitor. Version 2 is the sharded Engine layout:
+// the header is followed by uint32 nshards and one length-prefixed
+// version-1 body per shard (see checkpoint.go). Monitor.Restore reads
+// only version 1; Engine.Restore reads both.
+//
 // The model weights are NOT included — they live in Model.Save files; a
 // checkpoint restores into a Monitor constructed with equivalent models,
 // and the per-stream config digest rejects architecture mismatches.
 
 var monitorCkptMagic = [4]byte{'X', 'M', 'C', '1'}
 
-const monitorCkptVersion = 1
+const (
+	monitorCkptVersion = 1
+	engineCkptVersion  = 2
+)
 
 // Checkpoint serializes the monitor's full detection state to w. Channels
 // are written in sorted order, so identical state yields identical bytes.
@@ -96,70 +105,93 @@ func (m *Monitor) Checkpoint(w io.Writer) error {
 // come from the model files; only online state is restored). On error the
 // monitor's previous state is left untouched.
 func (m *Monitor) Restore(r io.Reader) error {
+	version, n, err := readMonitorCkptHeader(r)
+	if err != nil {
+		return err
+	}
+	if version != monitorCkptVersion {
+		if version == engineCkptVersion {
+			return fmt.Errorf("xatu: version-%d checkpoint holds multiple shards; restore it through an Engine", version)
+		}
+		return fmt.Errorf("xatu: unsupported monitor checkpoint version %d", version)
+	}
+	chans, err := m.readChannels(r, n)
+	if err != nil {
+		return err
+	}
+	m.chans = chans
+	return nil
+}
+
+// readMonitorCkptHeader consumes the shared magic + version + count
+// header of the XMC1 family.
+func readMonitorCkptHeader(r io.Reader) (version uint16, n uint32, err error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return fmt.Errorf("xatu: reading checkpoint magic: %w", err)
+		return 0, 0, fmt.Errorf("xatu: reading checkpoint magic: %w", err)
 	}
 	if magic != monitorCkptMagic {
-		return fmt.Errorf("xatu: not a monitor checkpoint (magic %q)", magic)
+		return 0, 0, fmt.Errorf("xatu: not a monitor checkpoint (magic %q)", magic)
 	}
 	le := binary.LittleEndian
 	var hdr [6]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return fmt.Errorf("xatu: reading checkpoint header: %w", err)
+		return 0, 0, fmt.Errorf("xatu: reading checkpoint header: %w", err)
 	}
-	if v := le.Uint16(hdr[0:]); v != monitorCkptVersion {
-		return fmt.Errorf("xatu: unsupported monitor checkpoint version %d", v)
-	}
-	n := le.Uint32(hdr[2:])
+	return le.Uint16(hdr[0:]), le.Uint32(hdr[2:]), nil
+}
+
+// readChannels parses n channel records into a fresh channel map.
+func (m *Monitor) readChannels(r io.Reader, n uint32) (map[monKey]*monChan, error) {
 	if n > 1<<22 {
-		return fmt.Errorf("xatu: implausible channel count %d", n)
+		return nil, fmt.Errorf("xatu: implausible channel count %d", n)
 	}
+	le := binary.LittleEndian
 	chans := make(map[monKey]*monChan, n)
 	for i := uint32(0); i < n; i++ {
 		var addrLen [1]byte
 		if _, err := io.ReadFull(r, addrLen[:]); err != nil {
-			return fmt.Errorf("xatu: channel %d: %w", i, err)
+			return nil, fmt.Errorf("xatu: channel %d: %w", i, err)
 		}
 		addrBuf := make([]byte, addrLen[0])
 		if _, err := io.ReadFull(r, addrBuf); err != nil {
-			return fmt.Errorf("xatu: channel %d address: %w", i, err)
+			return nil, fmt.Errorf("xatu: channel %d address: %w", i, err)
 		}
 		var customer netip.Addr
 		if err := customer.UnmarshalBinary(addrBuf); err != nil {
-			return fmt.Errorf("xatu: channel %d address: %w", i, err)
+			return nil, fmt.Errorf("xatu: channel %d address: %w", i, err)
 		}
 		var meta [3]byte // attack type, mitigating, sinceLen
 		if _, err := io.ReadFull(r, meta[:]); err != nil {
-			return fmt.Errorf("xatu: channel %d meta: %w", i, err)
+			return nil, fmt.Errorf("xatu: channel %d meta: %w", i, err)
 		}
-		at := AttackType(meta[0])
+		at := ddos.AttackType(meta[0])
 		if int(meta[0]) >= 6 {
-			return fmt.Errorf("xatu: channel %d: unknown attack type %d", i, meta[0])
+			return nil, fmt.Errorf("xatu: channel %d: unknown attack type %d", i, meta[0])
 		}
 		sinceBuf := make([]byte, meta[2])
 		if _, err := io.ReadFull(r, sinceBuf); err != nil {
-			return fmt.Errorf("xatu: channel %d since: %w", i, err)
+			return nil, fmt.Errorf("xatu: channel %d since: %w", i, err)
 		}
 		var since time.Time
 		if err := since.UnmarshalBinary(sinceBuf); err != nil {
-			return fmt.Errorf("xatu: channel %d since: %w", i, err)
+			return nil, fmt.Errorf("xatu: channel %d since: %w", i, err)
 		}
 		var slen [4]byte
 		if _, err := io.ReadFull(r, slen[:]); err != nil {
-			return fmt.Errorf("xatu: channel %d stream length: %w", i, err)
+			return nil, fmt.Errorf("xatu: channel %d stream length: %w", i, err)
 		}
 		streamLen := le.Uint32(slen[:])
 		if streamLen > 1<<26 {
-			return fmt.Errorf("xatu: channel %d: implausible stream length %d", i, streamLen)
+			return nil, fmt.Errorf("xatu: channel %d: implausible stream length %d", i, streamLen)
 		}
 		streamBuf := make([]byte, streamLen)
 		if _, err := io.ReadFull(r, streamBuf); err != nil {
-			return fmt.Errorf("xatu: channel %d stream: %w", i, err)
+			return nil, fmt.Errorf("xatu: channel %d stream: %w", i, err)
 		}
 		stream, err := core.RestoreStream(bytes.NewReader(streamBuf), m.modelFor(at))
 		if err != nil {
-			return fmt.Errorf("xatu: channel %d (%v/%v): %w", i, customer, at, err)
+			return nil, fmt.Errorf("xatu: channel %d (%v/%v): %w", i, customer, at, err)
 		}
 		chans[monKey{customer, at}] = &monChan{
 			stream:     stream,
@@ -167,6 +199,5 @@ func (m *Monitor) Restore(r io.Reader) error {
 			since:      since,
 		}
 	}
-	m.chans = chans
-	return nil
+	return chans, nil
 }

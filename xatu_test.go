@@ -204,8 +204,8 @@ func TestMonitorUnknownKeysSafe(t *testing.T) {
 		t.Fatal("unknown keys must not report mitigation")
 	}
 	mon.ObserveMissing(ghost, time.Now()) // no channels yet: must be a no-op
-	if len(mon.chans) != 0 {
-		t.Fatalf("unknown-key calls created %d channels", len(mon.chans))
+	if mon.Channels() != 0 {
+		t.Fatalf("unknown-key calls created %d channels", mon.Channels())
 	}
 }
 
