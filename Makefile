@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz bench-json check
+.PHONY: build vet test race fuzz bench-json lint check
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,20 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with concurrency: the UDP transport + chaos
-# harness, the model core, the sharded engine, and the root-package
-# integration tests.
+# harness, the model core, the sharded engine, the telemetry registry,
+# and the root-package integration tests.
 race:
-	$(GO) test -race ./internal/netflow ./internal/core ./internal/engine .
+	$(GO) test -race ./internal/netflow ./internal/core ./internal/engine ./internal/telemetry .
+
+# Static analysis: vet + gofmt always; staticcheck when installed (CI
+# installs it, local machines may not have it).
+lint: vet
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 # Engine sharding benchmarks rendered as a committed JSON baseline
 # (BENCH_engine.json): ns/op and customer-steps/sec per shard count.
@@ -29,4 +39,4 @@ fuzz:
 	$(GO) test ./internal/netflow -run '^$$' -fuzz FuzzDecodeV5 -fuzztime 10s
 	$(GO) test ./internal/netflow -run '^$$' -fuzz FuzzJournalRoundTrip -fuzztime 10s
 
-check: build vet test race
+check: build lint test race

@@ -23,6 +23,9 @@ type result struct {
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	// StepQuantiles collects "<q>-step-ns" custom metrics (emitted by
+	// instrumented engine benchmarks) keyed by quantile: p50, p99, max.
+	StepQuantiles map[string]float64 `json:"step_quantiles_ns,omitempty"`
 }
 
 type report struct {
@@ -97,11 +100,16 @@ func parseBench(line string) (result, bool) {
 			return result{}, false
 		}
 		unit := fields[i+1]
-		switch unit {
-		case "ns/op":
+		switch {
+		case unit == "ns/op":
 			r.NsPerOp = v
-		case "shards":
+		case unit == "shards":
 			r.Shards = int(v)
+		case strings.HasSuffix(unit, "-step-ns"):
+			if r.StepQuantiles == nil {
+				r.StepQuantiles = map[string]float64{}
+			}
+			r.StepQuantiles[strings.TrimSuffix(unit, "-step-ns")] = v
 		default:
 			r.Metrics[unit] = v
 		}

@@ -11,6 +11,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,7 @@ func main() {
 		ckptIval = flag.Duration("checkpoint-interval", time.Minute, "how often to save -checkpoint")
 		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "detection shards (single-threaded monitors); customers are hash-partitioned across them")
 		queue    = flag.Int("queue", 1024, "per-shard mailbox capacity (live ingest sheds oldest on overflow; replay blocks)")
+		telAddr  = flag.String("telemetry-addr", "", "serve Prometheus /metrics, /healthz, /debug/alerts and pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -64,17 +66,34 @@ func main() {
 	if *replay != "" {
 		policy = xatu.BackpressureBlock
 	}
+	var reg *xatu.TelemetryRegistry
+	if *telAddr != "" {
+		reg = xatu.NewTelemetryRegistry()
+	}
 	eng, err := xatu.NewEngine(xatu.EngineConfig{
 		Monitor: xatu.MonitorConfig{
 			Models: models, Default: def, Extractor: loadExtractor(*modelDir),
 			Threshold: threshold, RecordHistory: true,
 		},
-		Shards: *shards,
-		Queue:  *queue,
-		Policy: policy,
+		Shards:    *shards,
+		Queue:     *queue,
+		Policy:    policy,
+		Telemetry: reg,
 	})
 	if err != nil {
 		fatal("%v", err)
+	}
+	var tsrv *xatu.TelemetryServer
+	if reg != nil {
+		tsrv, err = xatu.NewTelemetryServer(*telAddr, reg, func() xatu.TelemetryHealth {
+			h := eng.Health()
+			return xatu.TelemetryHealth{OK: h.OK, Detail: h}
+		})
+		if err != nil {
+			fatal("telemetry: %v", err)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", tsrv.Addr())
 	}
 
 	if *ckpt != "" {
@@ -98,6 +117,14 @@ func main() {
 			fmt.Printf("%s ALERT %s victim=%v proto=%v srcport=%d shard=%d\n",
 				ev.At.Format(time.RFC3339), ev.Alert.Sig.Type, ev.Alert.Sig.Victim,
 				ev.Alert.Sig.Proto, ev.Alert.Sig.SrcPort, ev.Shard)
+			if ev.Trace != nil {
+				if data, err := json.Marshal(ev.Trace); err == nil {
+					fmt.Printf("  trace %s\n", data)
+				}
+				if tsrv != nil {
+					tsrv.Alerts().Add(ev.Trace)
+				}
+			}
 		}
 	}()
 
@@ -112,6 +139,9 @@ func main() {
 	col, err := xatu.NewCollector(*listen, 65536)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if reg != nil {
+		col.RegisterMetrics(reg)
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()

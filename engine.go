@@ -31,6 +31,14 @@ type (
 	EngineStats = engine.Stats
 	// ShardStats is one shard's counter snapshot.
 	ShardStats = engine.ShardStats
+	// AlertTrace is the decision trace attached to every AlertEvent:
+	// survival trajectory, per-signal-group contributions, threshold and
+	// calibration overhead bound.
+	AlertTrace = engine.Trace
+	// EngineHealth is the engine's /healthz liveness report.
+	EngineHealth = engine.EngineHealth
+	// ShardHealth is one shard's liveness snapshot.
+	ShardHealth = engine.ShardHealth
 )
 
 // Backpressure policies.

@@ -21,6 +21,7 @@ import (
 func main() {
 	shards := flag.Int("shards", 4, "detection shards; customers are hash-partitioned across them")
 	queue := flag.Int("queue", 256, "per-shard mailbox capacity")
+	telAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug endpoints while streaming (empty = disabled)")
 	flag.Parse()
 
 	// 1. Train a small model on a labeled world.
@@ -52,6 +53,10 @@ func main() {
 	defer cancel()
 	go col.Run(ctx)
 
+	// The registry is always on: the shutdown summary reads its step
+	// latency quantiles even when no HTTP server is requested.
+	reg := xatu.NewTelemetryRegistry()
+	col.RegisterMetrics(reg)
 	eng, err := xatu.NewEngine(xatu.EngineConfig{
 		Monitor: xatu.MonitorConfig{
 			Models:    ml.Models.ByType,
@@ -59,12 +64,24 @@ func main() {
 			Extractor: p.Extractor(nil, nil),
 			Threshold: survivalThreshold,
 		},
-		Shards: *shards,
-		Queue:  *queue,
-		Policy: xatu.BackpressureShedOldest,
+		Shards:    *shards,
+		Queue:     *queue,
+		Policy:    xatu.BackpressureShedOldest,
+		Telemetry: reg,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *telAddr != "" {
+		tsrv, err := xatu.NewTelemetryServer(*telAddr, reg, func() xatu.TelemetryHealth {
+			h := eng.Health()
+			return xatu.TelemetryHealth{OK: h.OK, Detail: h}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tsrv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", tsrv.Addr())
 	}
 
 	// 3. Export a window around a real test attack through the socket.
@@ -134,35 +151,17 @@ func main() {
 			select {
 			case ev := <-eng.Alerts():
 				rel := float64(s-ep.AnomStart) * cfg.World.Step.Minutes()
-				fmt.Printf("  ALERT %v at %+.0f min relative to anomaly start (shard %d)\n",
-					ev.Alert.Sig.Type, rel, ev.Shard)
+				fmt.Printf("  ALERT %v at %+.0f min relative to anomaly start (shard %d, survival %.4f < %.4f)\n",
+					ev.Alert.Sig.Type, rel, ev.Shard, ev.Trace.Survival, ev.Trace.Threshold)
 				alerts++
 			default:
 				break alerted
 			}
 		}
 	}
-	st := col.FullStats()
 	es := eng.Stats()
+	lat := eng.StepLatency().Summary()
 	eng.Close()
-	fmt.Printf("done: %d alerts, %d records exported, collector records=%d shed=%d lost=%d dup=%d bad=%d\n",
-		alerts, exp.Sent(), st.Records, st.Shed, st.LostRecords, st.DupPackets, st.BadPackets)
-	fmt.Printf("engine: %d shards, steps=%d shed=%d queue-hw=%d avg-step=%v\n",
-		eng.Shards(), es.Steps, es.Shed, es.QueueHighWater, avgStep(es))
-}
-
-// avgStep averages the per-shard mean step latencies over active shards.
-func avgStep(es xatu.EngineStats) time.Duration {
-	var total time.Duration
-	var n int
-	for _, ss := range es.Shards {
-		if ss.Steps > 0 {
-			total += ss.AvgStep()
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return total / time.Duration(n)
+	fmt.Printf("done: %d alerts, %d engine sheds (%d collector), p99 step latency %v over %d steps on %d shards\n",
+		alerts, es.Shed, col.FullStats().Shed, lat.P99, es.Steps, eng.Shards())
 }

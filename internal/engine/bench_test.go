@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/xatu-go/xatu/internal/netflow"
+	"github.com/xatu-go/xatu/internal/telemetry"
 )
 
 // benchMonitorConfig never alerts (threshold below any reachable survival
@@ -44,8 +45,10 @@ func benchFlows(customer netip.Addr, n int, t0 time.Time) []netflow.Record {
 // benchEngineShards measures engine throughput at a given shard count.
 // One benchmark op is a full round: every customer submits one step, from
 // four concurrent producers. ReportMetric exposes customer-steps/sec so
-// shard counts compare directly.
-func benchEngineShards(b *testing.B, shards int) {
+// shard counts compare directly. With a non-nil registry the run doubles
+// as the telemetry overhead proof: same workload, instrumented engine,
+// step-latency quantiles reported alongside ns/op.
+func benchEngineShards(b *testing.B, shards int, reg *telemetry.Registry) {
 	const (
 		customers = 64
 		producers = 4
@@ -59,10 +62,11 @@ func benchEngineShards(b *testing.B, shards int) {
 	}
 
 	eng, err := New(Config{
-		Monitor: benchMonitorConfig(b),
-		Shards:  shards,
-		Queue:   1024,
-		Policy:  Block,
+		Monitor:   benchMonitorConfig(b),
+		Shards:    shards,
+		Queue:     1024,
+		Policy:    Block,
+		Telemetry: reg,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -104,8 +108,24 @@ func benchEngineShards(b *testing.B, shards int) {
 	}
 	b.ReportMetric(float64(st.Steps)/b.Elapsed().Seconds(), "steps/sec")
 	b.ReportMetric(float64(shards), "shards")
+	if h := eng.StepLatency(); h != nil {
+		sum := h.Summary()
+		b.ReportMetric(float64(sum.P50), "p50-step-ns")
+		b.ReportMetric(float64(sum.P90), "p90-step-ns")
+		b.ReportMetric(float64(sum.P99), "p99-step-ns")
+		b.ReportMetric(float64(sum.Max), "max-step-ns")
+	}
 }
 
-func BenchmarkEngineShards1(b *testing.B)  { benchEngineShards(b, 1) }
-func BenchmarkEngineShards4(b *testing.B)  { benchEngineShards(b, 4) }
-func BenchmarkEngineShards16(b *testing.B) { benchEngineShards(b, 16) }
+func BenchmarkEngineShards1(b *testing.B)  { benchEngineShards(b, 1, nil) }
+func BenchmarkEngineShards4(b *testing.B)  { benchEngineShards(b, 4, nil) }
+func BenchmarkEngineShards16(b *testing.B) { benchEngineShards(b, 16, nil) }
+
+// BenchmarkEngineShards4Telemetry is BenchmarkEngineShards4 with a live
+// metric registry attached: the delta between the two ns/op numbers is
+// the full cost of instrumentation (enqueue timestamps, two histogram
+// Observes per step, channel-count mirroring). The acceptance budget is
+// <5% over the uninstrumented baseline.
+func BenchmarkEngineShards4Telemetry(b *testing.B) {
+	benchEngineShards(b, 4, telemetry.NewRegistry())
+}

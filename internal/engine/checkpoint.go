@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"time"
 )
 
 // Engine checkpointing: the drain-then-snapshot protocol.
@@ -32,6 +33,10 @@ import (
 // snapshot to w. Producers must be quiesced for the duration; the alert
 // channel must keep being drained.
 func (e *Engine) Checkpoint(w io.Writer) error {
+	if e.mx != nil {
+		start := time.Now()
+		defer func() { e.mx.checkpointLatency.Observe(time.Since(start)) }()
+	}
 	if err := e.Drain(); err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/xatu-go/xatu/internal/ddos"
 	"github.com/xatu-go/xatu/internal/netflow"
+	"github.com/xatu-go/xatu/internal/telemetry"
 )
 
 // ErrClosed is returned by Engine methods after Close.
@@ -49,6 +50,12 @@ type Config struct {
 	// must drain Alerts(); once the buffer fills, shards block on alert
 	// delivery. Zero = 1024.
 	AlertBuffer int
+	// Telemetry, when non-nil, registers the engine's metric families
+	// (per-shard counters and queue gauges, step/submit/checkpoint latency
+	// histograms, per-type alert counters) on the registry and enables
+	// latency recording in the shard loops. Nil disables instrumentation;
+	// the existing atomic counters behind Stats are kept either way.
+	Telemetry *telemetry.Registry
 }
 
 // AlertEvent is one alert annotated with its origin.
@@ -61,6 +68,11 @@ type AlertEvent struct {
 	Shard int
 	// Alert is the detection event itself.
 	Alert ddos.Alert
+	// Trace is the structured decision evidence behind the alert (survival
+	// trajectory, per-signal contributions, threshold and calibration);
+	// always populated by the engine. It marshals to JSON for operator
+	// tooling and the /debug/alerts ring.
+	Trace *Trace
 }
 
 // ShardStats is a snapshot of one shard's counters.
@@ -68,9 +80,11 @@ type ShardStats struct {
 	Shard          int
 	Submitted      uint64        // telemetry messages enqueued (steps + missing)
 	Shed           uint64        // telemetry messages dropped by ShedOldest
+	Requeued       uint64        // control messages requeued instead of shed
 	Steps          uint64        // ObserveStep calls processed
 	Missing        uint64        // ObserveMissing calls processed
 	Alerts         uint64        // alerts fanned in from this shard
+	Channels       int           // live (customer, attack-type) detector channels
 	QueueLen       int           // current mailbox depth
 	QueueHighWater int           // max observed mailbox depth
 	StepTotal      time.Duration // cumulative ObserveStep latency
@@ -85,15 +99,30 @@ func (s ShardStats) AvgStep() time.Duration {
 	return s.StepTotal / time.Duration(s.Steps)
 }
 
-// Stats aggregates per-shard snapshots.
+// Stats aggregates per-shard snapshots: counters and durations sum over
+// shards, water marks take the max.
 type Stats struct {
 	Shards         []ShardStats
 	Submitted      uint64
 	Shed           uint64
+	Requeued       uint64
 	Steps          uint64
 	Missing        uint64
 	Alerts         uint64
-	QueueHighWater int // max over shards
+	Channels       int           // sum over shards
+	QueueLen       int           // sum over shards
+	QueueHighWater int           // max over shards
+	StepTotal      time.Duration // sum over shards
+	StepMax        time.Duration // max over shards
+}
+
+// AvgStep returns the fleet-wide mean ObserveStep latency, or 0 before
+// any step.
+func (s Stats) AvgStep() time.Duration {
+	if s.Steps == 0 {
+		return 0
+	}
+	return s.StepTotal / time.Duration(s.Steps)
 }
 
 type opcode uint8
@@ -113,6 +142,7 @@ type message struct {
 	at       time.Time
 	flows    []netflow.Record
 	atype    ddos.AttackType
+	enq      int64         // UnixNano enqueue stamp (telemetry only; 0 = unstamped)
 	done     chan error    // barrier-family acks (buffered, never blocks)
 	buf      *bytes.Buffer // opCheckpoint target
 	mon      *Monitor      // opSwap replacement
@@ -125,9 +155,11 @@ type shard struct {
 
 	submitted atomic.Uint64
 	shed      atomic.Uint64
+	requeued  atomic.Uint64
 	steps     atomic.Uint64
 	missing   atomic.Uint64
 	alerts    atomic.Uint64
+	channels  atomic.Int64
 	stepNanos atomic.Uint64
 	stepMax   atomic.Uint64
 	highWater atomic.Int64
@@ -147,6 +179,7 @@ type Engine struct {
 	cfg    Config
 	shards []*shard
 	alerts chan AlertEvent
+	mx     *engineMetrics // nil when Config.Telemetry is nil
 	done   chan struct{}
 	wg     sync.WaitGroup
 
@@ -177,6 +210,9 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		e.shards[i] = &shard{id: i, mon: mon, mail: make(chan message, cfg.Queue)}
+	}
+	if cfg.Telemetry != nil {
+		e.mx = e.registerMetrics(cfg.Telemetry)
 	}
 	e.wg.Add(len(e.shards))
 	for _, s := range e.shards {
@@ -232,6 +268,9 @@ func (e *Engine) submitTelemetry(msg message) error {
 	if e.closed() {
 		return ErrClosed
 	}
+	if e.mx != nil {
+		msg.enq = time.Now().UnixNano()
+	}
 	s := e.shards[e.ShardOf(msg.customer)]
 	if e.cfg.Policy == Block {
 		select {
@@ -260,6 +299,7 @@ func (e *Engine) submitTelemetry(msg message) error {
 				// A control message (EndMitigation) must never be lost:
 				// requeue it. Under overload it is reordered behind the
 				// queue tail, which beats dropping the signal.
+				s.requeued.Add(1)
 				s.mail <- old
 			}
 		case <-e.done:
@@ -350,9 +390,11 @@ func (e *Engine) Stats() Stats {
 			Shard:          i,
 			Submitted:      s.submitted.Load(),
 			Shed:           s.shed.Load(),
+			Requeued:       s.requeued.Load(),
 			Steps:          s.steps.Load(),
 			Missing:        s.missing.Load(),
 			Alerts:         s.alerts.Load(),
+			Channels:       int(s.channels.Load()),
 			QueueLen:       len(s.mail),
 			QueueHighWater: int(s.highWater.Load()),
 			StepTotal:      time.Duration(s.stepNanos.Load()),
@@ -361,11 +403,18 @@ func (e *Engine) Stats() Stats {
 		st.Shards[i] = ss
 		st.Submitted += ss.Submitted
 		st.Shed += ss.Shed
+		st.Requeued += ss.Requeued
 		st.Steps += ss.Steps
 		st.Missing += ss.Missing
 		st.Alerts += ss.Alerts
+		st.Channels += ss.Channels
+		st.QueueLen += ss.QueueLen
+		st.StepTotal += ss.StepTotal
 		if ss.QueueHighWater > st.QueueHighWater {
 			st.QueueHighWater = ss.QueueHighWater
+		}
+		if ss.StepMax > st.StepMax {
+			st.StepMax = ss.StepMax
 		}
 	}
 	return st
@@ -403,7 +452,7 @@ func (e *Engine) handle(s *shard, msg message) bool {
 	switch msg.op {
 	case opStep:
 		start := time.Now()
-		alerts := s.mon.ObserveStep(msg.customer, msg.at, msg.flows)
+		alerts, traces := s.mon.ObserveStepTraced(msg.customer, msg.at, msg.flows)
 		el := uint64(time.Since(start))
 		s.stepNanos.Add(el)
 		for {
@@ -413,28 +462,52 @@ func (e *Engine) handle(s *shard, msg message) bool {
 			}
 		}
 		s.steps.Add(1)
-		for _, a := range alerts {
+		s.channels.Store(int64(s.mon.Channels()))
+		if e.mx != nil {
+			e.mx.stepLatency.Observe(time.Duration(el))
+		}
+		for i, a := range alerts {
 			s.alerts.Add(1)
+			if e.mx != nil {
+				if at := a.Sig.Type; at >= 0 && at < ddos.NumAttackTypes {
+					e.mx.alertsByType[at].Inc()
+				}
+			}
 			select {
-			case e.alerts <- AlertEvent{Customer: msg.customer, At: msg.at, Shard: s.id, Alert: a}:
+			case e.alerts <- AlertEvent{Customer: msg.customer, At: msg.at, Shard: s.id, Alert: a, Trace: traces[i]}:
 			case <-e.done:
 				return false
 			}
 		}
+		e.observeSubmitLatency(msg.enq)
 	case opMissing:
 		s.mon.ObserveMissing(msg.customer, msg.at)
 		s.missing.Add(1)
+		e.observeSubmitLatency(msg.enq)
 	case opEnd:
 		s.mon.EndMitigation(msg.customer, msg.atype)
+		if e.mx != nil {
+			e.mx.mitigationEnds.Inc()
+		}
 	case opBarrier:
 		msg.done <- nil
 	case opCheckpoint:
 		msg.done <- s.mon.Checkpoint(msg.buf)
 	case opSwap:
 		s.mon = msg.mon
+		s.channels.Store(int64(s.mon.Channels()))
 		msg.done <- nil
 	default:
 		panic(fmt.Sprintf("engine: unknown opcode %d", msg.op))
 	}
 	return true
+}
+
+// observeSubmitLatency records enqueue-to-processed latency for a stamped
+// telemetry message (alerts, if any, have already been emitted).
+func (e *Engine) observeSubmitLatency(enq int64) {
+	if e.mx == nil || enq == 0 {
+		return
+	}
+	e.mx.submitLatency.Observe(time.Duration(time.Now().UnixNano() - enq))
 }

@@ -10,6 +10,7 @@ package engine
 
 import (
 	"errors"
+	"math"
 	"net/netip"
 	"time"
 
@@ -44,6 +45,55 @@ type MonitorConfig struct {
 	// MissingPolicy selects what detector streams consume for steps with no
 	// telemetry (see ObserveMissing): zero-fill (default) or carry-forward.
 	MissingPolicy core.MissingPolicy
+	// OverheadBound, when set, records the calibration overhead budget the
+	// Threshold was tuned at (the scrubbing-overhead bound C/A of §2.4) in
+	// every alert's decision trace, so operators can see what guarantee the
+	// firing threshold encodes. Informational only.
+	OverheadBound float64
+}
+
+// traceTrajectory is how many recent survival values each channel retains
+// for decision traces.
+const traceTrajectory = 16
+
+// Trace is the structured explanation attached to every alert: the
+// evidence an operator needs to act on a detection built from weak
+// auxiliary signals (§5). It records the survival trajectory that crossed
+// the threshold, the per-signal-group share of the feature mass at the
+// firing step, the calibration the threshold encodes, and how much of the
+// step's traffic matched the diverted signature. Traces marshal to JSON
+// for AlertEvent consumers and the /debug/alerts ring.
+type Trace struct {
+	// Customer is the protected address the alert fired for.
+	Customer netip.Addr `json:"customer"`
+	// Type is the attack-type slug ("udp-flood", ...).
+	Type string `json:"type"`
+	// At is the step time of the firing observation.
+	At time.Time `json:"at"`
+	// Survival is S_t at the firing step; the alert fired because
+	// Survival < Threshold.
+	Survival float64 `json:"survival"`
+	// Threshold is the calibrated survival threshold.
+	Threshold float64 `json:"threshold"`
+	// OverheadBound is the scrubbing-overhead budget (C/A, §2.4) the
+	// threshold was calibrated at, when the deployment recorded it.
+	OverheadBound float64 `json:"overhead_bound,omitempty"`
+	// Trajectory is the recent survival history (oldest first, ending at
+	// the firing step), showing how S_t descended through the threshold.
+	Trajectory []float64 `json:"trajectory"`
+	// Contributions is each signal group's share of the absolute
+	// normalized feature mass at the firing step (keys "V", "A1".."A5";
+	// values sum to 1) — which signals the decision leaned on.
+	Contributions map[string]float64 `json:"contributions"`
+	// StreamSteps is how many inputs this channel's detector stream had
+	// consumed when it fired.
+	StreamSteps int `json:"stream_steps"`
+	// Window is the model's sliding detection window length.
+	Window int `json:"window"`
+	// MatchedFlows of TotalFlows records in the step matched the diverted
+	// signature.
+	MatchedFlows int `json:"matched_flows"`
+	TotalFlows   int `json:"total_flows"`
 }
 
 // Monitor is a streaming multi-customer DDoS detection booster.
@@ -69,6 +119,31 @@ type monChan struct {
 	stream     *core.Stream
 	mitigating bool
 	since      time.Time
+	// recent is a ring of the last survival values (real and missing
+	// steps), feeding alert trace trajectories. Not checkpointed: a
+	// restored channel rebuilds its trajectory as it streams.
+	recent   [traceTrajectory]float64
+	recentN  int // values stored, ≤ traceTrajectory
+	recentAt int // next write position
+}
+
+// noteSurvival records one survival output in the trajectory ring.
+func (ch *monChan) noteSurvival(s float64) {
+	ch.recent[ch.recentAt] = s
+	ch.recentAt = (ch.recentAt + 1) % traceTrajectory
+	if ch.recentN < traceTrajectory {
+		ch.recentN++
+	}
+}
+
+// trajectory returns the retained survival values, oldest first.
+func (ch *monChan) trajectory() []float64 {
+	out := make([]float64, 0, ch.recentN)
+	start := ch.recentAt - ch.recentN
+	for i := 0; i < ch.recentN; i++ {
+		out = append(out, ch.recent[(start+i+traceTrajectory)%traceTrajectory])
+	}
+	return out
 }
 
 // NewMonitor validates the configuration and returns a Monitor.
@@ -107,9 +182,19 @@ func (m *Monitor) modelFor(at ddos.AttackType) *core.Model {
 // any alerts raised at this step. Flows must already be aggregated to the
 // deployment's step resolution (e.g. one minute).
 func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []netflow.Record) []ddos.Alert {
+	alerts, _ := m.ObserveStepTraced(customer, at, flows)
+	return alerts
+}
+
+// ObserveStepTraced is ObserveStep plus one decision Trace per alert,
+// aligned by index. Traces are built only on the (rare) alert path; the
+// no-alert hot path does no extra work beyond the trajectory ring.
+func (m *Monitor) ObserveStepTraced(customer netip.Addr, at time.Time, flows []netflow.Record) ([]ddos.Alert, []*Trace) {
 	feat := m.cfg.Extractor.Extract(customer, at, flows)
 	features.Normalize(feat)
 	var alerts []ddos.Alert
+	var traces []*Trace
+	var contrib map[string]float64 // shared by every alert this step
 	for _, atype := range m.types {
 		key := monKey{customer, atype}
 		ch := m.chans[key]
@@ -118,6 +203,7 @@ func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []netflow
 			m.chans[key] = ch
 		}
 		s := ch.stream.Push(feat)
+		ch.noteSurvival(s)
 		if ch.mitigating {
 			if at.Sub(ch.since) >= m.cfg.MitigationTimeout {
 				ch.mitigating = false // CScrub gave up waiting
@@ -132,14 +218,13 @@ func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []netflow
 		// actually present this step — the alert's purpose is to divert that
 		// signature to scrubbing (§2.1), which is pointless on zero match.
 		sig := ddos.SignatureFor(atype, customer)
-		matched := false
+		matched := 0
 		for i := range flows {
 			if sig.Matches(flows[i]) {
-				matched = true
-				break
+				matched++
 			}
 		}
-		if !matched {
+		if matched == 0 {
 			continue
 		}
 		ch.mitigating = true
@@ -150,6 +235,23 @@ func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []netflow
 			Source:     "xatu",
 		}
 		alerts = append(alerts, alert)
+		if contrib == nil {
+			contrib = signalContributions(feat)
+		}
+		traces = append(traces, &Trace{
+			Customer:      customer,
+			Type:          atype.String(),
+			At:            at,
+			Survival:      s,
+			Threshold:     m.cfg.Threshold,
+			OverheadBound: m.cfg.OverheadBound,
+			Trajectory:    ch.trajectory(),
+			Contributions: contrib,
+			StreamSteps:   ch.stream.Steps(),
+			Window:        m.modelFor(atype).Cfg.Window,
+			MatchedFlows:  matched,
+			TotalFlows:    len(flows),
+		})
 		if m.cfg.RecordHistory && m.cfg.Extractor.History != nil {
 			m.cfg.Extractor.History.RecordAlert(alert)
 			for _, r := range flows {
@@ -159,7 +261,28 @@ func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []netflow
 			}
 		}
 	}
-	return alerts
+	return alerts, traces
+}
+
+// signalContributions aggregates the absolute normalized feature mass per
+// signal group (V, A1..A5) and normalizes the shares to sum to 1 — a
+// cheap per-alert attribution of which signals the firing step leaned on
+// (the full gradient attribution of §6.2 lives in core.InputGradients
+// and needs the whole input window, which streams do not retain).
+func signalContributions(feat []float64) map[string]float64 {
+	per := make(map[string]float64, 6)
+	total := 0.0
+	for i, v := range feat {
+		a := math.Abs(v)
+		per[features.GroupOf(i)] += a
+		total += a
+	}
+	if total > 0 {
+		for k := range per {
+			per[k] /= total
+		}
+	}
+	return per
 }
 
 // ObserveMissing advances every existing detector stream for the customer
@@ -175,7 +298,7 @@ func (m *Monitor) ObserveMissing(customer netip.Addr, at time.Time) {
 		if ch == nil {
 			continue
 		}
-		ch.stream.PushMissing(m.cfg.MissingPolicy)
+		ch.noteSurvival(ch.stream.PushMissing(m.cfg.MissingPolicy))
 		if ch.mitigating && at.Sub(ch.since) >= m.cfg.MitigationTimeout {
 			ch.mitigating = false // CScrub gave up waiting
 		}

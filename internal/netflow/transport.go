@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/xatu-go/xatu/internal/telemetry"
 )
 
 // ErrExporterClosed is returned by Export/Flush after Close.
@@ -220,6 +222,51 @@ func minDuration(a, b time.Duration) time.Duration {
 		return a
 	}
 	return b
+}
+
+// RegisterMetrics exposes the exporter's fault-handling counters on reg
+// as the xatu_exporter_* families. The readers lock the exporter mutex at
+// scrape time; the export hot path is untouched.
+func (e *Exporter) RegisterMetrics(reg *telemetry.Registry) {
+	counter := func(get func(ExporterStats) uint64) func() float64 {
+		return func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(get(e.stats))
+		}
+	}
+	reg.CounterFunc("xatu_exporter_sent_records_total",
+		"Records successfully written to the collector socket.",
+		counter(func(s ExporterStats) uint64 { return s.Sent }))
+	reg.CounterFunc("xatu_exporter_shed_records_total",
+		"Records dropped because the pending queue overflowed.",
+		counter(func(s ExporterStats) uint64 { return s.Shed }))
+	reg.CounterFunc("xatu_exporter_write_errors_total",
+		"Datagram write failures.",
+		counter(func(s ExporterStats) uint64 { return s.WriteErrors }))
+	reg.CounterFunc("xatu_exporter_dial_errors_total",
+		"Reconnect attempts that failed.",
+		counter(func(s ExporterStats) uint64 { return s.DialErrors }))
+	reg.CounterFunc("xatu_exporter_reconnects_total",
+		"Successful re-dials after a failure.",
+		counter(func(s ExporterStats) uint64 { return s.Reconnects }))
+	reg.GaugeFunc("xatu_exporter_pending_records",
+		"Records queued while the collector is unreachable.",
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(len(e.pending))
+		})
+	reg.GaugeFunc("xatu_exporter_connected",
+		"1 while the collector socket is up, 0 while reconnecting.",
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			if e.conn != nil {
+				return 1
+			}
+			return 0
+		})
 }
 
 // Sent reports the number of records exported so far.
@@ -451,6 +498,55 @@ func (c *Collector) FullStats() CollectorStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// RegisterMetrics exposes the collector's loss-accounting breakdown on
+// reg as the xatu_collector_* families, so shed load (our fault),
+// upstream loss (the network's), and duplication (a misbehaving exporter)
+// stay separable on a dashboard. Readers lock the stats mutex at scrape
+// time; the packet path is untouched.
+func (c *Collector) RegisterMetrics(reg *telemetry.Registry) {
+	counter := func(get func(CollectorStats) uint64) func() float64 {
+		return func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(get(c.stats))
+		}
+	}
+	reg.CounterFunc("xatu_collector_packets_total",
+		"Well-formed NetFlow v5 datagrams processed.",
+		counter(func(s CollectorStats) uint64 { return s.Packets }))
+	reg.CounterFunc("xatu_collector_records_total",
+		"Flow records delivered to the consumer channel.",
+		counter(func(s CollectorStats) uint64 { return s.Records }))
+	reg.CounterFunc("xatu_collector_shed_records_total",
+		"Records dropped because the consumer fell behind.",
+		counter(func(s CollectorStats) uint64 { return s.Shed }))
+	reg.CounterFunc("xatu_collector_bad_packets_total",
+		"Datagrams that failed to decode.",
+		counter(func(s CollectorStats) uint64 { return s.BadPackets }))
+	reg.CounterFunc("xatu_collector_dup_packets_total",
+		"Duplicate datagrams discarded (recently-seen sequence).",
+		counter(func(s CollectorStats) uint64 { return s.DupPackets }))
+	reg.CounterFunc("xatu_collector_reordered_packets_total",
+		"Late datagrams delivered out of order.",
+		counter(func(s CollectorStats) uint64 { return s.ReorderedPackets }))
+	reg.GaugeFunc("xatu_collector_lost_records",
+		"Records missing per v5 sequence-gap accounting (refunded when a late datagram arrives).",
+		counter(func(s CollectorStats) uint64 { return s.LostRecords }))
+	reg.GaugeFunc("xatu_collector_exporters",
+		"Distinct (source, engine) export streams observed.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.src))
+		})
+	reg.GaugeFunc("xatu_collector_queue_depth",
+		"Decoded records buffered for the consumer.",
+		func() float64 { return float64(len(c.out)) })
+	reg.GaugeFunc("xatu_collector_queue_capacity",
+		"Record channel capacity.",
+		func() float64 { return float64(cap(c.out)) })
 }
 
 // Sampler applies 1:N random packet sampling to a flow stream, the way the

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: upper bounds are powers of two of nanoseconds,
+// 2^histMinExp ns (~1 µs) through 2^histMaxExp ns (~17 s), plus +Inf.
+// Log-spaced buckets keep the bucket count small while resolving both a
+// sub-10 µs detection step and a multi-second checkpoint stall; the
+// bucket index is one bits.Len64, so Observe never allocates and never
+// loops (except the max CAS under contention).
+const (
+	histMinExp  = 10 // first finite bound: 2^10 ns = 1.024 µs
+	histMaxExp  = 34 // last finite bound: 2^34 ns ≈ 17.18 s
+	histBuckets = histMaxExp - histMinExp + 1
+)
+
+// Histogram is a log-bucketed latency histogram. Observe is safe for
+// concurrent use and allocation-free; quantiles are estimated at read
+// time by linear interpolation inside the owning bucket, and the exact
+// maximum is tracked separately (so the p100 tail is never a bucket
+// bound). Rendered by Registry.WritePrometheus as a standard Prometheus
+// histogram family in seconds, plus a companion <name>_max gauge.
+type Histogram struct {
+	buckets  [histBuckets + 1]atomic.Uint64 // +1: the +Inf bucket
+	count    atomic.Uint64
+	sumNanos atomic.Uint64
+	maxNanos atomic.Uint64
+}
+
+// bucketFor returns the index of the smallest bucket whose upper bound is
+// >= ns (ceil log2, clamped into range).
+func bucketFor(ns uint64) int {
+	if ns <= 1 {
+		return 0
+	}
+	k := bits.Len64(ns - 1) // smallest k with ns <= 2^k
+	if k <= histMinExp {
+		return 0
+	}
+	if k > histMaxExp {
+		return histBuckets // +Inf
+	}
+	return k - histMinExp
+}
+
+// bucketBound returns bucket i's upper bound in nanoseconds; the +Inf
+// bucket has no finite bound and must not be asked for one.
+func bucketBound(i int) uint64 { return uint64(1) << (histMinExp + i) }
+
+// Observe records one duration. Negative durations clamp to zero. Safe on
+// a nil receiver (no-op) and for concurrent use.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(ns)
+	for {
+		prev := h.maxNanos.Load()
+		if ns <= prev || h.maxNanos.CompareAndSwap(prev, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNanos.Load())
+}
+
+// Max returns the largest observation seen (exact, not a bucket bound).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.maxNanos.Load())
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the bucket holding the target rank, clamped to the
+// exact observed maximum. It returns 0 with no observations. The estimate
+// is exact at q=1 and within one bucket's width (a factor of two)
+// elsewhere — ample for latency SLO accounting.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	var counts [histBuckets + 1]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	max := h.maxNanos.Load()
+	// Rank of the target observation, 1-based, at least 1.
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) || rank == 0 {
+		rank++
+	}
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		lower := uint64(0)
+		if i > 0 {
+			lower = bucketBound(i - 1)
+		}
+		upper := max
+		if i < histBuckets && bucketBound(i) < max {
+			upper = bucketBound(i)
+		}
+		if upper < lower {
+			upper = lower
+		}
+		// Position of the target rank inside this bucket, (0, 1].
+		pos := float64(rank-cum) / float64(c)
+		v := float64(lower) + pos*float64(upper-lower)
+		if v > float64(max) {
+			v = float64(max)
+		}
+		return time.Duration(v)
+	}
+	return time.Duration(max)
+}
+
+// LatencySummary is a point-in-time quantile digest of a Histogram,
+// suitable for one-line shutdown reports and benchmark metrics.
+type LatencySummary struct {
+	Count uint64
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summary digests the histogram into p50/p90/p99/max.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}

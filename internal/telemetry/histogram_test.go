@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketForBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{1023, 0},
+		{1024, 0}, // exactly 2^10: first bucket's upper bound is inclusive
+		{1025, 1}, // one past: next bucket
+		{2048, 1}, // exactly 2^11
+		{2049, 2},
+		{1 << 34, histBuckets - 1},   // exactly the last finite bound
+		{(1 << 34) + 1, histBuckets}, // past it: +Inf
+		{1 << 60, histBuckets},       // way past: still +Inf
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.ns); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundsAreMonotone(t *testing.T) {
+	for i := 1; i < histBuckets; i++ {
+		if bucketBound(i) != 2*bucketBound(i-1) {
+			t.Fatalf("bucket %d bound %d is not double bucket %d bound %d",
+				i, bucketBound(i), i-1, bucketBound(i-1))
+		}
+	}
+	if bucketBound(0) != 1024 {
+		t.Fatalf("first bound = %d, want 1024", bucketBound(0))
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations spread uniformly across 1..100 µs: p50 ≈ 50 µs,
+	// p99 ≈ 99 µs. Log buckets bound the estimate within a factor of two;
+	// the interpolated estimate should land in the right ballpark.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if got := h.Max(); got != 100*time.Microsecond {
+		t.Fatalf("max = %v, want 100µs (exact)", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 25*time.Microsecond || p50 > 100*time.Microsecond {
+		t.Fatalf("p50 = %v, want within [25µs, 100µs]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 50*time.Microsecond || p99 > 100*time.Microsecond {
+		t.Fatalf("p99 = %v, want within [50µs, 100µs]", p99)
+	}
+	if q1 := h.Quantile(1); q1 != 100*time.Microsecond {
+		t.Fatalf("p100 = %v, want the exact max 100µs", q1)
+	}
+	if p50 > p99 {
+		t.Fatalf("quantiles not monotone: p50 %v > p99 %v", p50, p99)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 5*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v with one 5ms observation", q, got)
+		}
+	}
+	if h.Sum() != 5*time.Millisecond {
+		t.Fatalf("sum = %v, want 5ms", h.Sum())
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if nilH.Quantile(0.5) != 0 || nilH.Max() != 0 || nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil histogram must report zeros")
+	}
+	s := nilH.Summary()
+	if s.Count != 0 || s.P99 != 0 {
+		t.Fatal("nil histogram summary must be zero")
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Count() != 1 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("negative observation: count=%d sum=%v max=%v", h.Count(), h.Sum(), h.Max())
+	}
+}

@@ -1,0 +1,321 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind is the Prometheus metric family type.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// sample is one labeled member of a family: either a scalar read function
+// (counter/gauge, owned or callback-backed) or a histogram.
+type sample struct {
+	labels string // pre-rendered `{a="b",c="d"}`, or ""
+	read   func() float64
+	hist   *Histogram
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	samples []*sample
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format (version 0.0.4). Registration methods are safe for
+// concurrent use; invalid names, kind conflicts, and duplicate
+// (name, labels) registrations panic, as they are programmer errors.
+//
+// All methods are nil-receiver safe: registering on a nil *Registry
+// returns nil metric handles whose mutators are no-ops, so a single nil
+// check at construction time disables telemetry for a whole subsystem.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Counter registers and returns a monotone counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(name, help, kindCounter, &sample{
+		labels: renderLabels(labels),
+		read:   func() float64 { return float64(c.Value()) },
+	})
+	return c
+}
+
+// Gauge registers and returns an instantaneous value.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(name, help, kindGauge, &sample{
+		labels: renderLabels(labels),
+		read:   func() float64 { return float64(g.Value()) },
+	})
+	return g
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for subsystems that already keep their own atomic or
+// mutex-guarded counters. fn must be monotone and safe for concurrent
+// calls.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounter, &sample{labels: renderLabels(labels), read: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time. fn must be
+// safe for concurrent calls.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGauge, &sample{labels: renderLabels(labels), read: fn})
+}
+
+// Histogram registers and returns a log-bucketed latency histogram,
+// rendered in seconds per Prometheus convention.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{}
+	r.register(name, help, kindHistogram, &sample{labels: renderLabels(labels), hist: h})
+	return h
+}
+
+func (r *Registry) register(name, help string, kind metricKind, s *sample) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.fams[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both %v and %v", name, f.kind, kind))
+	}
+	for _, prev := range f.samples {
+		if prev.labels == s.labels {
+			panic(fmt.Sprintf("telemetry: duplicate metric %s%s", name, s.labels))
+		}
+	}
+	f.samples = append(f.samples, s)
+}
+
+// WritePrometheus renders every family in text exposition format, sorted
+// by family name (and by label string within a family) so output is
+// deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		writeFamily(&b, f)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(b *strings.Builder, f *family) {
+	if f.help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.kind.String())
+	b.WriteByte('\n')
+	samples := append([]*sample(nil), f.samples...)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].labels < samples[j].labels })
+	for _, s := range samples {
+		if f.kind == kindHistogram {
+			writeHistogram(b, f.name, s)
+			continue
+		}
+		b.WriteString(f.name)
+		b.WriteString(s.labels)
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(s.read()))
+		b.WriteByte('\n')
+	}
+	if f.kind == kindHistogram {
+		// Companion gauge: the exact observed maximum, which the bucketed
+		// family can only bound from above.
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteString("_max gauge\n")
+		for _, s := range samples {
+			b.WriteString(f.name)
+			b.WriteString("_max")
+			b.WriteString(s.labels)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.hist.Max().Seconds()))
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// writeHistogram renders one histogram sample: cumulative _bucket lines
+// (bounds in seconds), then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, s *sample) {
+	var cum uint64
+	for i := 0; i <= histBuckets; i++ {
+		cum += s.hist.buckets[i].Load()
+		le := "+Inf"
+		if i < histBuckets {
+			le = formatFloat(float64(bucketBound(i)) / 1e9)
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		b.WriteString(mergeLabels(s.labels, `le="`+le+`"`))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(s.labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(s.hist.Sum().Seconds()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(s.labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(s.hist.Count(), 10))
+	b.WriteByte('\n')
+}
+
+// renderLabels pre-renders a label set as `{a="b",c="d"}` (sorted by
+// name), panicking on invalid label names.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels splices an extra pre-rendered pair (e.g. le="0.001") into a
+// pre-rendered label block.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || strings.ContainsRune(name, ':') {
+		return false
+	}
+	return validMetricName(name)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the full exposition format — HELP/TYPE
+// lines, label rendering and escaping, family and label sorting,
+// cumulative histogram buckets in seconds, and the companion _max gauge —
+// against a committed golden file.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	steps := reg.Counter("xatu_engine_steps_total", "Steps processed.", Label{"shard", "0"})
+	steps.Add(41)
+	steps.Inc()
+	reg.Counter("xatu_engine_steps_total", "ignored duplicate help", Label{"shard", "1"}).Add(7)
+	reg.Gauge("xatu_engine_queue_depth", "Current mailbox depth.", Label{"shard", "0"}).Set(3)
+	reg.GaugeFunc("xatu_collector_exporters", "Distinct export streams.", func() float64 { return 2 })
+	reg.CounterFunc("xatu_collector_packets_total", "Datagrams processed.", func() float64 { return 1234 })
+	reg.Counter("escapes_total", "help with \\ and\nnewline", Label{"path", "a\"b\\c\nd"}).Inc()
+	h := reg.Histogram("xatu_engine_step_seconds", "Detection step latency.")
+	h.Observe(1 * time.Microsecond)   // first bucket (≤ 1.024µs)
+	h.Observe(3 * time.Microsecond)   // ≤ 4.096µs
+	h.Observe(900 * time.Microsecond) // ≤ 1.048576ms
+	h.Observe(20 * time.Second)       // +Inf
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file (run with -update and diff):\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	mustPanic("invalid metric name", func() { reg.Counter("bad-name", "") })
+	mustPanic("digit-leading name", func() { reg.Counter("0bad", "") })
+	mustPanic("invalid label name", func() { reg.Counter("ok_total", "", Label{"bad-label", "v"}) })
+	reg.Counter("dup_total", "", Label{"a", "1"})
+	mustPanic("duplicate name+labels", func() { reg.Counter("dup_total", "", Label{"a", "1"}) })
+	mustPanic("kind conflict", func() { reg.Gauge("dup_total", "") })
+	// Same family, different labels: fine.
+	reg.Counter("dup_total", "", Label{"a", "2"})
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil-backed counter must stay 0")
+	}
+	g := reg.Gauge("x", "")
+	g.Set(9)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatal("nil-backed gauge must stay 0")
+	}
+	reg.CounterFunc("y_total", "", func() float64 { return 1 })
+	reg.GaugeFunc("y", "", func() float64 { return 1 })
+	reg.Histogram("z_seconds", "").Observe(time.Second)
+	if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInstruments hammers one counter, one gauge, and one
+// histogram from N goroutines; run under -race this is the data-race
+// proof for the whole hot path, and the totals prove no increment is
+// lost.
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hammer_total", "")
+	g := reg.Gauge("hammer_depth", "")
+	h := reg.Histogram("hammer_seconds", "")
+	const goroutines, perG = 16, 2000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i*perG+j) * time.Microsecond)
+			}
+		}(i)
+	}
+	// Concurrent scrapes while writers run.
+	for i := 0; i < 10; i++ {
+		if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	const want = goroutines * perG
+	if c.Value() != want {
+		t.Fatalf("counter = %d, want %d", c.Value(), want)
+	}
+	if g.Value() != want {
+		t.Fatalf("gauge = %d, want %d", g.Value(), want)
+	}
+	if h.Count() != want {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), want)
+	}
+	wantMax := time.Duration(goroutines*perG-1) * time.Microsecond
+	if h.Max() != wantMax {
+		t.Fatalf("histogram max = %v, want %v", h.Max(), wantMax)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hammer_seconds_count 32000") {
+		t.Fatalf("exposition missing final histogram count:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Health is the payload served on /healthz. OK selects the HTTP status
+// (200 vs 503, so load balancers and liveness probes need no body
+// parsing); Detail carries the subsystem's own report (e.g. per-shard
+// queue depths) verbatim.
+type Health struct {
+	OK     bool `json:"ok"`
+	Detail any  `json:"detail,omitempty"`
+}
+
+// HealthFunc produces the current health report at request time.
+type HealthFunc func() Health
+
+// Server exposes a registry over HTTP:
+//
+//	/metrics       Prometheus text exposition format
+//	/healthz       JSON health report, 200 when OK else 503
+//	/debug/alerts  JSON array of the most recent alert decision traces
+//	/debug/pprof/  the standard net/http/pprof profile endpoints
+//
+// The listener binds eagerly in NewServer (so an occupied port fails
+// fast) and serves on a background goroutine until Close.
+type Server struct {
+	ln     net.Listener
+	srv    *http.Server
+	alerts *TraceRing
+}
+
+// NewServer binds addr (use "127.0.0.1:0" for an ephemeral port) and
+// starts serving reg. health may be nil, in which case /healthz always
+// reports OK with no detail. The returned server's Alerts ring holds the
+// traces served on /debug/alerts.
+func NewServer(addr string, reg *Registry, health HealthFunc) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: binding %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, alerts: NewTraceRing(256)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{OK: true}
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.alerts.JSON())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Alerts returns the ring buffer behind /debug/alerts; push each alert's
+// decision trace into it as alerts are consumed.
+func (s *Server) Alerts() *TraceRing { return s.alerts }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// TraceRing is a fixed-capacity ring of JSON documents — the retention
+// buffer behind /debug/alerts. Values are marshaled once on Add, so a
+// burst of alerts costs one encode each and readers never touch the
+// original objects.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []json.RawMessage
+	next int
+	full bool
+}
+
+// NewTraceRing returns a ring holding the last n entries (n < 1 is
+// clamped to 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]json.RawMessage, n)}
+}
+
+// Add marshals v and appends it, evicting the oldest entry when full.
+// Unmarshalable values are dropped. Safe on a nil receiver (no-op) and
+// for concurrent use.
+func (r *TraceRing) Add(v any) {
+	if r == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = data
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained entries, oldest first.
+func (r *TraceRing) Snapshot() []json.RawMessage {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []json.RawMessage
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// JSON renders the retained entries as one JSON array, oldest first.
+func (r *TraceRing) JSON() []byte {
+	snap := r.Snapshot()
+	if len(snap) == 0 {
+		return []byte("[]")
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return []byte("[]")
+	}
+	return data
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "Liveness beats.").Add(3)
+	reg.Histogram("step_seconds", "Step latency.").Observe(2 * time.Millisecond)
+	healthy := true
+	srv, err := NewServer("127.0.0.1:0", reg, func() Health {
+		return Health{OK: healthy, Detail: map[string]int{"queue": 7}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body, ctype := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE up_total counter", "up_total 3",
+		"# TYPE step_seconds histogram", "step_seconds_count 1", `step_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body, ctype = get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/healthz status %d type %q", code, ctype)
+	}
+	var h struct {
+		OK     bool           `json:"ok"`
+		Detail map[string]int `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Detail["queue"] != 7 {
+		t.Fatalf("/healthz payload %+v", h)
+	}
+	healthy = false
+	if code, _, _ := get(t, base+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz status %d, want 503", code)
+	}
+
+	// Alerts ring: empty array first, then the pushed traces oldest-first.
+	code, body, _ = get(t, base+"/debug/alerts")
+	if code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("/debug/alerts empty = %d %q", code, body)
+	}
+	srv.Alerts().Add(map[string]string{"id": "a"})
+	srv.Alerts().Add(map[string]string{"id": "b"})
+	_, body, _ = get(t, base+"/debug/alerts")
+	var entries []map[string]string
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0]["id"] != "a" || entries[1]["id"] != "b" {
+		t.Fatalf("/debug/alerts = %v", entries)
+	}
+
+	// pprof is mounted.
+	if code, _, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(i)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring kept %d entries, want 3", len(snap))
+	}
+	var vals []int
+	for _, raw := range snap {
+		var v int
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, v)
+	}
+	if vals[0] != 2 || vals[1] != 3 || vals[2] != 4 {
+		t.Fatalf("ring = %v, want oldest-first [2 3 4]", vals)
+	}
+	// Unmarshalable values are dropped, not stored as nulls.
+	r.Add(func() {})
+	if len(r.Snapshot()) != 3 {
+		t.Fatal("unmarshalable value changed the ring")
+	}
+	var nilRing *TraceRing
+	nilRing.Add(1)
+	if nilRing.Snapshot() != nil {
+		t.Fatal("nil ring must be inert")
+	}
+}
