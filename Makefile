@@ -12,10 +12,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with concurrency: the UDP transport + chaos
-# harness, the model core, the sharded engine, the telemetry registry,
-# and the root-package integration tests.
+# harness, the batched kernels, the model core, the sharded engine, the
+# telemetry registry, and the root-package integration tests.
 race:
-	$(GO) test -race ./internal/netflow ./internal/core ./internal/engine ./internal/telemetry .
+	$(GO) test -race ./internal/netflow ./internal/nn ./internal/core ./internal/engine ./internal/telemetry .
 
 # Static analysis: vet + gofmt always; staticcheck when installed (CI
 # installs it, local machines may not have it).
@@ -27,11 +27,15 @@ lint: vet
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; fi
 
-# Engine sharding benchmarks rendered as a committed JSON baseline
-# (BENCH_engine.json): ns/op and customer-steps/sec per shard count.
+# Benchmarks rendered as committed JSON baselines: engine sharding
+# throughput (BENCH_engine.json) and the inference hot path — LSTM step
+# kernels, Stream.Push, BatchRunner.Push — (BENCH_nn.json). Each records
+# ns/op, allocs/op and steps/sec so regressions show up in review.
 bench-json:
 	$(GO) test ./internal/engine -run '^$$' -bench 'BenchmarkEngineShards' | $(GO) run ./cmd/benchjson > BENCH_engine.json
 	@cat BENCH_engine.json
+	$(GO) test ./internal/nn ./internal/core -run '^$$' -bench 'BenchmarkLSTMStep|BenchmarkStreamPush|BenchmarkBatchRunnerPush' | $(GO) run ./cmd/benchjson > BENCH_nn.json
+	@cat BENCH_nn.json
 
 # Short fuzz pass over the wire codec and journal (CI smoke; run longer
 # locally with -fuzztime as needed).

@@ -17,7 +17,11 @@ import (
 )
 
 type result struct {
-	Name       string             `json:"name"`
+	Name string `json:"name"`
+	// Pkg is set per benchmark only when the input stream covers more
+	// than one package (e.g. `go test ./internal/nn ./internal/core
+	// -bench ...`); single-package runs keep it at the report level.
+	Pkg        string             `json:"pkg,omitempty"`
 	Procs      int                `json:"procs"`
 	Shards     int                `json:"shards,omitempty"`
 	Iterations int64              `json:"iterations"`
@@ -38,6 +42,11 @@ type report struct {
 
 func main() {
 	rep := report{Benchmarks: []result{}}
+	// `go test pkg1 pkg2 -bench ...` emits one pkg: header per package;
+	// track the current one and tag each result with it, then hoist it to
+	// the report level if the whole stream came from a single package.
+	var pkg string
+	pkgs := map[string]bool{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -48,13 +57,21 @@ func main() {
 		case strings.HasPrefix(line, "goarch:"):
 			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkgs[pkg] = true
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			if r, ok := parseBench(line); ok {
+				r.Pkg = pkg
 				rep.Benchmarks = append(rep.Benchmarks, r)
 			}
+		}
+	}
+	if len(pkgs) <= 1 {
+		rep.Pkg = pkg
+		for i := range rep.Benchmarks {
+			rep.Benchmarks[i].Pkg = ""
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/xatu-go/xatu/internal/nn"
+)
+
+// BatchRunner advances many Streams that share one *Model through the
+// batched nn kernels: per branch it gathers the inputs and recurrent
+// states of every stream due to step, runs a single LSTM.StepBatch over
+// the shared weights, scatters the states back, and evaluates the head
+// for all streams in one Dense.ForwardBatch. The Streams remain the state
+// containers — they checkpoint, reset and interleave with sequential
+// Push/PushMissing calls exactly as before — the runner only owns reused
+// packing buffers, so a steady-state batch step allocates nothing.
+//
+// Bit-exactness contract: Push(streams, xs, out) leaves every stream in
+// the state — and returns the survival value — that streams[i].Push(xs[i])
+// would have produced, bit for bit. The batched kernels preserve each
+// row's arithmetic order (see nn.Batch.MulT), pooled means are scaled with
+// the same expression, and the hazard ring is advanced by the same
+// recordHazard the sequential path uses. Mixed-batch serving (streams
+// joining, leaving, or stepping alone between batch calls) therefore
+// cannot perturb detection.
+//
+// A BatchRunner is not safe for concurrent use, and every stream passed to
+// Push must have been created over the runner's model.
+type BatchRunner struct {
+	m *Model
+	// per-branch gather buffers: input rows, hidden/cell rows, and the
+	// indices (into the caller's streams slice) of the rows' owners.
+	xb, hb, cb [numBranches]nn.Batch
+	idx        [numBranches][]int
+	sc         nn.BatchScratch
+	concat, zs nn.Batch
+}
+
+// NewBatchRunner returns a runner over m. Buffers grow to the largest
+// batch seen and are reused thereafter.
+func NewBatchRunner(m *Model) *BatchRunner { return &BatchRunner{m: m} }
+
+// Model returns the shared model the runner steps streams through.
+func (r *BatchRunner) Model() *Model { return r.m }
+
+// Push advances stream i with input xs[i] for every i, writing the
+// survival probability into out[i] and returning out. A nil or
+// wrong-length out is reallocated; callers wanting an allocation-free
+// step pass a slice of len(streams).
+func (r *BatchRunner) Push(streams []*Stream, xs [][]float64, out []float64) []float64 {
+	B := len(streams)
+	if len(xs) != B {
+		panic(fmt.Sprintf("core: BatchRunner.Push with %d streams, %d inputs", B, len(xs)))
+	}
+	if len(out) != B {
+		out = make([]float64, B)
+	}
+	if B == 0 {
+		return out
+	}
+	cfg := r.m.Cfg
+	for i, s := range streams {
+		if s.m != r.m {
+			panic("core: BatchRunner.Push with a stream over a different model")
+		}
+		copy(s.lastX, xs[i])
+		s.steps++
+	}
+	for b, l := range r.m.lstms {
+		if l == nil {
+			continue
+		}
+		k := r.m.poolFactor(b)
+		idx := r.idx[b][:0]
+		if k <= 1 {
+			for i := range streams {
+				idx = append(idx, i)
+			}
+		} else {
+			for i, s := range streams {
+				s.bufSum[b].Add(nn.Vec(xs[i]))
+				s.bufN[b]++
+				if s.bufN[b] >= k {
+					idx = append(idx, i)
+				}
+			}
+		}
+		r.idx[b] = idx
+		if len(idx) == 0 {
+			continue
+		}
+		r.xb[b].Resize(len(idx), cfg.NumFeatures)
+		r.hb[b].Resize(len(idx), cfg.Hidden)
+		r.cb[b].Resize(len(idx), cfg.Hidden)
+		inv := 1 / float64(k)
+		for n, i := range idx {
+			s := streams[i]
+			row := r.xb[b].Row(n)
+			if k <= 1 {
+				copy(row, xs[i])
+			} else {
+				// The same mean expression the sequential path computes:
+				// bufSum[j] * (1/k), then the buffer restarts.
+				for j, sum := range s.bufSum[b] {
+					row[j] = sum * inv
+				}
+				s.bufSum[b].Zero()
+				s.bufN[b] = 0
+			}
+			copy(r.hb[b].Row(n), s.h[b])
+			copy(r.cb[b].Row(n), s.c[b])
+		}
+		l.StepBatch(&r.hb[b], &r.cb[b], &r.xb[b], &r.sc)
+		for n, i := range idx {
+			s := streams[i]
+			copy(s.h[b], r.hb[b].Row(n))
+			copy(s.c[b], r.cb[b].Row(n))
+			s.seen[b] = true
+		}
+	}
+	// Head over every stream's latest states, one batched pass.
+	hd := cfg.Hidden
+	r.concat.Resize(B, hd*r.m.activeBranches())
+	for i, s := range streams {
+		row := r.concat.Row(i)
+		off := 0
+		for b, l := range r.m.lstms {
+			if l == nil {
+				continue
+			}
+			copy(row[off:off+hd], s.h[b])
+			off += hd
+		}
+	}
+	r.m.head.ForwardBatch(&r.concat, &r.zs)
+	for i, s := range streams {
+		out[i] = s.recordHazard(nn.Softplus(r.zs.Row(i)[0]))
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// newParityStreams builds n streams over m plus n independent reference
+// streams over the same model, so batched and sequential paths can be
+// compared stream-for-stream.
+func newParityStreams(m *Model, n int) (batch, ref []*Stream) {
+	batch = make([]*Stream, n)
+	ref = make([]*Stream, n)
+	for i := range batch {
+		batch[i] = NewStream(m)
+		ref[i] = NewStream(m)
+	}
+	return batch, ref
+}
+
+func parityInputs(rng *rand.Rand, n, feats int) [][]float64 {
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = randInput(rng, feats)
+	}
+	return xs
+}
+
+// TestBatchRunnerMatchesSequentialBitwise drives identical random streams
+// through sequential Stream.Push and through the BatchRunner at batch
+// sizes 1, 3 and 64, requiring every survival output to be bit-identical
+// — not merely close. The run length crosses every pooling boundary and
+// wraps the hazard ring several times.
+func TestBatchRunnerMatchesSequentialBitwise(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, B := range []int{1, 3, 64} {
+		rng := rand.New(rand.NewSource(int64(100 + B)))
+		batch, ref := newParityStreams(m, B)
+		r := NewBatchRunner(m)
+		out := make([]float64, B)
+		for step := 0; step < 60; step++ {
+			xs := parityInputs(rng, B, m.Cfg.NumFeatures)
+			r.Push(batch, xs, out)
+			for i := range ref {
+				want := ref[i].Push(xs[i])
+				if out[i] != want {
+					t.Fatalf("B=%d step %d stream %d: batched survival %v != sequential %v",
+						B, step, i, out[i], want)
+				}
+			}
+		}
+		// Final states must be indistinguishable, not just the outputs:
+		// checkpoints serialize every bit of online state.
+		for i := range ref {
+			var a, b bytes.Buffer
+			if err := batch[i].Checkpoint(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref[i].Checkpoint(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("B=%d stream %d: batched and sequential checkpoints differ", B, i)
+			}
+		}
+	}
+}
+
+// TestBatchRunnerJoinLeaveMidRun exercises the serving reality the engine
+// creates: streams join the batch mid-run (new channels appear), leave it
+// (channels reset or end mitigation), and take sequential steps (missing
+// telemetry) between batch calls. Every stream must still track its
+// sequential reference bit-for-bit.
+func TestBatchRunnerJoinLeaveMidRun(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 7
+	rng := rand.New(rand.NewSource(42))
+	batch, ref := newParityStreams(m, N)
+	r := NewBatchRunner(m)
+	// active[i] reports whether stream i participates in this phase's
+	// batch; the phases grow, shrink and shuffle membership.
+	phases := [][]int{
+		{0, 1},             // start small
+		{0, 1, 2, 3, 4},    // three streams join mid-run
+		{2, 4},             // most leave
+		{0, 1, 2, 3, 4, 5}, // rejoin at unaligned pooling offsets, 5 joins cold
+		{6},                // a fresh stream alone (batch of one)
+		{0, 1, 2, 3, 4, 5, 6},
+	}
+	members := make([]*Stream, 0, N)
+	xs := make([][]float64, 0, N)
+	for p, phase := range phases {
+		for step := 0; step < 11; step++ {
+			members = members[:0]
+			xs = xs[:0]
+			for _, i := range phase {
+				members = append(members, batch[i])
+				xs = append(xs, randInput(rng, m.Cfg.NumFeatures))
+			}
+			out := r.Push(members, xs, nil)
+			for n, i := range phase {
+				if want := ref[i].Push(xs[n]); out[n] != want {
+					t.Fatalf("phase %d step %d stream %d: %v != %v", p, step, i, out[n], want)
+				}
+			}
+			// Streams outside the batch advance sequentially with missing
+			// steps, as the engine does for customers with no telemetry.
+			if step%3 == 1 {
+				for i := 0; i < N; i++ {
+					in := false
+					for _, j := range phase {
+						if i == j {
+							in = true
+							break
+						}
+					}
+					if !in {
+						a := batch[i].PushMissing(MissingCarry)
+						b := ref[i].PushMissing(MissingCarry)
+						if a != b {
+							t.Fatalf("phase %d stream %d: missing-step survival diverged", p, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRunnerCheckpointRoundTrip checkpoints a stream mid-batch-run —
+// at an unaligned pooling offset, with the ring mid-epoch — restores it,
+// and continues BOTH through the batched path. The restored stream must
+// produce bit-identical survival values and a byte-identical final
+// checkpoint, proving the rolling hazard sums rebuilt from the XSC1 ring
+// match the live incrementally-maintained ones.
+func TestBatchRunnerCheckpointRoundTrip(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	streams, _ := newParityStreams(m, 5)
+	r := NewBatchRunner(m)
+	out := make([]float64, 5)
+	for step := 0; step < 21; step++ { // 21: bufN=1 in both pooled branches, ring at 21%8=5
+		r.Push(streams, parityInputs(rng, 5, m.Cfg.NumFeatures), out)
+	}
+	var ck bytes.Buffer
+	if err := streams[2].Checkpoint(&ck); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStream(bytes.NewReader(ck.Bytes()), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continue the original inside the batch and the restored stream in a
+	// second runner, feeding stream 2's inputs to both.
+	r2 := NewBatchRunner(m)
+	rest := []*Stream{restored}
+	restOut := make([]float64, 1)
+	for step := 0; step < 40; step++ {
+		xs := parityInputs(rng, 5, m.Cfg.NumFeatures)
+		r.Push(streams, xs, out)
+		r2.Push(rest, xs[2:3], restOut)
+		if out[2] != restOut[0] {
+			t.Fatalf("step %d: original %v != restored %v", step, out[2], restOut[0])
+		}
+	}
+	var a, b bytes.Buffer
+	if err := streams[2].Checkpoint(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Checkpoint(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("post-continuation checkpoints differ")
+	}
+}
+
+// TestBatchRunnerRejectsForeignStream pins the model-identity guard.
+func TestBatchRunnerRejectsForeignStream(t *testing.T) {
+	m1, _ := New(tinyConfig())
+	m2, _ := New(tinyConfig())
+	r := NewBatchRunner(m1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on stream over a different model")
+		}
+	}()
+	r.Push([]*Stream{NewStream(m2)}, [][]float64{make([]float64, 4)}, nil)
+}
+
+// TestStreamPushAllocsZero pins the sequential hot path at zero
+// allocations per step: state, pooling buffers, kernel scratch and the
+// head output are all stream-owned.
+func TestStreamPushAllocsZero(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(m)
+	x := make([]float64, m.Cfg.NumFeatures)
+	x[0] = 0.5
+	for i := 0; i < 30; i++ { // warm scratch across all pooling boundaries
+		s.Push(x)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.Push(x) }); allocs != 0 {
+		t.Fatalf("Stream.Push allocates %v/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.PushMissing(MissingCarry) }); allocs != 0 {
+		t.Fatalf("Stream.PushMissing allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestBatchRunnerPushAllocsZero pins the batched path: with a caller-owned
+// output slice, a steady-state batch step allocates nothing.
+func TestBatchRunnerPushAllocsZero(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, _ := newParityStreams(m, 8)
+	r := NewBatchRunner(m)
+	xs := make([][]float64, 8)
+	for i := range xs {
+		xs[i] = make([]float64, m.Cfg.NumFeatures)
+		xs[i][0] = float64(i) * 0.1
+	}
+	out := make([]float64, 8)
+	for i := 0; i < 30; i++ {
+		r.Push(streams, xs, out)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { r.Push(streams, xs, out) }); allocs != 0 {
+		t.Fatalf("BatchRunner.Push allocates %v/op, want 0", allocs)
+	}
+}

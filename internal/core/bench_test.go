@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/xatu-go/xatu/internal/features"
+)
+
+// benchModel mirrors the deployed detector shape: 273 features, the
+// default hidden width and pooling schedule.
+func benchModel(b *testing.B) *Model {
+	b.Helper()
+	cfg := DefaultConfig(features.NumFeatures)
+	cfg.Hidden = 16
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchInput() []float64 {
+	x := make([]float64, features.NumFeatures)
+	for i := 0; i < 8; i++ {
+		x[i*13] = 1.5
+	}
+	return x
+}
+
+// BenchmarkStreamPush is the sequential online hot path: one full detector
+// step (three branches + head + hazard window) with zero allocations.
+func BenchmarkStreamPush(b *testing.B) {
+	s := NewStream(benchModel(b))
+	x := benchInput()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Push(x)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// benchBatchRunnerPush advances B streams sharing one model per op;
+// steps/sec counts stream-steps so the batched path compares directly with
+// BenchmarkStreamPush.
+func benchBatchRunnerPush(b *testing.B, B int) {
+	m := benchModel(b)
+	r := NewBatchRunner(m)
+	streams := make([]*Stream, B)
+	xs := make([][]float64, B)
+	for i := range streams {
+		streams[i] = NewStream(m)
+		xs[i] = benchInput()
+	}
+	out := make([]float64, B)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(streams, xs, out)
+	}
+	b.ReportMetric(float64(b.N)*float64(B)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+func BenchmarkBatchRunnerPush8(b *testing.B)  { benchBatchRunnerPush(b, 8) }
+func BenchmarkBatchRunnerPush64(b *testing.B) { benchBatchRunnerPush(b, 64) }

@@ -113,12 +113,19 @@ func RestoreStream(r io.Reader, m *Model) (*Stream, error) {
 		return nil, fmt.Errorf("core: checkpoint branch mask %03b, model has %03b", got, mask)
 	}
 	s := NewStream(m)
+	// Vectors are always present in checkpoints taken since streams began
+	// preallocating their state; absent vectors (older checkpoints, or a
+	// never-pushed lastX) mean the zero state NewStream already installed.
 	for b, l := range m.lstms {
 		if l == nil {
 			continue
 		}
-		s.h[b] = cr.vec(cfg.Hidden)
-		s.c[b] = cr.vec(cfg.Hidden)
+		if h := cr.vec(cfg.Hidden); h != nil {
+			s.h[b] = h
+		}
+		if c := cr.vec(cfg.Hidden); c != nil {
+			s.c[b] = c
+		}
 		if buf := cr.vec(cfg.NumFeatures); buf != nil {
 			s.bufSum[b] = buf
 		}
@@ -131,7 +138,9 @@ func RestoreStream(r io.Reader, m *Model) (*Stream, error) {
 	s.hazPos = cr.i32()
 	s.hazCount = cr.i32()
 	s.steps = cr.i32()
-	s.lastX = cr.vec(cfg.NumFeatures)
+	if lx := cr.vec(cfg.NumFeatures); lx != nil {
+		s.lastX = lx
+	}
 	if cr.err != nil {
 		return nil, fmt.Errorf("core: reading stream checkpoint: %w", cr.err)
 	}
@@ -143,6 +152,9 @@ func RestoreStream(r io.Reader, m *Model) (*Stream, error) {
 			return nil, fmt.Errorf("core: corrupt stream checkpoint (bufN[%d]=%d)", b, s.bufN[b])
 		}
 	}
+	// The rolling-sum state is derived, not serialized: rebuild it from the
+	// ring so the restored stream's survival outputs continue bit-exactly.
+	s.rebuildHazardSums()
 	return s, nil
 }
 

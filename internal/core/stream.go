@@ -11,12 +11,15 @@ import (
 // incrementally (pooled branches step when their aggregation buffers fill),
 // and maintains the survival probability over a sliding detection window.
 // Each Push is O(model) work — the paper's "each detection runs within
-// 10 ms" property — independent of how long the stream has been running.
+// 10 ms" property — independent of how long the stream has been running,
+// and allocates nothing: all recurrent state, pooling buffers and kernel
+// scratch are owned by the Stream and reused every step.
 //
 // A Stream is not safe for concurrent use.
 type Stream struct {
 	m *Model
-	// per-branch recurrent state
+	// per-branch recurrent state, allocated at construction so the hot
+	// path never checks for nil and batch packing can always copy rows.
 	h, c [numBranches]nn.Vec
 	// pooling buffers for med/long branches
 	bufSum   [numBranches]nn.Vec
@@ -25,10 +28,29 @@ type Stream struct {
 	hazards  []float64         // ring buffer of the last Window hazards
 	hazPos   int
 	hazCount int
-	steps    int
+	// Rolling hazard-window sum, maintained without re-summing the ring
+	// each step. The window total at ring position p is sumNew+suffix[p]:
+	// sumNew is the left-to-right sum of the hazards written since the
+	// ring last wrapped (the current epoch), and suffix[i] = hazards[i] +
+	// suffix[i+1] is the suffix-sum table of the previous epoch, rebuilt
+	// exactly once per Window steps at the wrap. No value is ever
+	// subtracted out, so there is no float drift to bound, and both
+	// quantities are pure functions of the checkpointed ring — a restored
+	// stream rebuilds them bit-exactly (rebuildHazardSums).
+	sumNew float64
+	suffix []float64 // len Window+1, suffix[Window] == 0
+	steps  int
 	// lastX is the most recent real (non-missing) input, feeding the
-	// carry-forward policy of PushMissing.
+	// carry-forward policy of PushMissing. Zero until the first real push.
 	lastX nn.Vec
+	// reusable scratch, never checkpointed: per-step kernel buffers, the
+	// pooled-mean vector, the head input/output, and the synthesized
+	// missing-step input.
+	scratch  nn.StepScratch
+	poolMean nn.Vec
+	concat   nn.Vec
+	headOut  nn.Vec
+	missX    nn.Vec
 }
 
 // MissingPolicy selects what a Stream feeds itself for a step with no
@@ -47,9 +69,20 @@ const (
 
 // NewStream returns a fresh online detector state for the model.
 func NewStream(m *Model) *Stream {
-	s := &Stream{m: m, hazards: make([]float64, m.Cfg.Window)}
+	s := &Stream{
+		m:        m,
+		hazards:  make([]float64, m.Cfg.Window),
+		suffix:   make([]float64, m.Cfg.Window+1),
+		poolMean: nn.NewVec(m.Cfg.NumFeatures),
+		concat:   nn.NewVec(m.Cfg.Hidden * m.activeBranches()),
+		headOut:  nn.NewVec(1),
+		missX:    nn.NewVec(m.Cfg.NumFeatures),
+		lastX:    nn.NewVec(m.Cfg.NumFeatures),
+	}
 	for b := range s.bufSum {
 		if m.lstms[b] != nil {
+			s.h[b] = nn.NewVec(m.Cfg.Hidden)
+			s.c[b] = nn.NewVec(m.Cfg.Hidden)
 			s.bufSum[b] = nn.NewVec(m.Cfg.NumFeatures)
 		}
 	}
@@ -58,6 +91,9 @@ func NewStream(m *Model) *Stream {
 
 // Steps returns how many inputs have been consumed.
 func (s *Stream) Steps() int { return s.steps }
+
+// Model returns the model this stream runs over.
+func (s *Stream) Model() *Model { return s.m }
 
 // Warm reports whether every enabled branch has produced at least one
 // hidden state, i.e. the survival output is fully informed.
@@ -74,9 +110,6 @@ func (s *Stream) Warm() bool {
 // probability over the sliding detection window (1.0 while nothing has
 // accumulated yet).
 func (s *Stream) Push(x []float64) float64 {
-	if s.lastX == nil {
-		s.lastX = nn.NewVec(len(x))
-	}
 	copy(s.lastX, x)
 	return s.push(x)
 }
@@ -86,11 +119,12 @@ func (s *Stream) Push(x []float64) float64 {
 // gaps: every branch still steps, the hazard ring still advances, and the
 // stream stays warm.
 func (s *Stream) PushMissing(policy MissingPolicy) float64 {
-	x := make([]float64, s.m.Cfg.NumFeatures)
-	if policy == MissingCarry && s.lastX != nil {
-		copy(x, s.lastX)
+	if policy == MissingCarry {
+		copy(s.missX, s.lastX)
+	} else {
+		s.missX.Zero()
 	}
-	return s.push(x) // lastX deliberately untouched: it tracks real inputs
+	return s.push(s.missX) // lastX deliberately untouched: it tracks real inputs
 }
 
 func (s *Stream) push(x []float64) float64 {
@@ -102,53 +136,98 @@ func (s *Stream) push(x []float64) float64 {
 		}
 		k := s.m.poolFactor(b)
 		if k <= 1 {
-			s.h[b], s.c[b] = l.Step(s.h[b], s.c[b], v)
+			l.Step(s.h[b], s.c[b], v, &s.scratch)
 			s.seen[b] = true
 			continue
 		}
 		s.bufSum[b].Add(v)
 		s.bufN[b]++
 		if s.bufN[b] >= k {
-			mean := s.bufSum[b].Clone()
-			mean.Scale(1 / float64(k))
-			s.h[b], s.c[b] = l.Step(s.h[b], s.c[b], mean)
+			inv := 1 / float64(k)
+			for j, sum := range s.bufSum[b] {
+				s.poolMean[j] = sum * inv
+			}
+			l.Step(s.h[b], s.c[b], s.poolMean, &s.scratch)
 			s.seen[b] = true
 			s.bufSum[b].Zero()
 			s.bufN[b] = 0
 		}
 	}
 	// Head over the latest available states (zeros before a branch warms).
-	concat := nn.NewVec(s.m.Cfg.Hidden * s.m.activeBranches())
 	off := 0
 	for b, l := range s.m.lstms {
 		if l == nil {
 			continue
 		}
-		if s.h[b] != nil {
-			copy(concat[off:off+s.m.Cfg.Hidden], s.h[b])
-		}
+		copy(s.concat[off:off+s.m.Cfg.Hidden], s.h[b])
 		off += s.m.Cfg.Hidden
 	}
-	z := s.m.head.Forward(concat)[0]
-	lam := nn.Softplus(z)
+	s.m.head.ForwardInto(s.concat, s.headOut)
+	return s.recordHazard(nn.Softplus(s.headOut[0]))
+}
+
+// recordHazard appends one hazard to the ring and returns the survival
+// probability over the window, maintaining the rolling sum in O(1) with an
+// exact O(Window) suffix rebuild once per wrap. Shared by the sequential
+// push and the BatchRunner so both paths sum in the same order.
+func (s *Stream) recordHazard(lam float64) float64 {
 	s.hazards[s.hazPos] = lam
-	s.hazPos = (s.hazPos + 1) % len(s.hazards)
+	s.sumNew += lam
+	s.hazPos++
 	if s.hazCount < len(s.hazards) {
 		s.hazCount++
 	}
-	var sum float64
-	for i := 0; i < s.hazCount; i++ {
-		sum += s.hazards[i]
+	var total float64
+	if s.hazPos == len(s.hazards) {
+		// The ring wrapped: every slot now belongs to the current epoch,
+		// so the window total is sumNew alone. Rebuild the suffix table
+		// from the ring (the exact per-Window refresh) and start a new
+		// epoch.
+		s.hazPos = 0
+		total = s.sumNew
+		s.rebuildSuffix(0)
+		s.sumNew = 0
+	} else {
+		total = s.sumNew + s.suffix[s.hazPos]
 	}
-	return math.Exp(-sum)
+	return math.Exp(-total)
+}
+
+// rebuildSuffix recomputes suffix[i] = hazards[i] + suffix[i+1] for
+// i ∈ [from, Window). The recursion is fixed right-to-left so a rebuild
+// from checkpointed ring contents reproduces the live table bit-exactly.
+func (s *Stream) rebuildSuffix(from int) {
+	s.suffix[len(s.hazards)] = 0
+	for i := len(s.hazards) - 1; i >= from; i-- {
+		s.suffix[i] = s.hazards[i] + s.suffix[i+1]
+	}
+}
+
+// rebuildHazardSums reconstructs the rolling-sum state (sumNew and the
+// suffix table) from the hazard ring and position. Both are pure functions
+// of the checkpointed fields: sumNew is the left-to-right sum of the
+// current epoch's slots [0, hazPos) — the same additions, in the same
+// order, the live stream performed incrementally — and the suffix table
+// covers the previous epoch's slots [hazPos, Window), untouched since the
+// last wrap. Used on restore.
+func (s *Stream) rebuildHazardSums() {
+	for i := 0; i < s.hazPos; i++ {
+		s.suffix[i] = 0
+	}
+	s.rebuildSuffix(s.hazPos)
+	s.sumNew = 0
+	for i := 0; i < s.hazPos; i++ {
+		s.sumNew += s.hazards[i]
+	}
 }
 
 // Reset clears all state, returning the stream to its initial condition
 // (used when mitigation ends and detection restarts, §2.6).
 func (s *Stream) Reset() {
 	for b := range s.h {
-		s.h[b], s.c[b] = nil, nil
-		if s.bufSum[b] != nil {
+		if s.h[b] != nil {
+			s.h[b].Zero()
+			s.c[b].Zero()
 			s.bufSum[b].Zero()
 		}
 		s.bufN[b] = 0
@@ -157,6 +236,10 @@ func (s *Stream) Reset() {
 	for i := range s.hazards {
 		s.hazards[i] = 0
 	}
+	for i := range s.suffix {
+		s.suffix[i] = 0
+	}
+	s.sumNew = 0
 	s.hazPos, s.hazCount, s.steps = 0, 0, 0
-	s.lastX = nil
+	s.lastX.Zero()
 }

@@ -43,15 +43,17 @@ func benchFlows(customer netip.Addr, n int, t0 time.Time) []netflow.Record {
 }
 
 // benchEngineShards measures engine throughput at a given shard count.
-// One benchmark op is a full round: every customer submits one step, from
-// four concurrent producers. ReportMetric exposes customer-steps/sec so
-// shard counts compare directly. With a non-nil registry the run doubles
-// as the telemetry overhead proof: same workload, instrumented engine,
+// One benchmark op is a full round: every customer submits one step. The
+// producers are parallel, one per shard, each feeding exactly the
+// customers its shard owns — a single producer goroutine saturates before
+// the shards do and pins every shard count at the same steps/sec, hiding
+// all scaling. ReportMetric exposes customer-steps/sec so shard counts
+// compare directly. With a non-nil registry the run doubles as the
+// telemetry overhead proof: same workload, instrumented engine,
 // step-latency quantiles reported alongside ns/op.
 func benchEngineShards(b *testing.B, shards int, reg *telemetry.Registry) {
 	const (
 		customers = 64
-		producers = 4
 		flowsPer  = 24
 	)
 	cs := testCustomers(customers)
@@ -77,23 +79,33 @@ func benchEngineShards(b *testing.B, shards int, reg *telemetry.Registry) {
 		}
 	}()
 
+	// Partition customers by owning shard so each producer drives one
+	// shard's mailbox with no cross-producer contention.
+	byShard := make([][]int, shards)
+	for i, c := range cs {
+		s := eng.ShardOf(c)
+		byShard[s] = append(byShard[s], i)
+	}
+
 	b.ResetTimer()
 	var wg sync.WaitGroup
-	per := customers / producers
-	for p := 0; p < producers; p++ {
+	for _, own := range byShard {
+		if len(own) == 0 {
+			continue
+		}
 		wg.Add(1)
-		go func(p int) {
+		go func(own []int) {
 			defer wg.Done()
 			for n := 0; n < b.N; n++ {
 				at := t0.Add(time.Duration(n) * time.Minute)
-				for i := p * per; i < (p+1)*per; i++ {
+				for _, i := range own {
 					if err := eng.Submit(cs[i], at, batches[i]); err != nil {
 						b.Error(err)
 						return
 					}
 				}
 			}
-		}(p)
+		}(own)
 	}
 	wg.Wait()
 	if err := eng.Drain(); err != nil {

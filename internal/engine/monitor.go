@@ -108,6 +108,39 @@ type Monitor struct {
 	cfg   MonitorConfig
 	types []ddos.AttackType
 	chans map[monKey]*monChan
+	// groups are the per-model batching lanes of ObserveStep: every
+	// channel whose attack type resolves to the same *core.Model is
+	// advanced through that model's BatchRunner in one kernel pass
+	// instead of stream-at-a-time (with the default single shared model,
+	// all six attack-type channels of a customer step as one batch). The
+	// slices inside are reused across steps, so the hot path allocates
+	// only when a new model first appears.
+	groups  []*modelGroup
+	groupOf map[*core.Model]*modelGroup
+}
+
+// modelGroup batches the channels of one shared model for a single
+// ObserveStep call.
+type modelGroup struct {
+	runner  *core.BatchRunner
+	chans   []*monChan
+	streams []*core.Stream
+	xs      [][]float64
+	survs   []float64
+}
+
+// reset clears the group's per-step membership, keeping capacity.
+func (g *modelGroup) reset() {
+	g.chans = g.chans[:0]
+	g.streams = g.streams[:0]
+	g.xs = g.xs[:0]
+}
+
+// add enrolls one channel for this step with input feat.
+func (g *modelGroup) add(ch *monChan, feat []float64) {
+	g.chans = append(g.chans, ch)
+	g.streams = append(g.streams, ch.stream)
+	g.xs = append(g.xs, feat)
 }
 
 type monKey struct {
@@ -119,6 +152,10 @@ type monChan struct {
 	stream     *core.Stream
 	mitigating bool
 	since      time.Time
+	// surv is the survival value of the current ObserveStep, written by
+	// the batched push and read by the alert loop. Transient per step;
+	// never checkpointed.
+	surv float64
 	// recent is a ring of the last survival values (real and missing
 	// steps), feeding alert trace trajectories. Not checkpointed: a
 	// restored channel rebuilds its trajectory as it streams.
@@ -168,7 +205,24 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if cfg.MitigationTimeout <= 0 {
 		cfg.MitigationTimeout = 30 * time.Minute
 	}
-	return &Monitor{cfg: cfg, types: types, chans: make(map[monKey]*monChan)}, nil
+	return &Monitor{
+		cfg:     cfg,
+		types:   types,
+		chans:   make(map[monKey]*monChan),
+		groupOf: make(map[*core.Model]*modelGroup),
+	}, nil
+}
+
+// groupFor returns the batching lane for a model, creating it on first
+// sight.
+func (m *Monitor) groupFor(mm *core.Model) *modelGroup {
+	g := m.groupOf[mm]
+	if g == nil {
+		g = &modelGroup{runner: core.NewBatchRunner(mm)}
+		m.groupOf[mm] = g
+		m.groups = append(m.groups, g)
+	}
+	return g
 }
 
 func (m *Monitor) modelFor(at ddos.AttackType) *core.Model {
@@ -195,6 +249,11 @@ func (m *Monitor) ObserveStepTraced(customer netip.Addr, at time.Time, flows []n
 	var alerts []ddos.Alert
 	var traces []*Trace
 	var contrib map[string]float64 // shared by every alert this step
+	// Phase 1 — batched inference: enroll every attack-type channel in its
+	// model's batching lane and advance each lane through one BatchRunner
+	// pass. Channels sharing a model (all of them, under a single Default)
+	// step through the shared weights together; the per-stream survival
+	// values are bit-identical to channel-at-a-time Stream.Push calls.
 	for _, atype := range m.types {
 		key := monKey{customer, atype}
 		ch := m.chans[key]
@@ -202,8 +261,28 @@ func (m *Monitor) ObserveStepTraced(customer netip.Addr, at time.Time, flows []n
 			ch = &monChan{stream: core.NewStream(m.modelFor(atype))}
 			m.chans[key] = ch
 		}
-		s := ch.stream.Push(feat)
-		ch.noteSurvival(s)
+		m.groupFor(m.modelFor(atype)).add(ch, feat)
+	}
+	for _, g := range m.groups {
+		if len(g.chans) == 0 {
+			continue
+		}
+		if cap(g.survs) < len(g.chans) {
+			g.survs = make([]float64, len(g.chans))
+		}
+		g.survs = g.survs[:len(g.chans)]
+		g.runner.Push(g.streams, g.xs, g.survs)
+		for i, ch := range g.chans {
+			ch.surv = g.survs[i]
+			ch.noteSurvival(ch.surv)
+		}
+		g.reset()
+	}
+	// Phase 2 — alerting: the original per-type decision loop, reading the
+	// survival values the batch produced.
+	for _, atype := range m.types {
+		ch := m.chans[monKey{customer, atype}]
+		s := ch.surv
 		if ch.mitigating {
 			if at.Sub(ch.since) >= m.cfg.MitigationTimeout {
 				ch.mitigating = false // CScrub gave up waiting

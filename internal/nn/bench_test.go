@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmark dimensions mirror the deployed detector: 273 input features
+// into the default laptop-scale hidden width.
+const (
+	benchIn     = 273
+	benchHidden = 16
+)
+
+func benchLSTM(b *testing.B) *LSTM {
+	b.Helper()
+	return NewLSTM(benchIn, benchHidden, rand.New(rand.NewSource(1)))
+}
+
+// BenchmarkLSTMStep is the single-stream hot path: one timestep with
+// caller-owned state and scratch (zero allocations).
+func BenchmarkLSTMStep(b *testing.B) {
+	l := benchLSTM(b)
+	h, c := NewVec(benchHidden), NewVec(benchHidden)
+	x := NewVec(benchIn)
+	for i := range x {
+		x[i] = float64(i%7) * 0.1
+	}
+	var sc StepScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Step(h, c, x, &sc)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// benchStepBatch advances B independent streams per op through the shared
+// weights; steps/sec counts stream-steps, so it compares directly with
+// BenchmarkLSTMStep.
+func benchStepBatch(b *testing.B, B int) {
+	l := benchLSTM(b)
+	hs, cs, xs := &Batch{}, &Batch{}, &Batch{}
+	hs.Resize(B, benchHidden)
+	cs.Resize(B, benchHidden)
+	xs.Resize(B, benchIn)
+	for i := range xs.Data {
+		xs.Data[i] = float64(i%7) * 0.1
+	}
+	var bs BatchScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.StepBatch(hs, cs, xs, &bs)
+	}
+	b.ReportMetric(float64(b.N)*float64(B)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+func BenchmarkLSTMStepBatch8(b *testing.B)  { benchStepBatch(b, 8) }
+func BenchmarkLSTMStepBatch64(b *testing.B) { benchStepBatch(b, 64) }

@@ -43,9 +43,26 @@ func (d *Dense) Params() []Param {
 // Forward computes y = W·x + b.
 func (d *Dense) Forward(x Vec) Vec {
 	y := NewVec(d.Out)
-	d.W.MulVec(x, y)
-	y.Add(d.B)
+	d.ForwardInto(x, y)
 	return y
+}
+
+// ForwardInto computes y = W·x + b into the caller-owned dst (len Out),
+// allocating nothing. It performs exactly Forward's arithmetic.
+func (d *Dense) ForwardInto(x, dst Vec) {
+	d.W.MulVec(x, dst)
+	dst.Add(d.B)
+}
+
+// ForwardBatch computes dst = xs·Wᵀ + b row-wise: row i of dst is the
+// layer output for row i of xs. dst is resized to xs.Rows × Out. Per row
+// the dot-product and bias-add order match Forward exactly, so batched
+// head evaluation is bit-identical to per-stream evaluation.
+func (d *Dense) ForwardBatch(xs, dst *Batch) {
+	xs.MulT(d.W, dst)
+	for i := 0; i < dst.Rows; i++ {
+		dst.Row(i).Add(d.B)
+	}
 }
 
 // Backward accumulates weight gradients for the pair (x, dy) and returns

@@ -217,12 +217,13 @@ func TestLSTMLongSequenceStability(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	l := NewLSTM(8, 12, rng)
 	var h, c Vec
+	var sc StepScratch
 	x := NewVec(8)
 	for i := 0; i < 5000; i++ {
 		for j := range x {
 			x[j] = rng.NormFloat64() * 2
 		}
-		h, c = l.Step(h, c, x)
+		h, c = l.Step(h, c, x, &sc)
 	}
 	for j := range h {
 		if math.IsNaN(h[j]) || math.Abs(h[j]) > 1 {

@@ -2,12 +2,31 @@ package nn
 
 import "math"
 
+// StepScratch holds the pre-activation buffers one LSTM Step needs. The
+// caller owns it (zero value is ready to use) and reuses it across steps,
+// so the single-stream hot path performs no allocation. A scratch may be
+// shared by LSTMs of different sizes — ensure regrows it as needed — but
+// not by concurrent goroutines.
+type StepScratch struct {
+	pre, rec Vec
+}
+
+func (s *StepScratch) ensure(n int) {
+	if cap(s.pre) < n {
+		s.pre = make(Vec, n)
+		s.rec = make(Vec, n)
+	}
+	s.pre = s.pre[:n]
+	s.rec = s.rec[:n]
+}
+
 // Step advances the LSTM by one timestep from state (h, c) with input x,
-// returning the next hidden and cell states. It allocates fresh state
-// vectors and performs no caching, making it suitable for long-running
-// online inference (Xatu's streaming detector) where full-sequence tapes
-// would grow without bound.
-func (l *LSTM) Step(h, c, x Vec) (Vec, Vec) {
+// updating h and c in place and returning them. Nil h or c is treated as
+// the zero state and allocated; steady-state callers pass the vectors
+// returned by the previous step plus a reusable scratch, making the online
+// path (Xatu's streaming detector) allocation-free. A nil scratch is
+// allowed and allocates per call.
+func (l *LSTM) Step(h, c, x Vec, s *StepScratch) (Vec, Vec) {
 	hd := l.Hidden
 	if h == nil {
 		h = NewVec(hd)
@@ -15,21 +34,58 @@ func (l *LSTM) Step(h, c, x Vec) (Vec, Vec) {
 	if c == nil {
 		c = NewVec(hd)
 	}
-	pre := NewVec(4 * hd)
-	rec := NewVec(4 * hd)
-	l.Wx.MulVec(x, pre)
-	l.Wh.MulVec(h, rec)
-	hNext := NewVec(hd)
-	cNext := NewVec(hd)
-	for j := 0; j < hd; j++ {
-		gi := Sigmoid(pre[j] + rec[j] + l.B[j])
-		gf := Sigmoid(pre[hd+j] + rec[hd+j] + l.B[hd+j])
-		gg := math.Tanh(pre[2*hd+j] + rec[2*hd+j] + l.B[2*hd+j])
-		go_ := Sigmoid(pre[3*hd+j] + rec[3*hd+j] + l.B[3*hd+j])
-		cNext[j] = gf*c[j] + gi*gg
-		hNext[j] = go_ * math.Tanh(cNext[j])
+	if s == nil {
+		s = &StepScratch{}
 	}
-	return hNext, cNext
+	s.ensure(4 * hd)
+	l.Wx.MulVec(x, s.pre)
+	l.Wh.MulVec(h, s.rec)
+	lstmGates(hd, s.pre, s.rec, l.B, h, c)
+	return h, c
+}
+
+// lstmGates applies the gate nonlinearities for one stream: given the input
+// and recurrent pre-activations and the bias, it overwrites h and c with
+// the next hidden and cell states. It is the single definition of the gate
+// arithmetic shared by Step and StepBatch, so the two paths cannot drift —
+// batched inference must stay bit-identical to sequential.
+func lstmGates(hd int, pre, rec, bias, h, c Vec) {
+	for j := 0; j < hd; j++ {
+		gi := Sigmoid(pre[j] + rec[j] + bias[j])
+		gf := Sigmoid(pre[hd+j] + rec[hd+j] + bias[hd+j])
+		gg := math.Tanh(pre[2*hd+j] + rec[2*hd+j] + bias[2*hd+j])
+		go_ := Sigmoid(pre[3*hd+j] + rec[3*hd+j] + bias[3*hd+j])
+		c[j] = gf*c[j] + gi*gg
+		h[j] = go_ * math.Tanh(c[j])
+	}
+}
+
+// BatchScratch holds the pre-activation batches StepBatch needs. Caller
+// owned and reusable, like StepScratch.
+type BatchScratch struct {
+	pre, rec Batch
+}
+
+// StepBatch advances B independent streams through the shared weight set in
+// one pass: row i of hs/cs is stream i's recurrent state (updated in
+// place), row i of xs its input. All matrix work runs through the blocked
+// MulT kernel, amortizing weight-matrix memory traffic across the batch;
+// per row the arithmetic (pre-activation dot-product order and gate
+// evaluation) is exactly Step's, so StepBatch(h, c, x) row i is
+// bit-identical to Step(h_i, c_i, x_i).
+func (l *LSTM) StepBatch(hs, cs, xs *Batch, s *BatchScratch) {
+	hd := l.Hidden
+	if hs.Rows != xs.Rows || cs.Rows != xs.Rows {
+		panic("nn: StepBatch row-count mismatch")
+	}
+	if hs.Cols != hd || cs.Cols != hd || xs.Cols != l.In {
+		panic("nn: StepBatch column mismatch")
+	}
+	xs.MulT(l.Wx, &s.pre)
+	hs.MulT(l.Wh, &s.rec)
+	for i := 0; i < xs.Rows; i++ {
+		lstmGates(hd, s.pre.Row(i), s.rec.Row(i), l.B, hs.Row(i), cs.Row(i))
+	}
 }
 
 // ShareWeights returns an LSTM that aliases l's weight matrices but owns

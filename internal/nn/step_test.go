@@ -17,8 +17,9 @@ func TestStepMatchesForward(t *testing.T) {
 	}
 	tape := l.Forward(xs)
 	var h, c Vec
+	var sc StepScratch
 	for i, x := range xs {
-		h, c = l.Step(h, c, x)
+		h, c = l.Step(h, c, x, &sc)
 		for j := range h {
 			if h[j] != tape.H[i][j] {
 				t.Fatalf("step %d hidden %d: %v != %v", i, j, h[j], tape.H[i][j])
@@ -32,8 +33,8 @@ func TestStepMatchesForward(t *testing.T) {
 
 func TestStepNilStateIsZeroState(t *testing.T) {
 	l := NewLSTM(2, 3, rand.New(rand.NewSource(1)))
-	h1, c1 := l.Step(nil, nil, Vec{1, 2})
-	h2, c2 := l.Step(NewVec(3), NewVec(3), Vec{1, 2})
+	h1, c1 := l.Step(nil, nil, Vec{1, 2}, nil)
+	h2, c2 := l.Step(NewVec(3), NewVec(3), Vec{1, 2}, nil)
 	for j := range h1 {
 		if h1[j] != h2[j] || c1[j] != c2[j] {
 			t.Fatal("nil state must equal zero state")
