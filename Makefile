@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz bench-json lint check
+.PHONY: build vet test race fuzz bench-json bench-smoke lint check
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,10 @@ test:
 
 # Race-check the packages with concurrency: the UDP transport + chaos
 # harness, the batched kernels, the model core, the sharded engine, the
-# telemetry registry, and the root-package integration tests.
+# parallel ingest pipeline, the telemetry registry, and the root-package
+# integration tests.
 race:
-	$(GO) test -race ./internal/netflow ./internal/nn ./internal/core ./internal/engine ./internal/telemetry .
+	$(GO) test -race ./internal/netflow ./internal/nn ./internal/core ./internal/engine ./internal/ingest ./internal/telemetry .
 
 # Static analysis: vet + gofmt always; staticcheck when installed (CI
 # installs it, local machines may not have it).
@@ -36,6 +37,13 @@ bench-json:
 	@cat BENCH_engine.json
 	$(GO) test ./internal/nn ./internal/core -run '^$$' -bench 'BenchmarkLSTMStep|BenchmarkStreamPush|BenchmarkBatchRunnerPush' | $(GO) run ./cmd/benchjson > BENCH_nn.json
 	@cat BENCH_nn.json
+	$(GO) test ./internal/ingest -run '^$$' -bench 'BenchmarkIngestE2E|BenchmarkDecodeV5Into|BenchmarkAggregatorAdd|BenchmarkExtractInto' -benchtime 2s | $(GO) run ./cmd/benchjson > BENCH_ingest.json
+	@cat BENCH_ingest.json
+
+# One-iteration pass over every benchmark: catches benchmarks that no
+# longer compile or crash without paying for real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Short fuzz pass over the wire codec and journal (CI smoke; run longer
 # locally with -fuzztime as needed).

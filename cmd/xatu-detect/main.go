@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -44,6 +45,8 @@ func main() {
 		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "detection shards (single-threaded monitors); customers are hash-partitioned across them")
 		queue    = flag.Int("queue", 1024, "per-shard mailbox capacity (live ingest sheds oldest on overflow; replay blocks)")
 		telAddr  = flag.String("telemetry-addr", "", "serve Prometheus /metrics, /healthz, /debug/alerts and pprof on this address (empty = disabled)")
+		ingestW  = flag.Int("ingest-workers", 0, "run the parallel allocation-lean ingest pipeline with this many decode and aggregation workers; steps are sealed by record event time with -lateness allowance (0 = legacy collector with wall-clock stepping)")
+		lateness = flag.Duration("lateness", 2*time.Minute, "ingest pipeline: how far out of order records may arrive before a step seals without them")
 	)
 	flag.Parse()
 
@@ -136,6 +139,13 @@ func main() {
 		return
 	}
 
+	if *ingestW > 0 {
+		runPipeline(eng, reg, *listen, *ingestW, *step, *lateness, *ckpt, *ckptIval)
+		eng.Close()
+		<-alertsDone
+		return
+	}
+
 	col, err := xatu.NewCollector(*listen, 65536)
 	if err != nil {
 		fatal("%v", err)
@@ -196,6 +206,60 @@ func main() {
 				saveCheckpoint(eng, *ckpt)
 				lastSave = now
 			}
+		}
+	}
+}
+
+// runPipeline serves live ingest through the parallel allocation-lean
+// pipeline: decode workers partition packets by exporter, aggregation
+// workers seal per-customer steps by record event time, and sealed steps
+// feed the engine's shards directly. Unlike the legacy collector loop
+// there is no wall-clock ticker — step boundaries come from the records
+// themselves, sealed once the watermark passes the lateness allowance.
+func runPipeline(eng *xatu.Engine, reg *xatu.TelemetryRegistry, listen string, workers int, step, lateness time.Duration, ckpt string, ckptIval time.Duration) {
+	pc, err := net.ListenPacket("udp", listen)
+	if err != nil {
+		fatal("%v", err)
+	}
+	pipe, err := xatu.NewIngestPipeline(xatu.IngestConfig{
+		DecodeWorkers: workers,
+		AggWorkers:    workers,
+		Step:          step,
+		Lateness:      lateness,
+		Engine:        eng,
+		Telemetry:     reg,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	fmt.Printf("listening on %s, ingest pipeline with %d decode + %d aggregation workers, step %v, lateness %v\n",
+		pc.LocalAddr(), workers, workers, step, lateness)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- pipe.Serve(ctx, pc) }()
+	ticker := time.NewTicker(ckptIval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			saveCheckpoint(eng, ckpt)
+		case err := <-serveDone:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xatu-detect: serve: %v\n", err)
+			}
+			if cerr := pipe.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "xatu-detect: %v\n", cerr)
+			}
+			st := pipe.Stats()
+			es := eng.Stats()
+			fmt.Printf("shutting down (packets=%d records=%d steps=%d dup=%d reordered=%d lost=%d late=%d bad=%d)\n",
+				st.Packets, st.Records, st.Steps, st.DupPackets, st.ReorderedPackets, st.LostRecords, st.DroppedLate, st.BadPackets)
+			fmt.Printf("engine: %d shards, steps=%d missing=%d shed=%d alerts=%d queue-hw=%d\n",
+				eng.Shards(), es.Steps, es.Missing, es.Shed, es.Alerts, es.QueueHighWater)
+			saveCheckpoint(eng, ckpt)
+			return
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/netip"
 	"time"
 
@@ -22,6 +23,7 @@ func main() {
 	shards := flag.Int("shards", 4, "detection shards; customers are hash-partitioned across them")
 	queue := flag.Int("queue", 256, "per-shard mailbox capacity")
 	telAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug endpoints while streaming (empty = disabled)")
+	ingestW := flag.Int("ingest-workers", 0, "stream through the parallel ingest pipeline with this many decode and aggregation workers, sealing steps by record event time (0 = legacy per-step collector drain)")
 	flag.Parse()
 
 	// 1. Train a small model on a labeled world.
@@ -45,18 +47,22 @@ func main() {
 
 	// 2. Start a NetFlow collector and a sharded Engine over the trained
 	// models. Live ingest sheds oldest on overflow rather than blocking.
-	col, err := xatu.NewCollector("127.0.0.1:0", 1<<16)
-	if err != nil {
-		log.Fatal(err)
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go col.Run(ctx)
 
 	// The registry is always on: the shutdown summary reads its step
 	// latency quantiles even when no HTTP server is requested.
 	reg := xatu.NewTelemetryRegistry()
-	col.RegisterMetrics(reg)
+	var col *xatu.Collector
+	if *ingestW == 0 {
+		var err error
+		col, err = xatu.NewCollector("127.0.0.1:0", 1<<16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go col.Run(ctx)
+		col.RegisterMetrics(reg)
+	}
 	eng, err := xatu.NewEngine(xatu.EngineConfig{
 		Monitor: xatu.MonitorConfig{
 			Models:    ml.Models.ByType,
@@ -93,6 +99,11 @@ func main() {
 	ep := eps[0]
 	fmt.Printf("streaming a %v attack on customer %d (steps %d..%d) into %d shards...\n",
 		ep.Type, ep.CustomerIdx, ep.StreamStart, ep.StreamEnd, eng.Shards())
+
+	if *ingestW > 0 {
+		streamThroughPipeline(ctx, cancel, p, cfg, ep.CustomerIdx, ep.StreamStart, ep.StreamEnd, ep.AnomStart, eng, reg, *ingestW)
+		return
+	}
 
 	exp, err := xatu.NewExporter(col.Addr(), 1)
 	if err != nil {
@@ -164,4 +175,85 @@ func main() {
 	eng.Close()
 	fmt.Printf("done: %d alerts, %d engine sheds (%d collector), p99 step latency %v over %d steps on %d shards\n",
 		alerts, es.Shed, col.FullStats().Shed, lat.P99, es.Steps, eng.Shards())
+}
+
+// streamThroughPipeline is the -ingest-workers path: the same attack
+// window flows through the parallel ingest pipeline over a real UDP
+// socket. There is no per-step drain barrier — aggregation workers seal
+// steps by record event time and feed the engine's shards directly, so
+// alerts are read asynchronously and printed relative to the anomaly
+// start by their step timestamps.
+func streamThroughPipeline(ctx context.Context, cancel context.CancelFunc, p *xatu.Pipeline, cfg xatu.PipelineConfig, customerIdx, streamStart, streamEnd, anomStart int, eng *xatu.Engine, reg *xatu.TelemetryRegistry, workers int) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := xatu.NewIngestPipeline(xatu.IngestConfig{
+		DecodeWorkers: workers,
+		AggWorkers:    workers,
+		Step:          cfg.World.Step,
+		Lateness:      cfg.World.Step,
+		Engine:        eng,
+		Telemetry:     reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- pipe.Serve(ctx, pc) }()
+
+	anomT := cfg.World.TimeOf(anomStart)
+	alerts := 0
+	alertsDone := make(chan struct{})
+	go func() {
+		defer close(alertsDone)
+		for ev := range eng.Alerts() {
+			fmt.Printf("  ALERT %v at %+.0f min relative to anomaly start (shard %d, survival %.4f < %.4f)\n",
+				ev.Alert.Sig.Type, ev.At.Sub(anomT).Minutes(), ev.Shard, ev.Trace.Survival, ev.Trace.Threshold)
+			alerts++
+		}
+	}()
+
+	// Export on the record clock: the aggregation workers seal steps by
+	// flow event time, so the datagrams must preserve the simulated
+	// timestamps rather than clamping them into the wall-clock epoch.
+	exp, err := xatu.NewExporterWithConfig(xatu.ExporterConfig{
+		Addr:     pc.LocalAddr().String(),
+		Sampling: 1,
+		BootTime: cfg.World.TimeOf(min(streamStart, 0)).Add(-time.Minute),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for s := streamStart; s < streamEnd; s++ {
+		if s < 0 {
+			continue
+		}
+		for _, r := range p.World.FlowsAt(customerIdx, s) {
+			if err := exp.Export(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := exp.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		// Pace the export so the UDP socket's read loop keeps up; the
+		// pipeline itself applies backpressure past the socket.
+		time.Sleep(2 * time.Millisecond)
+	}
+	exp.Close()
+	time.Sleep(100 * time.Millisecond) // let the last datagrams land
+	cancel()
+	if err := <-serveDone; err != nil {
+		log.Fatal(err)
+	}
+	if err := pipe.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st := pipe.Stats()
+	lat := eng.StepLatency().Summary()
+	eng.Close()
+	<-alertsDone
+	fmt.Printf("done: %d alerts over %d ingest steps (%d records, %d lost, %d late), p99 step latency %v on %d shards\n",
+		alerts, st.Steps, st.Records, st.LostRecords, st.DroppedLate, lat.P99, eng.Shards())
 }

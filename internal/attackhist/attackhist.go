@@ -83,6 +83,15 @@ func (r *Registry) RecordAttacker(customer, src netip.Addr, t time.Time) {
 	m[src] = old
 }
 
+// HasAttackers reports whether any source is recorded as having attacked
+// customer at any time. Extraction hoists this out of its per-flow loop:
+// a customer with no history answers every A2 membership test false.
+func (r *Registry) HasAttackers(customer netip.Addr) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.attackers[customer]) > 0
+}
+
 // WasAttacker reports whether src had attacked customer strictly before t
 // (the A2 membership test).
 func (r *Registry) WasAttacker(customer, src netip.Addr, t time.Time) bool {
@@ -239,9 +248,12 @@ func (r *Registry) Clustering(customer netip.Addr, t time.Time, window time.Dura
 // [lo, hi): pairs whose observation interval intersects the window. Caller
 // holds at least the read lock.
 func (r *Registry) neighborhoodLocked(customer netip.Addr, lo, hi time.Time) map[netip.Addr]struct{} {
-	out := make(map[netip.Addr]struct{})
+	var out map[netip.Addr]struct{} // lazily allocated: empty neighborhoods are the common case and must cost nothing
 	for src, sp := range r.attackers[customer] {
 		if sp.first.Before(hi) && !sp.last.Before(lo) {
+			if out == nil {
+				out = make(map[netip.Addr]struct{}, len(r.attackers[customer]))
+			}
 			out[src] = struct{}{}
 		}
 	}

@@ -8,6 +8,7 @@
 package blocklist
 
 import (
+	"math/bits"
 	"net/netip"
 	"sync"
 	"time"
@@ -68,11 +69,17 @@ type entry struct {
 type Registry struct {
 	mu   sync.RWMutex
 	cats [NumCategories]map[netip.Addr]entry
+	// anyCats[key] is the bitmask of categories holding an entry for key.
+	// The per-flow AnyListedAt/Categories fast path consults this one map
+	// and then only the categories whose bits are set, instead of probing
+	// all 11 category maps. Entries only expire by timestamp (never by
+	// deletion), so the mask is add-only and stays exact.
+	anyCats map[netip.Addr]uint16
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	r := &Registry{}
+	r := &Registry{anyCats: make(map[netip.Addr]uint16)}
 	for i := range r.cats {
 		r.cats[i] = make(map[netip.Addr]entry)
 	}
@@ -100,6 +107,7 @@ func (r *Registry) Add(cat Category, addr netip.Addr, listedAt time.Time, ttl ti
 		}
 	}
 	r.cats[cat][key] = e
+	r.anyCats[key] |= 1 << cat
 }
 
 // ListedAt reports whether addr's /24 was listed under cat at time t.
@@ -110,6 +118,12 @@ func (r *Registry) ListedAt(cat Category, addr netip.Addr, t time.Time) bool {
 	key := Subnet24(addr)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.listedLocked(cat, key, t)
+}
+
+// listedLocked is the point-in-time membership test. Caller holds at
+// least the read lock.
+func (r *Registry) listedLocked(cat Category, key netip.Addr, t time.Time) bool {
 	e, ok := r.cats[cat][key]
 	if !ok {
 		return false
@@ -123,10 +137,15 @@ func (r *Registry) ListedAt(cat Category, addr netip.Addr, t time.Time) bool {
 	return true
 }
 
-// AnyListedAt reports whether addr's /24 appears on any category at time t.
+// AnyListedAt reports whether addr's /24 appears on any category at time
+// t. It runs on the feature extractor's per-flow hot path, so it takes
+// the lock once for all 11 categories rather than once per category.
 func (r *Registry) AnyListedAt(addr netip.Addr, t time.Time) bool {
-	for c := Category(0); c < NumCategories; c++ {
-		if r.ListedAt(c, addr, t) {
+	key := Subnet24(addr)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for mask := r.anyCats[key]; mask != 0; mask &= mask - 1 {
+		if r.listedLocked(Category(bits.TrailingZeros16(mask)), key, t) {
 			return true
 		}
 	}
@@ -135,9 +154,13 @@ func (r *Registry) AnyListedAt(addr netip.Addr, t time.Time) bool {
 
 // Categories returns the set of categories addr's /24 is listed under at t.
 func (r *Registry) Categories(addr netip.Addr, t time.Time) []Category {
+	key := Subnet24(addr)
 	var out []Category
-	for c := Category(0); c < NumCategories; c++ {
-		if r.ListedAt(c, addr, t) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for mask := r.anyCats[key]; mask != 0; mask &= mask - 1 {
+		c := Category(bits.TrailingZeros16(mask))
+		if r.listedLocked(c, key, t) {
 			out = append(out, c)
 		}
 	}

@@ -232,6 +232,14 @@ func (e *Engine) ShardOf(customer netip.Addr) int {
 	return shardOf(customer, len(e.shards))
 }
 
+// ShardOf is the package-level form of Engine.ShardOf: the stable FNV-1a
+// customer → shard mapping for n shards. Exported so upstream stages (the
+// ingest pipeline's aggregation workers) can partition work by the same
+// function and preserve per-customer ordering end to end.
+func ShardOf(customer netip.Addr, n int) int {
+	return shardOf(customer, n)
+}
+
 func shardOf(customer netip.Addr, n int) int {
 	const (
 		offset64 = 14695981039346656037

@@ -117,6 +117,10 @@ type Monitor struct {
 	// only when a new model first appears.
 	groups  []*modelGroup
 	groupOf map[*core.Model]*modelGroup
+	// featBuf and scratch are the reused feature-extraction state of
+	// ObserveStep. Safe without locking: a Monitor is single-threaded.
+	featBuf []float64
+	scratch features.Scratch
 }
 
 // modelGroup batches the channels of one shared model for a single
@@ -244,7 +248,8 @@ func (m *Monitor) ObserveStep(customer netip.Addr, at time.Time, flows []netflow
 // aligned by index. Traces are built only on the (rare) alert path; the
 // no-alert hot path does no extra work beyond the trajectory ring.
 func (m *Monitor) ObserveStepTraced(customer netip.Addr, at time.Time, flows []netflow.Record) ([]ddos.Alert, []*Trace) {
-	feat := m.cfg.Extractor.Extract(customer, at, flows)
+	m.featBuf = m.cfg.Extractor.ExtractInto(m.featBuf, &m.scratch, customer, at, flows)
+	feat := m.featBuf
 	features.Normalize(feat)
 	var alerts []ddos.Alert
 	var traces []*Trace

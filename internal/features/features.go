@@ -89,21 +89,59 @@ func (e *Extractor) listed(src netip.Addr, at time.Time) bool {
 	return false
 }
 
+// Scratch holds the reusable accumulator state of ExtractInto: the four
+// volumetric accumulators and their unique-source sets survive across
+// calls, so a warmed-up extraction loop allocates nothing. A Scratch
+// belongs to one extraction loop at a time — it is not safe for
+// concurrent use (the Extractor itself remains shareable).
+type Scratch struct {
+	vAll, vA1, vA2, vA3 volAcc
+}
+
 // Extract computes the 273-vector for one customer at one step. flows are
-// the step's records destined to the customer.
+// the step's records destined to the customer. It allocates the output
+// vector and accumulator state per call; hot loops should hold a Scratch
+// and call ExtractInto.
 func (e *Extractor) Extract(customer netip.Addr, at time.Time, flows []netflow.Record) []float64 {
-	out := make([]float64, NumFeatures)
-	var vAll, vA1, vA2, vA3 volAcc
+	return e.ExtractInto(make([]float64, NumFeatures), new(Scratch), customer, at, flows)
+}
+
+// ExtractInto computes the same 273-vector as Extract into dst, reusing
+// s's accumulator state. dst is grown (or allocated) to NumFeatures and
+// returned; passing the previous call's return value back in makes the
+// steady state allocation-free. The result is bit-identical to Extract:
+// both paths accumulate in flow order with the same arithmetic.
+func (e *Extractor) ExtractInto(dst []float64, s *Scratch, customer netip.Addr, at time.Time, flows []netflow.Record) []float64 {
+	if cap(dst) < NumFeatures {
+		dst = make([]float64, NumFeatures)
+	} else {
+		dst = dst[:NumFeatures]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	out := dst
+	s.vAll.reset()
+	s.vA1.reset()
+	s.vA2.reset()
+	s.vA3.reset()
+	vAll, vA1, vA2, vA3 := &s.vAll, &s.vA1, &s.vA2, &s.vA3
+	// Per-signal gates hoisted out of the flow loop; the A2 gate also
+	// checks once whether the customer has any recorded attacker, so the
+	// common no-history case skips the per-flow lookup entirely.
+	checkA1 := e.Blocklists != nil && !e.Disable["A1"]
+	checkA2 := e.History != nil && !e.Disable["A2"] && e.History.HasAttackers(customer)
+	checkA3 := e.Spoof != nil && !e.Disable["A3"]
 	for i := range flows {
 		r := &flows[i]
 		vAll.add(r, e.Geo)
-		if e.Blocklists != nil && !e.Disable["A1"] && e.listed(r.Src, at) {
+		if checkA1 && e.listed(r.Src, at) {
 			vA1.add(r, e.Geo)
 		}
-		if e.History != nil && !e.Disable["A2"] && e.History.WasAttacker(customer, r.Src, at) {
+		if checkA2 && e.History.WasAttacker(customer, r.Src, at) {
 			vA2.add(r, e.Geo)
 		}
-		if e.Spoof != nil && !e.Disable["A3"] && e.Spoof.IsSpoofed(r.Src, 0) {
+		if checkA3 && e.Spoof.IsSpoofed(r.Src, 0) {
 			vA3.add(r, e.Geo)
 		}
 	}
@@ -134,6 +172,17 @@ type volAcc struct {
 	dstPortB, dstPortP [5]float64
 	flagB, flagP       [6]float64
 	countryB, countryP [10]float64
+}
+
+// reset zeroes the accumulator for reuse, keeping the unique-source map's
+// storage (cleared, not dropped) so repeated extraction does not allocate.
+func (v *volAcc) reset() {
+	srcs := v.srcs
+	*v = volAcc{}
+	if srcs != nil {
+		clear(srcs)
+		v.srcs = srcs
+	}
 }
 
 func (v *volAcc) add(r *netflow.Record, geo func(netip.Addr) string) {
@@ -194,6 +243,9 @@ func (v *volAcc) add(r *netflow.Record, geo func(netip.Addr) string) {
 
 func (v *volAcc) fill(dst []float64) {
 	_ = dst[VolumetricSize-1]
+	if v.nFlows == 0 && len(v.srcs) == 0 {
+		return // every feature is zero and dst arrives pre-zeroed
+	}
 	i := 0
 	dst[i] = float64(len(v.srcs))
 	i++

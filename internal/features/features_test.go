@@ -298,3 +298,64 @@ func TestBlocklistCategoryFilter(t *testing.T) {
 		t.Fatal("Bot filter must include the Bot-listed source")
 	}
 }
+
+// TestExtractIntoMatchesExtract pins the tentpole parity contract: the
+// allocation-lean ExtractInto produces bit-identical vectors to Extract,
+// across repeated reuse of the same destination buffer and Scratch (stale
+// accumulator state from a previous, different customer step must never
+// leak through).
+func TestExtractIntoMatchesExtract(t *testing.T) {
+	e := testExtractor(t)
+	steps := [][]netflow.Record{
+		{rec(srcGood, netflow.ProtoUDP, 53, 4444, 0, 640, 10), rec(srcBad, netflow.ProtoTCP, 80, 80, netflow.FlagSYN|netflow.FlagACK, 1200, 20)},
+		{rec(srcPrev, netflow.ProtoICMP, 0, 0, 0, 99, 1)},
+		nil,
+		{rec(srcSpoof, netflow.ProtoUDP, 123, 123, 0, 4096, 64), rec(srcGood, netflow.ProtoTCP, 443, 443, netflow.FlagRST, 52, 1)},
+	}
+	var (
+		dst     []float64
+		scratch Scratch
+	)
+	for i, flows := range steps {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		want := e.Extract(customer, at, flows)
+		dst = e.ExtractInto(dst, &scratch, customer, at, flows)
+		if len(dst) != len(want) {
+			t.Fatalf("step %d: len %d != %d", i, len(dst), len(want))
+		}
+		for j := range want {
+			if dst[j] != want[j] {
+				t.Fatalf("step %d: feature %d: ExtractInto %v != Extract %v", i, j, dst[j], want[j])
+			}
+		}
+	}
+}
+
+// TestExtractIntoAllocFree pins that a warmed-up ExtractInto loop does not
+// allocate: the destination vector and all accumulator maps are reused. A5
+// is disabled because Clustering builds neighborhood maps inside the
+// history registry under a read lock (shared scratch there would serialize
+// concurrent monitors); that is once-per-step graph work, not per-flow
+// accumulation, and is outside this pin.
+func TestExtractIntoAllocFree(t *testing.T) {
+	e := testExtractor(t)
+	e.Disable = map[string]bool{"A5": true}
+	flows := []netflow.Record{
+		rec(srcGood, netflow.ProtoUDP, 53, 4444, 0, 640, 10),
+		rec(srcBad, netflow.ProtoTCP, 80, 80, netflow.FlagSYN, 1200, 20),
+		rec(srcPrev, netflow.ProtoICMP, 0, 0, 0, 99, 1),
+	}
+	var (
+		dst     []float64
+		scratch Scratch
+	)
+	for i := 0; i < 4; i++ { // warm the buffer and maps
+		dst = e.ExtractInto(dst, &scratch, customer, t0, flows)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = e.ExtractInto(dst, &scratch, customer, t0, flows)
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtractInto allocs/op = %v, want 0", allocs)
+	}
+}

@@ -1,0 +1,71 @@
+package ingest
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/netflow"
+)
+
+// TestPipelineServeUDP drives the pipeline over a real UDP socket: the
+// datagrams must arrive, decode, and flush through the sink on Close.
+func TestPipelineServeUDP(t *testing.T) {
+	packets, _ := buildStream(t, 2, 4, 3)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		DecodeWorkers: 2, AggWorkers: 2, Step: time.Minute, Lateness: time.Hour,
+		OnStep: func(netip.Addr, time.Time, []float64, []netflow.Record) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- p.Serve(ctx, pc) }()
+
+	// One socket per exporter source: the pipeline identifies exporters by
+	// UDP peer address, so distinct sources sharing one conn would collide
+	// in sequence space and dedup each other.
+	conns := map[string]net.Conn{}
+	for _, sp := range packets {
+		if conns[sp.src] == nil {
+			c, err := net.Dial("udp", pc.LocalAddr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			conns[sp.src] = c
+		}
+	}
+	// UDP may drop even on loopback: resend the stream until every packet
+	// has landed — resends of already-delivered datagrams are discarded by
+	// sequence tracking, so Packets converges on the distinct count.
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Stats().Packets < uint64(len(packets)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d packets arrived", p.Stats().Packets, len(packets))
+		}
+		for _, sp := range packets {
+			if _, err := conns[sp.src].Write(sp.pkt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Records == 0 || st.Steps == 0 {
+		t.Fatalf("nothing flowed end to end: %+v", st)
+	}
+}

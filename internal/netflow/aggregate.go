@@ -2,7 +2,6 @@ package netflow
 
 import (
 	"net/netip"
-	"sort"
 	"time"
 )
 
@@ -12,6 +11,11 @@ import (
 // feature extractor consumes. A watermark seals a bucket once records
 // Lateness past its end have been seen; later stragglers are counted and
 // dropped rather than reopening history.
+//
+// Sealed storage is recycled: Recycle returns a consumed batch's map and
+// record slices to internal free-lists, so a warmed-up aggregator adds
+// records and seals steps without allocating. An Aggregator is not safe
+// for concurrent use.
 type Aggregator struct {
 	Step     time.Duration
 	Lateness time.Duration
@@ -19,6 +23,28 @@ type Aggregator struct {
 	buckets   map[int64]*StepBatch
 	watermark time.Time
 	dropped   uint64
+	// oldestDL is the seal deadline (Start + Step + Lateness) of the
+	// earliest open bucket, zero when none are open: the per-record
+	// advance fast path compares the watermark against it and skips the
+	// bucket scan entirely while nothing can seal. Precomputed so the
+	// per-record check is one comparison, not a time.Add.
+	oldestDL time.Time
+	// curBatch/curEnd memoize the bucket the previous record landed in:
+	// consecutive records usually share a bucket, and hitting the memo
+	// skips the Truncate and both map lookups. Invalidated whenever any
+	// bucket seals (the memoized one may be among them).
+	curBatch *StepBatch
+	curEnd   time.Time
+
+	// sealed is the reused result buffer for Add and Flush; its contents
+	// are valid until the next Add or Flush call.
+	sealed []StepBatch
+	// Free-lists for sealed-batch storage, refilled by Recycle.
+	freeBatches []*StepBatch
+	freeMaps    []map[netip.Addr][]Record
+	freeRecs    [][]Record
+	poolHits    uint64
+	poolMisses  uint64
 }
 
 // StepBatch is one sealed aggregation step.
@@ -40,49 +66,192 @@ func NewAggregator(step, lateness time.Duration) *Aggregator {
 }
 
 // Add consumes one record and returns any batches its arrival sealed,
-// oldest first.
+// oldest first. The returned slice and the batches it holds are owned by
+// the aggregator and remain valid only until the next Add or Flush call;
+// consume them (and Recycle their storage) before adding more records.
 func (a *Aggregator) Add(r Record) []StepBatch {
+	return a.add(&r)
+}
+
+// AddBatch adds recs in order, invoking emit for every non-empty sealed
+// set as it appears. Unlike a loop over Add, records are consumed through
+// pointers — no per-call copy of the (large) Record struct — which is
+// measurable at ingest-pipeline rates. The emitted batches follow Add's
+// ownership rules: consume (and Recycle) inside emit.
+func (a *Aggregator) AddBatch(recs []Record, emit func([]StepBatch)) {
+	for i := range recs {
+		if sealed := a.add(&recs[i]); len(sealed) > 0 {
+			emit(sealed)
+		}
+	}
+}
+
+func (a *Aggregator) add(r *Record) []StepBatch {
+	b := a.curBatch
+	if b == nil || r.Start.Before(b.Start) || !r.Start.Before(a.curEnd) {
+		var sealed []StepBatch
+		b, sealed = a.lookupBucket(r)
+		if b == nil {
+			return sealed
+		}
+	}
+	lst, ok := b.ByDst[r.Dst]
+	if !ok {
+		lst = a.newRecSlice()
+	}
+	b.ByDst[r.Dst] = append(lst, *r)
+	return a.advance(r.Start)
+}
+
+// lookupBucket resolves (creating if needed) the bucket for r on a memo
+// miss, or drops r as late (nil bucket, returning the sealed batches its
+// watermark advance produced).
+func (a *Aggregator) lookupBucket(r *Record) (*StepBatch, []StepBatch) {
 	bucketStart := r.Start.Truncate(a.Step)
 	if !a.watermark.IsZero() && bucketStart.Add(a.Step+a.Lateness).Before(a.watermark) {
 		a.dropped++
-		return a.advance(r.Start)
+		return nil, a.advance(r.Start)
 	}
 	key := bucketStart.UnixNano()
 	b := a.buckets[key]
 	if b == nil {
-		b = &StepBatch{Start: bucketStart, ByDst: make(map[netip.Addr][]Record)}
+		b = a.newBatch(bucketStart)
 		a.buckets[key] = b
+		dl := bucketStart.Add(a.Step + a.Lateness)
+		if a.oldestDL.IsZero() || dl.Before(a.oldestDL) {
+			a.oldestDL = dl
+		}
 	}
-	b.ByDst[r.Dst] = append(b.ByDst[r.Dst], r)
-	return a.advance(r.Start)
+	a.curBatch, a.curEnd = b, bucketStart.Add(a.Step)
+	return b, nil
 }
 
-// advance moves the watermark and seals ripe buckets.
+// newBatch takes a batch box and map from the free-lists, or allocates.
+func (a *Aggregator) newBatch(start time.Time) *StepBatch {
+	var b *StepBatch
+	if n := len(a.freeBatches); n > 0 {
+		b = a.freeBatches[n-1]
+		a.freeBatches = a.freeBatches[:n-1]
+	} else {
+		b = new(StepBatch)
+	}
+	b.Start = start
+	if n := len(a.freeMaps); n > 0 {
+		b.ByDst = a.freeMaps[n-1]
+		a.freeMaps = a.freeMaps[:n-1]
+		a.poolHits++
+	} else {
+		b.ByDst = make(map[netip.Addr][]Record)
+		a.poolMisses++
+	}
+	return b
+}
+
+// newRecSlice takes an empty record slice with warmed capacity from the
+// free-list, or returns nil (append will allocate).
+func (a *Aggregator) newRecSlice() []Record {
+	if n := len(a.freeRecs); n > 0 {
+		s := a.freeRecs[n-1]
+		a.freeRecs = a.freeRecs[:n-1]
+		a.poolHits++
+		return s
+	}
+	a.poolMisses++
+	return nil
+}
+
+// advance moves the watermark and seals ripe buckets into the reused
+// sealed buffer, oldest first.
 func (a *Aggregator) advance(eventTime time.Time) []StepBatch {
 	if eventTime.After(a.watermark) {
 		a.watermark = eventTime
 	}
-	var sealed []StepBatch
+	a.sealed = a.sealed[:0]
+	// Fast path: nothing can seal until the watermark passes the oldest
+	// open bucket's deadline, so the per-record common case is one time
+	// comparison, not a map scan.
+	if a.oldestDL.IsZero() || !a.oldestDL.Before(a.watermark) {
+		return a.sealed
+	}
+	a.oldestDL = time.Time{}
+	a.curBatch = nil // the memoized bucket may be among the sealed
 	for key, b := range a.buckets {
-		if b.Start.Add(a.Step + a.Lateness).Before(a.watermark) {
-			sealed = append(sealed, *b)
+		dl := b.Start.Add(a.Step + a.Lateness)
+		if dl.Before(a.watermark) {
+			a.seal(b)
 			delete(a.buckets, key)
+		} else if a.oldestDL.IsZero() || dl.Before(a.oldestDL) {
+			a.oldestDL = dl
 		}
 	}
-	sort.Slice(sealed, func(i, j int) bool { return sealed[i].Start.Before(sealed[j].Start) })
-	return sealed
+	sortBatchesByStart(a.sealed)
+	return a.sealed
 }
 
-// Flush seals and returns every pending bucket, oldest first.
+// seal moves a bucket's contents into the sealed buffer and returns the
+// empty box to the free-list (its map now belongs to the sealed value).
+func (a *Aggregator) seal(b *StepBatch) {
+	a.sealed = append(a.sealed, *b)
+	b.ByDst = nil
+	a.freeBatches = append(a.freeBatches, b)
+}
+
+// Flush seals and returns every pending bucket, oldest first. Like Add,
+// the returned slice is valid only until the next Add or Flush call.
 func (a *Aggregator) Flush() []StepBatch {
-	out := make([]StepBatch, 0, len(a.buckets))
+	a.sealed = a.sealed[:0]
+	a.oldestDL = time.Time{}
+	a.curBatch = nil
 	for key, b := range a.buckets {
-		out = append(out, *b)
+		a.seal(b)
 		delete(a.buckets, key)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
-	return out
+	sortBatchesByStart(a.sealed)
+	return a.sealed
+}
+
+// sortBatchesByStart orders sealed batches oldest first. Map iteration
+// hands them over in random order, so without this sort flushed steps
+// would replay out of sequence. Insertion sort: the sealed set per call is
+// tiny (usually 0 or 1) and this keeps the hot path allocation-free where
+// sort.Slice would allocate its closure.
+func sortBatchesByStart(bs []StepBatch) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Start.Before(bs[j-1].Start); j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+// Recycle returns a consumed batch's storage — the ByDst map and every
+// per-destination record slice — to the aggregator's free-lists. Call it
+// once per sealed batch after the batch's records are fully consumed; the
+// caller must not retain the map or any record slice afterwards.
+func (a *Aggregator) Recycle(b StepBatch) {
+	if b.ByDst == nil {
+		return
+	}
+	for dst, recs := range b.ByDst {
+		a.freeRecs = append(a.freeRecs, recs[:0])
+		delete(b.ByDst, dst)
+	}
+	a.freeMaps = append(a.freeMaps, b.ByDst)
+}
+
+// RecycleShell is Recycle for hand-off consumers: the ByDst map returns to
+// the free-list but the per-destination record slices stay with whoever
+// the batch's records were handed to (e.g. an engine mailbox).
+func (a *Aggregator) RecycleShell(b StepBatch) {
+	if b.ByDst == nil {
+		return
+	}
+	clear(b.ByDst)
+	a.freeMaps = append(a.freeMaps, b.ByDst)
 }
 
 // Dropped reports records discarded for arriving later than the allowance.
 func (a *Aggregator) Dropped() uint64 { return a.dropped }
+
+// PoolStats reports free-list hits and misses for sealed-batch storage
+// (maps and record slices). A warmed-up steady state shows hits only.
+func (a *Aggregator) PoolStats() (hits, misses uint64) { return a.poolHits, a.poolMisses }

@@ -93,3 +93,113 @@ func TestAggregatorFlushEmpty(t *testing.T) {
 		t.Fatalf("empty flush = %v", got)
 	}
 }
+
+// TestAggregatorFlushDeterministicOrder pins that sealed batches come out
+// oldest-first from both Flush and watermark-driven sealing, regardless of
+// map iteration order: many buckets are opened in shuffled order, and every
+// seal must yield a Start-sorted sequence.
+func TestAggregatorFlushDeterministicOrder(t *testing.T) {
+	d := netip.MustParseAddr("23.1.1.1")
+	perm := []int{7, 2, 9, 0, 5, 3, 8, 1, 6, 4}
+	a := NewAggregator(time.Minute, time.Hour) // generous lateness: nothing seals early
+	for _, m := range perm {
+		a.Add(aggRec(d, aggBase.Add(time.Duration(m)*time.Minute), 1))
+	}
+	out := a.Flush()
+	if len(out) != len(perm) {
+		t.Fatalf("flushed %d buckets, want %d", len(out), len(perm))
+	}
+	for i, b := range out {
+		if want := aggBase.Add(time.Duration(i) * time.Minute); !b.Start.Equal(want) {
+			t.Fatalf("flush order broken at %d: got %v, want %v", i, b.Start, want)
+		}
+	}
+
+	// Watermark-driven sealing (advance) must come out sorted too: open
+	// several buckets within the lateness allowance, then jump the
+	// watermark far ahead so they all seal in one Add.
+	a2 := NewAggregator(time.Minute, 10*time.Minute)
+	for _, m := range perm {
+		a2.Add(aggRec(d, aggBase.Add(time.Duration(m)*time.Minute), 1))
+	}
+	sealed := a2.Add(aggRec(d, aggBase.Add(2*time.Hour), 1))
+	if len(sealed) != len(perm) {
+		t.Fatalf("sealed %d buckets, want %d", len(sealed), len(perm))
+	}
+	for i := 1; i < len(sealed); i++ {
+		if sealed[i].Start.Before(sealed[i-1].Start) {
+			t.Fatalf("advance order broken at %d: %v after %v", i, sealed[i].Start, sealed[i-1].Start)
+		}
+	}
+}
+
+// TestAggregatorRecycle verifies the free-lists: recycled storage is
+// reused (pool hits), handed-back slices are emptied, and RecycleShell
+// leaves record slices with the caller.
+func TestAggregatorRecycle(t *testing.T) {
+	d := netip.MustParseAddr("23.1.1.1")
+	a := NewAggregator(time.Minute, 0)
+	a.Add(aggRec(d, aggBase, 1))
+	a.Add(aggRec(d, aggBase.Add(10*time.Second), 2))
+	sealed := a.Add(aggRec(d, aggBase.Add(2*time.Minute), 3))
+	if len(sealed) != 1 || len(sealed[0].ByDst[d]) != 2 {
+		t.Fatalf("sealed = %+v", sealed)
+	}
+	recs := sealed[0].ByDst[d]
+	a.Recycle(sealed[0])
+	_, misses0 := a.PoolStats()
+
+	// The next bucket and destination list must come from the free-lists:
+	// no new misses, and the record slice storage is reused.
+	a.Add(aggRec(d, aggBase.Add(5*time.Minute), 4))
+	hits, misses := a.PoolStats()
+	if misses != misses0 {
+		t.Fatalf("recycled add missed the pool: misses %d -> %d", misses0, misses)
+	}
+	if hits == 0 {
+		t.Fatal("expected pool hits after Recycle")
+	}
+	sealed = a.Flush()
+	got := sealed[0].ByDst[d]
+	if len(got) != 1 || got[0].Bytes != 4 {
+		t.Fatalf("recycled bucket contents wrong: %+v", got)
+	}
+	if &recs[:1][0] != &got[0] {
+		t.Fatal("recycled record slice was not reused")
+	}
+
+	// RecycleShell: map returns, records stay valid for the caller.
+	kept := sealed[0].ByDst[d]
+	a.RecycleShell(sealed[0])
+	if kept[0].Bytes != 4 {
+		t.Fatal("RecycleShell must leave handed-off records untouched")
+	}
+}
+
+// TestAggregatorAddAllocFree pins the steady-state allocation contract:
+// once the free-lists are warm, Add (including sealing) allocates nothing.
+func TestAggregatorAddAllocFree(t *testing.T) {
+	dsts := make([]netip.Addr, 8)
+	for i := range dsts {
+		dsts[i] = netip.AddrFrom4([4]byte{23, 1, 1, byte(i + 1)})
+	}
+	a := NewAggregator(time.Minute, 0)
+	step := 0
+	feed := func() {
+		at := aggBase.Add(time.Duration(step) * time.Minute)
+		step++
+		for _, d := range dsts {
+			for k := 0; k < 4; k++ {
+				for _, b := range a.Add(aggRec(d, at.Add(time.Duration(k)*time.Second), 100)) {
+					a.Recycle(b)
+				}
+			}
+		}
+	}
+	for i := 0; i < 16; i++ { // warm the free-lists
+		feed()
+	}
+	if allocs := testing.AllocsPerRun(100, feed); allocs != 0 {
+		t.Fatalf("steady-state Add allocs/op = %v, want 0", allocs)
+	}
+}

@@ -1,0 +1,127 @@
+package netflow
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// mkTestPacket encodes nrecs records destined to distinct customers into
+// one v5 datagram with the given flow sequence.
+func mkTestPacket(t testing.TB, nrecs int, seq uint32) []byte {
+	t.Helper()
+	boot := time.Date(2019, 4, 24, 0, 0, 0, 0, time.UTC)
+	now := boot.Add(time.Hour)
+	recs := make([]Record, nrecs)
+	for i := range recs {
+		recs[i] = Record{
+			Src:     netip.AddrFrom4([4]byte{11, 0, byte(i >> 8), byte(i)}),
+			Dst:     netip.AddrFrom4([4]byte{23, 0, 0, byte(i%8 + 1)}),
+			SrcPort: 53, DstPort: 4444, Proto: ProtoUDP,
+			Packets: 10, Bytes: 640,
+			Start: boot.Add(30 * time.Minute), End: boot.Add(31 * time.Minute),
+		}
+	}
+	pkt, err := EncodeV5(recs, boot, now, seq, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+// TestHandlePacketAllocFree is the regression pin for the per-datagram
+// source-key and decode allocations: after warm-up, HandlePacket on the
+// per-record compatibility path allocates nothing — no fmt.Sprintf key, no
+// fresh record slice.
+func TestHandlePacketAllocFree(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.pc.Close()
+	pkt := mkTestPacket(t, 10, 0)
+	seq := uint32(0)
+	drain := func() {
+		for {
+			select {
+			case <-col.Records():
+			default:
+				return
+			}
+		}
+	}
+	feed := func() {
+		// Rewrite the flow sequence in place so tracking stays in order.
+		pkt[16], pkt[17], pkt[18], pkt[19] = byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq)
+		col.HandlePacket("198.51.100.9:2055", pkt)
+		seq += 10
+		drain()
+	}
+	for i := 0; i < 8; i++ {
+		feed()
+	}
+	if allocs := testing.AllocsPerRun(100, feed); allocs != 0 {
+		t.Fatalf("HandlePacket allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestCollectorBatched exercises the batched handoff mode: chunks arrive
+// one per datagram, recycled chunks are reused, and the steady state is
+// allocation-free end to end (HandlePacket + consume + RecycleBatch).
+func TestCollectorBatched(t *testing.T) {
+	col, err := NewCollectorBatched("127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.pc.Close()
+	if col.Records() != nil {
+		t.Fatal("batched collector must not expose a per-record channel")
+	}
+	pkt := mkTestPacket(t, 10, 0)
+	col.HandlePacket("198.51.100.9:2055", pkt)
+	var batch []Record
+	select {
+	case batch = <-col.Batches():
+	default:
+		t.Fatal("no batch delivered")
+	}
+	if len(batch) != 10 {
+		t.Fatalf("batch size = %d, want 10", len(batch))
+	}
+	st := col.FullStats()
+	if st.Records != 10 || st.Packets != 1 || st.Shed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	col.RecycleBatch(batch)
+
+	seq := uint32(10)
+	feed := func() {
+		pkt[16], pkt[17], pkt[18], pkt[19] = byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq)
+		col.HandlePacket("198.51.100.9:2055", pkt)
+		seq += 10
+		col.RecycleBatch(<-col.Batches())
+	}
+	for i := 0; i < 8; i++ {
+		feed()
+	}
+	if allocs := testing.AllocsPerRun(100, feed); allocs != 0 {
+		t.Fatalf("batched HandlePacket allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestCollectorBatchedShedsWholeChunks pins the overflow behavior of the
+// batched channel: a full consumer sheds whole datagrams, counted per
+// record, without blocking the reader.
+func TestCollectorBatchedShedsWholeChunks(t *testing.T) {
+	col, err := NewCollectorBatched("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.pc.Close()
+	col.HandlePacket("s:1", mkTestPacket(t, 5, 0))
+	col.HandlePacket("s:1", mkTestPacket(t, 7, 5)) // channel full: shed
+	st := col.FullStats()
+	if st.Records != 5 || st.Shed != 7 {
+		t.Fatalf("delivered/shed = %d/%d, want 5/7", st.Records, st.Shed)
+	}
+}

@@ -32,6 +32,45 @@ func FuzzDecodeV5(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
 		h, recs, err := DecodeV5(pkt)
+
+		// The Into variant must agree with DecodeV5 bit for bit — same
+		// header, same records, same accept/reject decision — whether the
+		// caller's slice is nil, generously sized, or too small to hold
+		// even one record (forcing append growth). It must never touch the
+		// caller's backing array past the capacity it was handed.
+		backing := make([]Record, 4, 36)
+		sentinel := Record{SrcPort: 0xDEAD, DstPort: 0xBEEF}
+		for i := range backing {
+			backing[i] = sentinel
+		}
+		for _, into := range [][]Record{nil, make([]Record, 0, MaxRecordsPerPacket), backing[:0:2]} {
+			h2, recs2, err2 := DecodeV5Into(pkt, into)
+			if (err == nil) != (err2 == nil) {
+				t.Fatalf("DecodeV5 err=%v, DecodeV5Into err=%v", err, err2)
+			}
+			if err != nil {
+				continue
+			}
+			if h2 != h {
+				t.Fatalf("header mismatch: %+v vs %+v", h, h2)
+			}
+			if len(recs2) != len(recs) {
+				t.Fatalf("record count mismatch: %d vs %d", len(recs), len(recs2))
+			}
+			for i := range recs {
+				if recs[i] != recs2[i] {
+					t.Fatalf("record %d mismatch:\n  %+v\n  %+v", i, recs[i], recs2[i])
+				}
+			}
+		}
+		// Capacity-2 slice: positions 2 and 3 of the original backing array
+		// lie beyond the handed-over capacity and must be untouched.
+		for i := 2; i < 4; i++ {
+			if backing[i] != sentinel {
+				t.Fatalf("DecodeV5Into wrote past the provided slice at %d", i)
+			}
+		}
+
 		if err != nil {
 			return
 		}

@@ -8,6 +8,7 @@ package netflow
 import (
 	"fmt"
 	"net/netip"
+	"slices"
 	"time"
 )
 
@@ -79,4 +80,62 @@ func (r *Record) Validate() error {
 		return fmt.Errorf("netflow: flow ends before it starts")
 	}
 	return nil
+}
+
+// CompareRecords is a total order over all record fields (timestamps
+// first, then the flow 5-tuple, then counters): the canonical in-bucket
+// order the ingest pipeline sorts by before feature extraction, so float
+// accumulation order — and therefore the extracted vectors, bit for bit —
+// does not depend on how records interleaved across workers.
+func CompareRecords(a, b Record) int {
+	if c := a.Start.Compare(b.Start); c != 0 {
+		return c
+	}
+	if c := a.End.Compare(b.End); c != 0 {
+		return c
+	}
+	if c := a.Src.Compare(b.Src); c != 0 {
+		return c
+	}
+	if c := a.Dst.Compare(b.Dst); c != 0 {
+		return c
+	}
+	if c := cmpU64(uint64(a.SrcPort), uint64(b.SrcPort)); c != 0 {
+		return c
+	}
+	if c := cmpU64(uint64(a.DstPort), uint64(b.DstPort)); c != 0 {
+		return c
+	}
+	if c := cmpU64(uint64(a.Proto), uint64(b.Proto)); c != 0 {
+		return c
+	}
+	if c := cmpU64(uint64(a.TCPFlags), uint64(b.TCPFlags)); c != 0 {
+		return c
+	}
+	if c := cmpU64(uint64(a.Packets), uint64(b.Packets)); c != 0 {
+		return c
+	}
+	if c := cmpU64(uint64(a.Bytes), uint64(b.Bytes)); c != 0 {
+		return c
+	}
+	if c := cmpU64(uint64(a.SrcAS), uint64(b.SrcAS)); c != 0 {
+		return c
+	}
+	return cmpU64(uint64(a.DstAS), uint64(b.DstAS))
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// SortRecordsCanonical sorts recs by CompareRecords in place without
+// allocating.
+func SortRecordsCanonical(recs []Record) {
+	slices.SortFunc(recs, CompareRecords)
 }

@@ -7,7 +7,9 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/xatu-go/xatu/internal/telemetry"
@@ -36,6 +38,16 @@ type ExporterConfig struct {
 	// Dial opens the collector socket; nil dials UDP to Addr. Tests inject
 	// chaos conns here.
 	Dial func() (net.Conn, error)
+	// BootTime, when set, anchors the v5 uptime clock at a fixed instant
+	// and runs the exporter entirely on the record clock: the datagram
+	// header's wall clock tracks the latest flow End exported instead of
+	// time.Now(), so decoded records recover their original timestamps.
+	// Use this when exporting simulated or replayed flows to an event-time
+	// consumer (e.g. the ingest pipeline); BootTime must precede every
+	// record's Start by less than the uptime clock's ~49-day range. Zero
+	// keeps the default live behavior (boot ≈ one minute before
+	// construction, flow times clamped into the wall-clock epoch).
+	BootTime time.Time
 }
 
 // ExporterStats counts the exporter's fault-handling activity.
@@ -56,6 +68,7 @@ type ExporterStats struct {
 type Exporter struct {
 	dial     func() (net.Conn, error)
 	bootTime time.Time
+	simClock bool // record-clock mode: header clock follows flow times, not time.Now
 	sampling uint16
 
 	mu          sync.Mutex
@@ -68,6 +81,7 @@ type Exporter struct {
 	maxBackoff  time.Duration
 	backoff     time.Duration // next reconnect delay
 	downUntil   time.Time     // no send attempts before this instant
+	hdrClock    time.Time     // record-clock mode: latest flow End exported (monotone)
 	stats       ExporterStats
 }
 
@@ -99,10 +113,17 @@ func NewExporterWithConfig(cfg ExporterConfig) (*Exporter, error) {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 5 * time.Second
 	}
+	bootTime := cfg.BootTime
+	simClock := !bootTime.IsZero()
+	if !simClock {
+		bootTime = time.Now().Add(-time.Minute) // pretend the router booted a minute ago
+	}
 	return &Exporter{
 		dial:        dial,
 		conn:        conn,
-		bootTime:    time.Now().Add(-time.Minute), // pretend the router booted a minute ago
+		bootTime:    bootTime,
+		simClock:    simClock,
+		hdrClock:    bootTime,
 		sampling:    cfg.Sampling,
 		maxPending:  cfg.MaxPending,
 		baseBackoff: cfg.BaseBackoff,
@@ -157,7 +178,10 @@ func (e *Exporter) flushLocked() error {
 			n = MaxRecordsPerPacket
 		}
 		// Clamp flow timestamps into the exporter's uptime epoch; simulated
-		// flows may carry synthetic wall-clock times predating bootTime.
+		// flows may carry synthetic wall-clock times predating bootTime. In
+		// record-clock mode there is no wall clamp — the header clock instead
+		// follows the latest flow End (kept monotone across datagrams), so
+		// decoded records recover their original timestamps.
 		now := time.Now()
 		batch := make([]Record, n)
 		copy(batch, e.pending[:n])
@@ -167,12 +191,21 @@ func (e *Exporter) flushLocked() error {
 				batch[i].Start = e.bootTime
 				batch[i].End = e.bootTime.Add(d)
 			}
+			if e.simClock {
+				if batch[i].End.After(e.hdrClock) {
+					e.hdrClock = batch[i].End
+				}
+				continue
+			}
 			if batch[i].End.After(now) {
 				batch[i].End = now
 				if batch[i].Start.After(now) {
 					batch[i].Start = now
 				}
 			}
+		}
+		if e.simClock {
+			now = e.hdrClock
 		}
 		pkt, err := EncodeV5(batch, e.bootTime, now, e.seq, e.sampling)
 		if err != nil {
@@ -336,6 +369,95 @@ type exporterState struct {
 	seenAt int
 }
 
+// seqCounters is the loss-accounting slice of CollectorStats that sequence
+// tracking mutates; both the Collector (under its mutex) and the ingest
+// pipeline's per-worker trackers (lock-free, single-writer) feed one.
+type seqCounters struct {
+	DupPackets       uint64
+	ReorderedPackets uint64
+	LostRecords      uint64
+}
+
+// track runs v5 sequence-gap accounting for one datagram carrying nrecs
+// records and reports whether it is a duplicate to drop. Signed distance
+// handles sequence wraparound at 2^32.
+func (st *exporterState) track(flowSeq uint32, nrecs int, c *seqCounters) (drop bool) {
+	if !st.inited {
+		st.inited = true
+		st.next = flowSeq + uint32(nrecs)
+		st.remember(flowSeq)
+		return false
+	}
+	switch diff := int32(flowSeq - st.next); {
+	case diff == 0: // in order
+		st.next += uint32(nrecs)
+		st.remember(flowSeq)
+	case diff > 0: // gap: diff records never arrived (so far)
+		c.LostRecords += uint64(diff)
+		st.next = flowSeq + uint32(nrecs)
+		st.remember(flowSeq)
+	default: // datagram from the past
+		if st.recentlySeen(flowSeq) {
+			c.DupPackets++
+			return true
+		}
+		// Late arrival of a datagram we charged as lost: deliver it and
+		// refund the gap accounting.
+		c.ReorderedPackets++
+		if n := uint64(nrecs); n <= c.LostRecords {
+			c.LostRecords -= n
+		} else {
+			c.LostRecords = 0
+		}
+		st.remember(flowSeq)
+	}
+	return false
+}
+
+// SeqTracker runs the Collector's per-exporter v5 sequence accounting for
+// a single-threaded consumer that holds its own state — one ingest decode
+// worker owns all packets of its hashed sources, so tracking needs no
+// lock. Not safe for concurrent use.
+type SeqTracker struct {
+	src map[sourceKey]*exporterState
+	c   seqCounters
+}
+
+// NewSeqTracker returns an empty tracker.
+func NewSeqTracker() *SeqTracker {
+	return &SeqTracker{src: make(map[sourceKey]*exporterState)}
+}
+
+// Track accounts one datagram from src carrying nrecs records under header
+// h and reports whether it is a duplicate to drop. Loss, duplication, and
+// reorder totals accumulate internally (see Counters).
+func (t *SeqTracker) Track(src string, h Header, nrecs int) (drop bool) {
+	key := sourceKey{src: src, engineType: h.EngineType, engineID: h.EngineID}
+	st := t.src[key]
+	if st == nil {
+		st = &exporterState{}
+		t.src[key] = st
+	}
+	return st.track(h.FlowSequence, nrecs, &t.c)
+}
+
+// Counters reports the tracker's running loss-accounting totals.
+func (t *SeqTracker) Counters() (dupPackets, reorderedPackets, lostRecords uint64) {
+	return t.c.DupPackets, t.c.ReorderedPackets, t.c.LostRecords
+}
+
+// Exporters reports the distinct (source, engine) streams observed.
+func (t *SeqTracker) Exporters() int { return len(t.src) }
+
+// sourceKey identifies one (source, engine) export stream without the
+// fmt.Sprintf of old: an equality-comparable struct key allocates nothing
+// on the per-datagram lookup path.
+type sourceKey struct {
+	src        string
+	engineType uint8
+	engineID   uint8
+}
+
 func (s *exporterState) remember(seq uint32) {
 	s.seen[s.seenAt] = seq
 	s.seenAt = (s.seenAt + 1) % seenRingSize
@@ -357,13 +479,29 @@ func (s *exporterState) recentlySeen(seq uint32) bool {
 // on a channel, the shape Xatu's online detector consumes. It tracks v5
 // sequence numbers per exporter stream, so upstream loss, duplication and
 // reordering are separately counted and queryable via FullStats.
+//
+// A collector built with NewCollectorBatched delivers []Record chunks on
+// Batches() instead — one channel operation per datagram rather than one
+// per record — with chunk storage pooled via RecycleBatch. The per-record
+// Records() channel remains the compatibility path.
 type Collector struct {
-	pc  net.PacketConn
-	out chan Record
+	pc   net.PacketConn
+	out  chan Record   // per-record mode (nil in batched mode)
+	outB chan []Record // batched mode (nil in per-record mode)
+
+	// chunkFree is the pool of record chunks for decode scratch and the
+	// batched handoff: a locked free-list rather than sync.Pool because
+	// returning a raw []Record to a sync.Pool would box a fresh slice
+	// header on every Put, defeating the allocation-free steady state.
+	chunkMu   sync.Mutex
+	chunkFree [][]Record
+
+	delivered atomic.Uint64 // records delivered to the consumer
+	shed      atomic.Uint64 // records dropped: consumer fell behind
 
 	mu    sync.Mutex
 	stats CollectorStats
-	src   map[string]*exporterState
+	src   map[sourceKey]*exporterState
 }
 
 // NewCollector binds a UDP listener on addr (use "127.0.0.1:0" for an
@@ -378,7 +516,24 @@ func NewCollector(addr string, bufSize int) (*Collector, error) {
 	return &Collector{
 		pc:  pc,
 		out: make(chan Record, bufSize),
-		src: make(map[string]*exporterState),
+		src: make(map[sourceKey]*exporterState),
+	}, nil
+}
+
+// NewCollectorBatched binds a UDP listener whose output is whole decoded
+// datagrams: Batches() delivers []Record chunks (up to MaxRecordsPerPacket
+// each), and the consumer returns chunk storage with RecycleBatch. bufSize
+// is the batch-channel capacity; whole chunks are shed (counted per
+// record) when the consumer falls behind.
+func NewCollectorBatched(addr string, bufSize int) (*Collector, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: binding collector: %w", err)
+	}
+	return &Collector{
+		pc:   pc,
+		outB: make(chan []Record, bufSize),
+		src:  make(map[sourceKey]*exporterState),
 	}, nil
 }
 
@@ -386,43 +541,108 @@ func NewCollector(addr string, bufSize int) (*Collector, error) {
 func (c *Collector) Addr() string { return c.pc.LocalAddr().String() }
 
 // Records is the stream of decoded flow records. It is closed when Run
-// returns.
+// returns. Nil for a batched collector.
 func (c *Collector) Records() <-chan Record { return c.out }
 
+// Batches is the stream of decoded datagram record chunks of a collector
+// built with NewCollectorBatched; it is closed when Run returns. Pass each
+// consumed chunk to RecycleBatch to keep the steady state allocation-free.
+func (c *Collector) Batches() <-chan []Record { return c.outB }
+
+// RecycleBatch returns a chunk received from Batches to the collector's
+// pool. The caller must not retain the slice afterwards.
+func (c *Collector) RecycleBatch(b []Record) {
+	if cap(b) == 0 {
+		return
+	}
+	c.chunkMu.Lock()
+	c.chunkFree = append(c.chunkFree, b[:0])
+	c.chunkMu.Unlock()
+}
+
+// getChunk takes a pooled record chunk, or allocates one.
+func (c *Collector) getChunk() []Record {
+	c.chunkMu.Lock()
+	if n := len(c.chunkFree); n > 0 {
+		b := c.chunkFree[n-1]
+		c.chunkFree = c.chunkFree[:n-1]
+		c.chunkMu.Unlock()
+		return b
+	}
+	c.chunkMu.Unlock()
+	return make([]Record, 0, MaxRecordsPerPacket)
+}
+
 // Run reads datagrams until ctx is canceled or the socket is closed.
-// Malformed packets are counted and skipped.
+// Malformed packets are counted and skipped. Source names are cached per
+// remote address, so the steady-state read loop performs no per-packet
+// string conversion.
 func (c *Collector) Run(ctx context.Context) error {
-	defer close(c.out)
+	if c.out != nil {
+		defer close(c.out)
+	} else {
+		defer close(c.outB)
+	}
 	go func() {
 		<-ctx.Done()
 		c.pc.Close()
 	}()
 	buf := make([]byte, 65535)
+	names := make(map[netip.AddrPort]string) // remote addr -> cached src string
+	udp, _ := c.pc.(*net.UDPConn)
 	for {
-		n, addr, err := c.pc.ReadFrom(buf)
+		var (
+			n   int
+			src string
+			err error
+		)
+		if udp != nil {
+			// Allocation-free receive: netip.AddrPort is a value, and the
+			// name cache amortizes String() to once per distinct source.
+			var ap netip.AddrPort
+			n, ap, err = udp.ReadFromUDPAddrPort(buf)
+			if err == nil {
+				var ok bool
+				if src, ok = names[ap]; !ok {
+					src = ap.String()
+					names[ap] = src
+				}
+			}
+		} else {
+			var addr net.Addr
+			n, addr, err = c.pc.ReadFrom(buf)
+			if err == nil {
+				src = addr.String()
+			}
+		}
 		if err != nil {
 			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return fmt.Errorf("netflow: reading datagram: %w", err)
 		}
-		c.HandlePacket(addr.String(), buf[:n])
+		c.HandlePacket(src, buf[:n])
 	}
 }
 
 // HandlePacket processes one raw datagram attributed to the exporter at
 // src. Run calls it for every UDP read; in-process transports (chaos
 // pipes, replays) may call it directly. It must not be called after the
-// record channel has been closed by a returning Run.
+// record channel has been closed by a returning Run. The hot path is
+// allocation-free at steady state: decode scratch is pooled and the
+// (source, engine) key is an equality-comparable struct, not a formatted
+// string.
 func (c *Collector) HandlePacket(src string, pkt []byte) {
-	h, recs, err := DecodeV5(pkt)
+	chunk := c.getChunk()
+	h, recs, err := DecodeV5Into(pkt, chunk)
 	if err != nil {
+		c.RecycleBatch(recs)
 		c.mu.Lock()
 		c.stats.BadPackets++
 		c.mu.Unlock()
 		return
 	}
-	key := fmt.Sprintf("%s/%d.%d", src, h.EngineType, h.EngineID)
+	key := sourceKey{src: src, engineType: h.EngineType, engineID: h.EngineID}
 
 	c.mu.Lock()
 	c.stats.Packets++
@@ -432,44 +652,35 @@ func (c *Collector) HandlePacket(src string, pkt []byte) {
 		c.src[key] = st
 		c.stats.Exporters = len(c.src)
 	}
-	drop := false
-	switch {
-	case !st.inited:
-		st.inited = true
-		st.next = h.FlowSequence + uint32(len(recs))
-		st.remember(h.FlowSequence)
-	default:
-		// Signed distance handles sequence wraparound at 2^32.
-		switch diff := int32(h.FlowSequence - st.next); {
-		case diff == 0: // in order
-			st.next += uint32(len(recs))
-			st.remember(h.FlowSequence)
-		case diff > 0: // gap: diff records never arrived (so far)
-			c.stats.LostRecords += uint64(diff)
-			st.next = h.FlowSequence + uint32(len(recs))
-			st.remember(h.FlowSequence)
-		default: // datagram from the past
-			if st.recentlySeen(h.FlowSequence) {
-				c.stats.DupPackets++
-				drop = true
-			} else {
-				// Late arrival of a datagram we charged as lost: deliver it
-				// and refund the gap accounting.
-				c.stats.ReorderedPackets++
-				if n := uint64(len(recs)); n <= c.stats.LostRecords {
-					c.stats.LostRecords -= n
-				} else {
-					c.stats.LostRecords = 0
-				}
-				st.remember(h.FlowSequence)
-			}
-		}
+	// track mutates the counters in place (a reorder refunds LostRecords),
+	// so seed it with the running totals and write them back.
+	sc := seqCounters{
+		DupPackets:       c.stats.DupPackets,
+		ReorderedPackets: c.stats.ReorderedPackets,
+		LostRecords:      c.stats.LostRecords,
 	}
+	drop := st.track(h.FlowSequence, len(recs), &sc)
+	c.stats.DupPackets = sc.DupPackets
+	c.stats.ReorderedPackets = sc.ReorderedPackets
+	c.stats.LostRecords = sc.LostRecords
 	c.mu.Unlock()
 	if drop {
+		c.RecycleBatch(recs)
 		return
 	}
 
+	if c.outB != nil {
+		// Batched handoff: one channel op per datagram; ownership of the
+		// chunk moves to the consumer (returned via RecycleBatch).
+		select {
+		case c.outB <- recs:
+			c.delivered.Add(uint64(len(recs)))
+		default:
+			c.shed.Add(uint64(len(recs)))
+			c.RecycleBatch(recs)
+		}
+		return
+	}
 	var delivered, shed uint64
 	for _, r := range recs {
 		select {
@@ -479,25 +690,26 @@ func (c *Collector) HandlePacket(src string, pkt []byte) {
 			shed++
 		}
 	}
-	c.mu.Lock()
-	c.stats.Records += delivered
-	c.stats.Shed += shed
-	c.mu.Unlock()
+	c.delivered.Add(delivered)
+	c.shed.Add(shed)
+	c.RecycleBatch(recs)
 }
 
 // Stats reports shed records and malformed packets seen so far. Kept for
 // backward compatibility; FullStats has the complete breakdown.
 func (c *Collector) Stats() (dropped, badPackets uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats.Shed, c.stats.BadPackets
+	s := c.FullStats()
+	return s.Shed, s.BadPackets
 }
 
 // FullStats returns the complete loss-accounting breakdown.
 func (c *Collector) FullStats() CollectorStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	c.mu.Unlock()
+	s.Records = c.delivered.Load()
+	s.Shed = c.shed.Load()
+	return s
 }
 
 // RegisterMetrics exposes the collector's loss-accounting breakdown on
@@ -508,9 +720,7 @@ func (c *Collector) FullStats() CollectorStats {
 func (c *Collector) RegisterMetrics(reg *telemetry.Registry) {
 	counter := func(get func(CollectorStats) uint64) func() float64 {
 		return func() float64 {
-			c.mu.Lock()
-			defer c.mu.Unlock()
-			return float64(get(c.stats))
+			return float64(get(c.FullStats()))
 		}
 	}
 	reg.CounterFunc("xatu_collector_packets_total",

@@ -73,6 +73,70 @@ func TestExporterCollectorEndToEnd(t *testing.T) {
 	}
 }
 
+// TestExporterRecordClockRoundTrip pins the BootTime (record-clock) mode:
+// simulated flow timestamps far in the past must survive the encode/decode
+// round trip to millisecond precision instead of being clamped into the
+// exporter's wall-clock epoch. Event-time consumers (the ingest pipeline's
+// aggregation workers) seal steps by these timestamps, so clamping would
+// collapse a replayed window into a single bucket.
+func TestExporterRecordClockRoundTrip(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go col.Run(ctx)
+
+	base := time.Date(2019, 7, 3, 12, 0, 0, 0, time.UTC) // nowhere near time.Now()
+	exp, err := NewExporterWithConfig(ExporterConfig{
+		Addr:     col.Addr(),
+		Sampling: 1,
+		BootTime: base.Add(-time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	const total = 40 // spans two datagrams
+	want := make(map[netip.Addr]Record, total)
+	for i := 0; i < total; i++ {
+		start := base.Add(time.Duration(i) * time.Minute)
+		r := Record{
+			Src:     netip.AddrFrom4([4]byte{11, 0, 0, byte(i + 1)}),
+			Dst:     netip.MustParseAddr("23.1.1.1"),
+			SrcPort: uint16(1000 + i), DstPort: 53, Proto: ProtoUDP,
+			Packets: uint32(i + 1), Bytes: uint32((i + 1) * 64),
+			Start: start, End: start.Add(30 * time.Second),
+		}
+		want[r.Src] = r
+		if err := exp.Export(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	timeout := time.After(5 * time.Second)
+	for received := 0; received < total; received++ {
+		select {
+		case got, ok := <-col.Records():
+			if !ok {
+				t.Fatalf("collector closed early after %d records", received)
+			}
+			w := want[got.Src]
+			if !got.Start.Equal(w.Start) || !got.End.Equal(w.End) {
+				t.Fatalf("record %v timestamps clamped: got [%v, %v], want [%v, %v]",
+					got.Src, got.Start, got.End, w.Start, w.End)
+			}
+		case <-timeout:
+			t.Fatalf("timed out after %d/%d records", received, total)
+		}
+	}
+}
+
 func TestCollectorIgnoresGarbageDatagrams(t *testing.T) {
 	col, err := NewCollector("127.0.0.1:0", 16)
 	if err != nil {

@@ -3,6 +3,7 @@ package netflow
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"net/netip"
 	"time"
 )
@@ -48,6 +49,9 @@ func EncodeV5(records []Record, bootTime, now time.Time, flowSeq uint32, samplin
 	if uptime < 0 {
 		return nil, fmt.Errorf("netflow: now precedes bootTime")
 	}
+	if uptime.Milliseconds() > math.MaxUint32 {
+		return nil, fmt.Errorf("netflow: uptime %v overflows the v5 millisecond clock (~49.7 days)", uptime)
+	}
 	buf := make([]byte, v5HeaderLen+v5RecordLen*len(records))
 	be := binary.BigEndian
 	be.PutUint16(buf[0:], v5Version)
@@ -77,6 +81,9 @@ func EncodeV5(records []Record, bootTime, now time.Time, flowSeq uint32, samplin
 		if first < 0 || last < 0 {
 			return nil, fmt.Errorf("netflow: record %d starts before bootTime", i)
 		}
+		if first > math.MaxUint32 || last > math.MaxUint32 {
+			return nil, fmt.Errorf("netflow: record %d overflows the v5 millisecond clock (~49.7 days past bootTime)", i)
+		}
 		be.PutUint32(buf[off+24:], uint32(first))
 		be.PutUint32(buf[off+28:], uint32(last))
 		be.PutUint16(buf[off+32:], r.SrcPort)
@@ -93,14 +100,28 @@ func EncodeV5(records []Record, bootTime, now time.Time, flowSeq uint32, samplin
 }
 
 // DecodeV5 parses a v5 datagram, recovering absolute flow times from the
-// header clock. Malformed input returns an error; it never panics.
+// header clock. Malformed input returns an error; it never panics. It
+// allocates a fresh record slice per call; hot paths that reuse storage
+// should call DecodeV5Into.
 func DecodeV5(pkt []byte) (Header, []Record, error) {
+	return DecodeV5Into(pkt, nil)
+}
+
+// DecodeV5Into parses a v5 datagram like DecodeV5, but appends the decoded
+// records to recs[:0] and returns the result, so a caller-owned slice with
+// capacity MaxRecordsPerPacket makes steady-state decoding allocation-free.
+// The returned slice aliases recs when its capacity suffices (growth goes
+// through append, so the provided backing array is never overrun). On error
+// the returned slice is recs[:0] with unspecified contents past its length;
+// the caller's records are never partially delivered.
+func DecodeV5Into(pkt []byte, recs []Record) (Header, []Record, error) {
+	recs = recs[:0]
 	if len(pkt) < v5HeaderLen {
-		return Header{}, nil, fmt.Errorf("netflow: packet too short for header: %d bytes", len(pkt))
+		return Header{}, recs, fmt.Errorf("netflow: packet too short for header: %d bytes", len(pkt))
 	}
 	be := binary.BigEndian
 	if v := be.Uint16(pkt[0:]); v != v5Version {
-		return Header{}, nil, fmt.Errorf("netflow: unsupported version %d", v)
+		return Header{}, recs, fmt.Errorf("netflow: unsupported version %d", v)
 	}
 	h := Header{
 		Count:            be.Uint16(pkt[2:]),
@@ -112,15 +133,14 @@ func DecodeV5(pkt []byte) (Header, []Record, error) {
 		SamplingInterval: be.Uint16(pkt[22:]) & 0x3FFF,
 	}
 	if h.Count == 0 || h.Count > v5MaxRecords {
-		return Header{}, nil, fmt.Errorf("netflow: implausible record count %d", h.Count)
+		return Header{}, recs, fmt.Errorf("netflow: implausible record count %d", h.Count)
 	}
 	want := v5HeaderLen + int(h.Count)*v5RecordLen
 	if len(pkt) < want {
-		return Header{}, nil, fmt.Errorf("netflow: truncated packet: have %d bytes, header claims %d", len(pkt), want)
+		return Header{}, recs, fmt.Errorf("netflow: truncated packet: have %d bytes, header claims %d", len(pkt), want)
 	}
 	// bootTime = headerWallClock − sysUptime
 	boot := h.UnixTime.Add(-time.Duration(h.SysUptime) * time.Millisecond)
-	records := make([]Record, h.Count)
 	for i := 0; i < int(h.Count); i++ {
 		off := v5HeaderLen + i*v5RecordLen
 		var src, dst [4]byte
@@ -141,9 +161,9 @@ func DecodeV5(pkt []byte) (Header, []Record, error) {
 			DstAS:    be.Uint16(pkt[off+42:]),
 		}
 		if err := r.Validate(); err != nil {
-			return Header{}, nil, fmt.Errorf("netflow: record %d: %w", i, err)
+			return Header{}, recs[:0], fmt.Errorf("netflow: record %d: %w", i, err)
 		}
-		records[i] = r
+		recs = append(recs, r)
 	}
-	return h, records, nil
+	return h, recs, nil
 }

@@ -209,3 +209,86 @@ func TestProtoString(t *testing.T) {
 		t.Fatal("unnamed protocol formatting")
 	}
 }
+
+// TestDecodeV5IntoDifferential drives DecodeV5 and DecodeV5Into over valid
+// packets of every record count, byte-mutated variants of them, and pure
+// random noise, asserting the two decoders agree exactly (accept/reject,
+// header, records) and that a reused caller slice makes the Into variant
+// allocation-free.
+func TestDecodeV5IntoDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	randRec := func() Record {
+		start := boot.Add(time.Duration(rng.Intn(500)) * time.Second)
+		return Record{
+			Src:     netip.AddrFrom4([4]byte{11, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}),
+			Dst:     netip.AddrFrom4([4]byte{23, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}),
+			SrcPort: uint16(rng.Intn(1 << 16)), DstPort: uint16(rng.Intn(1 << 16)),
+			Proto: Proto(rng.Intn(256)), TCPFlags: uint8(rng.Intn(64)),
+			Packets: uint32(1 + rng.Intn(1e6)), Bytes: uint32(rng.Intn(1e9)),
+			Start: start, End: start.Add(time.Duration(rng.Intn(300)) * time.Second),
+			SrcAS: uint16(rng.Intn(1 << 16)), DstAS: uint16(rng.Intn(1 << 16)),
+		}
+	}
+	check := func(pkt []byte, scratch []Record) []Record {
+		t.Helper()
+		h1, r1, err1 := DecodeV5(pkt)
+		h2, r2, err2 := DecodeV5Into(pkt, scratch)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("decoders disagree: DecodeV5=%v DecodeV5Into=%v", err1, err2)
+		}
+		if err1 != nil {
+			return r2
+		}
+		if h1 != h2 || len(r1) != len(r2) {
+			t.Fatalf("decoded shape mismatch: %+v/%d vs %+v/%d", h1, len(r1), h2, len(r2))
+		}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("record %d mismatch:\n  %+v\n  %+v", i, r1[i], r2[i])
+			}
+		}
+		return r2
+	}
+
+	scratch := make([]Record, 0, MaxRecordsPerPacket)
+	for n := 1; n <= MaxRecordsPerPacket; n++ {
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randRec()
+		}
+		pkt, err := EncodeV5(recs, boot, now, uint32(rng.Uint64()), uint16(rng.Intn(1<<14)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = check(pkt, scratch)
+
+		// Mutations: truncations and random byte flips.
+		scratch = check(pkt[:rng.Intn(len(pkt))], scratch)
+		mut := append([]byte(nil), pkt...)
+		for k := 0; k < 4; k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		scratch = check(mut, scratch)
+	}
+	for i := 0; i < 500; i++ {
+		noise := make([]byte, rng.Intn(400))
+		rng.Read(noise)
+		scratch = check(noise, scratch)
+	}
+
+	// Steady state: decoding into a warm caller-owned slice allocates nothing.
+	pkt, err := EncodeV5([]Record{sampleRecord()}, boot, now, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, out, err := DecodeV5Into(pkt, scratch); err != nil {
+			t.Fatal(err)
+		} else {
+			scratch = out
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeV5Into allocs/op = %v, want 0", allocs)
+	}
+}

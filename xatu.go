@@ -24,6 +24,7 @@ import (
 	"github.com/xatu-go/xatu/internal/ddos"
 	"github.com/xatu-go/xatu/internal/eval"
 	"github.com/xatu-go/xatu/internal/features"
+	"github.com/xatu-go/xatu/internal/ingest"
 	"github.com/xatu-go/xatu/internal/metrics"
 	"github.com/xatu-go/xatu/internal/netflow"
 	"github.com/xatu-go/xatu/internal/routing"
@@ -205,6 +206,23 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return eval.New(cfg) }
 
 // NewMLContext trains Xatu and the RF baseline over the pipeline.
 func NewMLContext(p *Pipeline) (*MLContext, error) { return eval.NewMLContext(p) }
+
+// Parallel ingest (packet → records → step batches → features → engine).
+type (
+	// IngestPipeline is the parallel allocation-lean ingest worker mesh:
+	// NetFlow v5 datagrams in, per-customer sealed steps out, with
+	// per-exporter and per-customer ordering preserved across workers.
+	IngestPipeline = ingest.Pipeline
+	// IngestConfig assembles an IngestPipeline.
+	IngestConfig = ingest.Config
+	// IngestStats is a snapshot of the pipeline's counters.
+	IngestStats = ingest.Stats
+	// IngestStepFunc consumes one sealed (customer, step) bucket.
+	IngestStepFunc = ingest.StepFunc
+)
+
+// NewIngestPipeline validates cfg and starts the ingest workers.
+func NewIngestPipeline(cfg IngestConfig) (*IngestPipeline, error) { return ingest.New(cfg) }
 
 // NewCollector binds a NetFlow v5 UDP listener; bufSize is the record
 // channel capacity.
