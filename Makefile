@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz bench-json bench-smoke lint check
+.PHONY: build vet test race fuzz bench-json bench-smoke soak soak-smoke lint check
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,19 @@ bench-json:
 # longer compile or crash without paying for real measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Phased-chaos soak over the real UDP serving path. `soak` is the full
+# 14-day run that regenerates the committed BENCH_soak.json (loss, dup,
+# reorder ramps, panics on every shard, a mid-run incremental
+# checkpoint/restore, a forced degradation window). `soak-smoke` is the
+# CI gate: a 2-simulated-day world, one 10% loss ramp and one injected
+# shard panic, asserting automatic recovery and detection-delay parity
+# with a fault-free baseline.
+soak:
+	$(GO) run ./cmd/xatu-soak -days 14 -assert -out BENCH_soak.json
+
+soak-smoke:
+	$(GO) run ./cmd/xatu-soak -smoke -assert -out /tmp/BENCH_soak_smoke.json
 
 # Short fuzz pass over the wire codec and journal (CI smoke; run longer
 # locally with -fuzztime as needed).

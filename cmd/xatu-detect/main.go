@@ -42,6 +42,7 @@ func main() {
 		simStep  = flag.Duration("sim-step", 2*time.Minute, "journal replay: step size of the recorded flows")
 		ckpt     = flag.String("checkpoint", "", "detector state file: restored on startup if present, saved periodically and on shutdown")
 		ckptIval = flag.Duration("checkpoint-interval", time.Minute, "how often to save -checkpoint")
+		ckptInc  = flag.Bool("checkpoint-incremental", true, "periodic saves read the supervisor's background per-shard snapshots instead of stalling the fleet at a barrier (shutdown still writes a barrier checkpoint)")
 		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "detection shards (single-threaded monitors); customers are hash-partitioned across them")
 		queue    = flag.Int("queue", 1024, "per-shard mailbox capacity (live ingest sheds oldest on overflow; replay blocks)")
 		telAddr  = flag.String("telemetry-addr", "", "serve Prometheus /metrics, /healthz, /debug/alerts and pprof on this address (empty = disabled)")
@@ -65,9 +66,11 @@ func main() {
 	// Live ingest sheds oldest rather than blocking the collector drain
 	// loop; a journal replay has no liveness constraint, so it blocks and
 	// loses nothing.
-	policy := xatu.BackpressureShedOldest
+	// engineStep tells the engine how much traffic time one Submit covers,
+	// which the CDetOnly fallback needs to turn byte counts into rates.
+	policy, engineStep := xatu.BackpressureShedOldest, *step
 	if *replay != "" {
-		policy = xatu.BackpressureBlock
+		policy, engineStep = xatu.BackpressureBlock, *simStep
 	}
 	var reg *xatu.TelemetryRegistry
 	if *telAddr != "" {
@@ -81,6 +84,7 @@ func main() {
 		Shards:    *shards,
 		Queue:     *queue,
 		Policy:    policy,
+		Step:      engineStep,
 		Telemetry: reg,
 	})
 	if err != nil {
@@ -133,14 +137,15 @@ func main() {
 
 	if *replay != "" {
 		replayJournal(eng, *replay, *simStep)
-		saveCheckpoint(eng, *ckpt)
+		saveCheckpoint(eng, *ckpt, false)
+		printHealthSummary(eng)
 		eng.Close()
 		<-alertsDone
 		return
 	}
 
 	if *ingestW > 0 {
-		runPipeline(eng, reg, *listen, *ingestW, *step, *lateness, *ckpt, *ckptIval)
+		runPipeline(eng, reg, *listen, *ingestW, *step, *lateness, *ckpt, *ckptIval, *ckptInc)
 		eng.Close()
 		<-alertsDone
 		return
@@ -171,7 +176,8 @@ func main() {
 			st.Records, st.Shed, st.LostRecords, st.DupPackets, st.ReorderedPackets, st.BadPackets, st.Exporters)
 		fmt.Printf("engine: %d shards, steps=%d missing=%d shed=%d alerts=%d queue-hw=%d\n",
 			eng.Shards(), es.Steps, es.Missing, es.Shed, es.Alerts, es.QueueHighWater)
-		saveCheckpoint(eng, *ckpt)
+		saveCheckpoint(eng, *ckpt, false)
+		printHealthSummary(eng)
 		eng.Close()
 		<-alertsDone
 	}
@@ -203,7 +209,7 @@ func main() {
 				delete(pending, customer)
 			}
 			if *ckpt != "" && now.Sub(lastSave) >= *ckptIval {
-				saveCheckpoint(eng, *ckpt)
+				saveCheckpoint(eng, *ckpt, *ckptInc)
 				lastSave = now
 			}
 		}
@@ -216,7 +222,7 @@ func main() {
 // feed the engine's shards directly. Unlike the legacy collector loop
 // there is no wall-clock ticker — step boundaries come from the records
 // themselves, sealed once the watermark passes the lateness allowance.
-func runPipeline(eng *xatu.Engine, reg *xatu.TelemetryRegistry, listen string, workers int, step, lateness time.Duration, ckpt string, ckptIval time.Duration) {
+func runPipeline(eng *xatu.Engine, reg *xatu.TelemetryRegistry, listen string, workers int, step, lateness time.Duration, ckpt string, ckptIval time.Duration, ckptInc bool) {
 	pc, err := net.ListenPacket("udp", listen)
 	if err != nil {
 		fatal("%v", err)
@@ -244,7 +250,7 @@ func runPipeline(eng *xatu.Engine, reg *xatu.TelemetryRegistry, listen string, w
 	for {
 		select {
 		case <-ticker.C:
-			saveCheckpoint(eng, ckpt)
+			saveCheckpoint(eng, ckpt, ckptInc)
 		case err := <-serveDone:
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "xatu-detect: serve: %v\n", err)
@@ -258,16 +264,20 @@ func runPipeline(eng *xatu.Engine, reg *xatu.TelemetryRegistry, listen string, w
 				st.Packets, st.Records, st.Steps, st.DupPackets, st.ReorderedPackets, st.LostRecords, st.DroppedLate, st.BadPackets)
 			fmt.Printf("engine: %d shards, steps=%d missing=%d shed=%d alerts=%d queue-hw=%d\n",
 				eng.Shards(), es.Steps, es.Missing, es.Shed, es.Alerts, es.QueueHighWater)
-			saveCheckpoint(eng, ckpt)
+			saveCheckpoint(eng, ckpt, false)
+			printHealthSummary(eng)
 			return
 		}
 	}
 }
 
-// saveCheckpoint drains the engine and writes the multi-shard state
-// atomically (tmp + rename), so a crash mid-save never corrupts the
-// previous checkpoint.
-func saveCheckpoint(eng *xatu.Engine, path string) {
+// saveCheckpoint writes the multi-shard state atomically (tmp + rename),
+// so a crash mid-save never corrupts the previous checkpoint. A barrier
+// save (incremental=false) drains the fleet for a globally consistent
+// cut; an incremental save reads the supervisor's background per-shard
+// snapshots without stalling ingest, at the cost of each shard's state
+// being up to the engine's snapshot interval old.
+func saveCheckpoint(eng *xatu.Engine, path string, incremental bool) {
 	if path == "" {
 		return
 	}
@@ -277,7 +287,11 @@ func saveCheckpoint(eng *xatu.Engine, path string) {
 		fmt.Fprintf(os.Stderr, "xatu-detect: checkpoint: %v\n", err)
 		return
 	}
-	err = eng.Checkpoint(f)
+	if incremental {
+		err = eng.CheckpointIncremental(f)
+	} else {
+		err = eng.Checkpoint(f)
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -290,6 +304,24 @@ func saveCheckpoint(eng *xatu.Engine, path string) {
 		return
 	}
 	fmt.Printf("checkpointed detector state to %s\n", path)
+}
+
+// printHealthSummary reports the supervisor's view of the run: panics
+// absorbed, WAL replay and bounded loss, background snapshots, and every
+// degradation transition the health machine went through.
+func printHealthSummary(eng *xatu.Engine) {
+	es := eng.Stats()
+	if es.Restarts == 0 && es.Lost == 0 && len(eng.Transitions()) == 0 && es.Health == xatu.EngineHealthy {
+		return // nothing noteworthy happened; keep shutdown output quiet
+	}
+	fmt.Printf("self-healing: health=%s restarts=%d quarantined=%d wal-replayed=%d wal-dropped=%d lost=%d bypassed=%d snapshots=%d recovery=%v\n",
+		es.Health, es.Restarts, es.Quarantined, es.WALReplayed, es.WALDropped, es.Lost, es.Bypassed, es.Snapshots, es.RecoveryTotal)
+	if es.HealthCause != "" {
+		fmt.Printf("  cause: %s\n", es.HealthCause)
+	}
+	for _, tr := range eng.Transitions() {
+		fmt.Printf("  %s: %s -> %s (%s)\n", tr.At.Format(time.RFC3339), tr.From, tr.To, tr.Cause)
+	}
 }
 
 // loadExtractor builds the feature extractor from the registry files

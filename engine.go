@@ -39,6 +39,11 @@ type (
 	EngineHealth = engine.EngineHealth
 	// ShardHealth is one shard's liveness snapshot.
 	ShardHealth = engine.ShardHealth
+	// HealthState is the engine's degradation level (Healthy, Degraded,
+	// CDetOnly), driven by the watchdog's health state machine.
+	HealthState = engine.HealthState
+	// HealthTransition records one health-state change with its cause.
+	HealthTransition = engine.HealthTransition
 )
 
 // Backpressure policies.
@@ -50,8 +55,25 @@ const (
 	BackpressureShedOldest = engine.ShedOldest
 )
 
+// Health states, least to most degraded. The engine sheds work in this
+// order: traces first (Degraded), then model inference (CDetOnly, with a
+// pass-through CDet fallback keeping alerts flowing).
+const (
+	EngineHealthy  = engine.Healthy
+	EngineDegraded = engine.Degraded
+	EngineCDetOnly = engine.CDetOnly
+)
+
 // ErrEngineClosed is returned by Engine methods after Close.
 var ErrEngineClosed = engine.ErrClosed
+
+// ErrShardDead is wrapped by Engine methods that target a shard whose
+// goroutine has exited (only possible with supervision disabled).
+var ErrShardDead = engine.ErrShardDead
+
+// ErrBarrierTimeout is wrapped by Drain/Checkpoint/Restore when a shard
+// fails to reach the barrier within EngineConfig.DrainTimeout.
+var ErrBarrierTimeout = engine.ErrBarrierTimeout
 
 // NewMonitor validates the configuration and returns a Monitor.
 func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return engine.NewMonitor(cfg) }

@@ -175,6 +175,8 @@ func main() {
 	eng.Close()
 	fmt.Printf("done: %d alerts, %d engine sheds (%d collector), p99 step latency %v over %d steps on %d shards\n",
 		alerts, es.Shed, col.FullStats().Shed, lat.P99, es.Steps, eng.Shards())
+	fmt.Printf("self-healing: health=%s restarts=%d lost=%d snapshots=%d\n",
+		es.Health, es.Restarts, es.Lost, es.Snapshots)
 }
 
 // streamThroughPipeline is the -ingest-workers path: the same attack
@@ -251,9 +253,12 @@ func streamThroughPipeline(ctx context.Context, cancel context.CancelFunc, p *xa
 		log.Fatal(err)
 	}
 	st := pipe.Stats()
+	es := eng.Stats()
 	lat := eng.StepLatency().Summary()
 	eng.Close()
 	<-alertsDone
 	fmt.Printf("done: %d alerts over %d ingest steps (%d records, %d lost, %d late), p99 step latency %v on %d shards\n",
 		alerts, st.Steps, st.Records, st.LostRecords, st.DroppedLate, lat.P99, eng.Shards())
+	fmt.Printf("self-healing: health=%s restarts=%d lost=%d snapshots=%d\n",
+		es.Health, es.Restarts, es.Lost, es.Snapshots)
 }

@@ -52,21 +52,53 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 			return fmt.Errorf("xatu: checkpoint shard %d: %w", i, err)
 		}
 	}
+	segs := make([][]byte, len(bufs))
+	for i := range bufs {
+		segs[i] = bufs[i].Bytes()
+	}
+	return writeEngineCheckpoint(w, segs)
+}
+
+// CheckpointIncremental writes the most recent per-shard background
+// snapshots as a standard version-2 checkpoint — no fleet barrier, no
+// drain, producers keep running. Each shard's segment is at most
+// Config.CheckpointInterval stale (a shard that has not snapshotted yet
+// contributes its empty boot state), so the staleness of the file — and
+// restart loss through it — is bounded by the snapshot interval, not the
+// run length. Per-customer state is consistent: a customer lives wholly
+// inside one shard's segment, and every segment is a complete monitor
+// snapshot taken at a message boundary. Restore reads the output exactly
+// like a barrier Checkpoint's.
+func (e *Engine) CheckpointIncremental(w io.Writer) error {
+	segs := make([][]byte, len(e.shards))
+	for i, s := range e.shards {
+		if sn := s.snap.Load(); sn != nil {
+			segs[i] = sn.data
+		} else {
+			segs[i] = buildMonitorBlob(nil)
+		}
+	}
+	return writeEngineCheckpoint(w, segs)
+}
+
+// writeEngineCheckpoint frames per-shard version-1 monitor blobs into the
+// version-2 engine checkpoint layout.
+func writeEngineCheckpoint(w io.Writer, segs [][]byte) error {
 	le := binary.LittleEndian
 	hdr := make([]byte, 0, 10)
 	hdr = append(hdr, monitorCkptMagic[:]...)
 	hdr = le.AppendUint16(hdr, engineCkptVersion)
-	hdr = le.AppendUint32(hdr, uint32(len(bufs)))
+	hdr = le.AppendUint32(hdr, uint32(len(segs)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	for i := range bufs {
+	for i := range segs {
 		var seglen [4]byte
-		le.PutUint32(seglen[:], uint32(bufs[i].Len()))
+		le.PutUint32(seglen[:], uint32(len(segs[i])))
 		if _, err := w.Write(seglen[:]); err != nil {
 			return err
 		}
-		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+		if _, err := w.Write(segs[i]); err != nil {
 			return err
 		}
 	}

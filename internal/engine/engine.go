@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/xatu-go/xatu/internal/cdet"
 	"github.com/xatu-go/xatu/internal/ddos"
 	"github.com/xatu-go/xatu/internal/netflow"
 	"github.com/xatu-go/xatu/internal/telemetry"
@@ -17,6 +18,15 @@ import (
 
 // ErrClosed is returned by Engine methods after Close.
 var ErrClosed = errors.New("xatu: engine is closed")
+
+// ErrShardDead is returned (wrapped) when an operation needs a shard
+// whose goroutine has exited — only possible with supervision disabled,
+// since the supervisor otherwise restarts the shard in place.
+var ErrShardDead = errors.New("xatu: shard goroutine has exited")
+
+// ErrBarrierTimeout is returned (wrapped) when a fleet barrier (Drain,
+// Checkpoint, Restore) exceeds Config.DrainTimeout.
+var ErrBarrierTimeout = errors.New("xatu: barrier timed out")
 
 // Policy selects what Submit does when a shard's mailbox is full.
 type Policy uint8
@@ -56,6 +66,50 @@ type Config struct {
 	// latency recording in the shard loops. Nil disables instrumentation;
 	// the existing atomic counters behind Stats are kept either way.
 	Telemetry *telemetry.Registry
+
+	// Step is the deployment's telemetry aggregation interval; it
+	// parameterizes the CDetOnly fallback detector's rate baselines.
+	// Zero = one minute.
+	Step time.Duration
+	// Fallback tunes the pass-through CDet detector that keeps alerts
+	// flowing in CDetOnly mode. Nil = FastNetMon parameters at Step.
+	Fallback *cdet.Params
+	// WAL is the per-shard replay-log capacity: telemetry messages
+	// processed since the shard's last background snapshot, replayed after
+	// a panic recovery. Zero = 512. Negative disables replay (recovery
+	// restarts from the last snapshot alone).
+	WAL int
+	// CheckpointInterval is how often each shard snapshots its monitor in
+	// the background, with no fleet barrier and no pause of the other
+	// shards. It bounds restart loss: a recovering shard loses at most the
+	// poison message plus whatever its WAL evicted since the last
+	// snapshot. Zero = 10s. Negative disables background snapshots.
+	CheckpointInterval time.Duration
+	// Watchdog is the supervisor tick driving stall detection and the
+	// Healthy → Degraded → CDetOnly state machine. Zero = 250ms. Negative
+	// disables the watchdog (ForceHealth still works).
+	Watchdog time.Duration
+	// StallAfter marks a shard stalled when its mailbox has work but no
+	// message completes for this long. Zero = 10s.
+	StallAfter time.Duration
+	// DrainTimeout bounds every fleet-barrier wait (Drain, Checkpoint,
+	// Restore) so a dead or wedged shard surfaces as an error instead of a
+	// deadlock. Zero = 60s.
+	DrainTimeout time.Duration
+	// DegradedStepLatency / CDetOnlyStepLatency, when positive, escalate
+	// the health state when the mean step latency over a watchdog tick
+	// crosses them. Zero disables the latency signal (the queue signal,
+	// active under ShedOldest, remains).
+	DegradedStepLatency time.Duration
+	CDetOnlyStepLatency time.Duration
+	// RecoverTicks is the de-escalation hysteresis: consecutive clean
+	// watchdog ticks required before the health state steps down one
+	// level. Zero = 8.
+	RecoverTicks int
+	// DisableSupervision lets a shard goroutine die on panic instead of
+	// recovering in place. The death is surfaced in Stats/Health and as
+	// barrier errors. For tests of the dead-shard paths.
+	DisableSupervision bool
 }
 
 // AlertEvent is one alert annotated with its origin.
@@ -89,6 +143,19 @@ type ShardStats struct {
 	QueueHighWater int           // max observed mailbox depth
 	StepTotal      time.Duration // cumulative ObserveStep latency
 	StepMax        time.Duration // worst single ObserveStep latency
+
+	// Self-healing accounting.
+	Restarts       uint64        // supervised restarts after a panic
+	Quarantined    uint64        // poison messages recovered from (never retried)
+	WALReplayed    uint64        // WAL messages replayed across all restarts
+	WALDropped     uint64        // WAL entries evicted beyond the replay window
+	Lost           uint64        // telemetry unrecoverable after restarts (poison + evicted)
+	Bypassed       uint64        // telemetry handled by the CDet fallback in CDetOnly
+	FallbackAlerts uint64        // alerts emitted by the CDet fallback
+	Snapshots      uint64        // background snapshots published
+	RecoveryTotal  time.Duration // cumulative supervised-recovery time
+	Stalled        bool          // watchdog: queued work but no recent progress
+	Dead           bool          // shard goroutine has exited (supervision disabled)
 }
 
 // AvgStep returns the mean ObserveStep latency, or 0 before any step.
@@ -114,6 +181,21 @@ type Stats struct {
 	QueueHighWater int           // max over shards
 	StepTotal      time.Duration // sum over shards
 	StepMax        time.Duration // max over shards
+
+	// Self-healing roll-up.
+	Restarts       uint64
+	Quarantined    uint64
+	WALReplayed    uint64
+	WALDropped     uint64
+	Lost           uint64
+	Bypassed       uint64
+	FallbackAlerts uint64
+	Snapshots      uint64
+	RecoveryTotal  time.Duration
+	StalledShards  int
+	DeadShards     int
+	Health         HealthState
+	HealthCause    string
 }
 
 // AvgStep returns the fleet-wide mean ObserveStep latency, or 0 before
@@ -134,6 +216,7 @@ const (
 	opBarrier    // Drain: ack once everything queued before it is done
 	opCheckpoint // serialize the shard's monitor into msg.buf
 	opSwap       // replace the shard's monitor with msg.mon (Restore)
+	opInject     // InjectFault: panic inside the shard loop (chaos testing)
 )
 
 type message struct {
@@ -163,6 +246,37 @@ type shard struct {
 	stepNanos atomic.Uint64
 	stepMax   atomic.Uint64
 	highWater atomic.Int64
+
+	// Supervision counters (read by Stats/Health/watchdog).
+	handled       atomic.Uint64 // messages fully processed (watchdog progress signal)
+	restarts      atomic.Uint64
+	quarantined   atomic.Uint64
+	walReplayed   atomic.Uint64
+	walDropped    atomic.Uint64
+	lost          atomic.Uint64
+	bypassed      atomic.Uint64
+	fbAlerts      atomic.Uint64
+	snapshots     atomic.Uint64
+	recoveryNanos atomic.Uint64
+	stalled       atomic.Bool
+	dead          atomic.Bool
+	deadCh        chan struct{} // closed when the shard goroutine exits abnormally
+
+	// snap is the latest background snapshot (recovery basis), published
+	// by the shard goroutine, read by CheckpointIncremental and recovery.
+	snap atomic.Pointer[shardSnapshot]
+
+	// WAL state below is touched only by the owning shard goroutine.
+	wal        []walEntry
+	walHead    int
+	walN       int
+	walEvicted uint64 // entries evicted since the last snapshot
+	lastSnap   time.Time
+
+	fb *cdet.Detector // lazily-built CDetOnly fallback
+
+	panicMu   sync.Mutex
+	lastPanic string
 }
 
 // Engine is a sharded concurrent detection engine: N single-threaded
@@ -183,11 +297,19 @@ type Engine struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
+	// Health state machine (see supervisor.go).
+	health atomic.Int32 // current HealthState
+	forced atomic.Int32 // ForceHealth override; -1 = automatic
+
+	transMu     sync.Mutex
+	healthCause string
+	trans       []HealthTransition
+
 	closeOnce sync.Once
 }
 
 // New validates the configuration, builds one Monitor per shard and
-// starts the shard goroutines.
+// starts the shard goroutines plus the supervising watchdog.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
@@ -198,18 +320,50 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.AlertBuffer <= 0 {
 		cfg.AlertBuffer = 1024
 	}
+	if cfg.Step <= 0 {
+		cfg.Step = time.Minute
+	}
+	if cfg.Fallback == nil {
+		p := cdet.FastNetMonParams(cfg.Step)
+		cfg.Fallback = &p
+	}
+	if cfg.WAL == 0 {
+		cfg.WAL = 512
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 10 * time.Second
+	}
+	if cfg.Watchdog == 0 {
+		cfg.Watchdog = 250 * time.Millisecond
+	}
+	if cfg.StallAfter <= 0 {
+		cfg.StallAfter = 10 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 60 * time.Second
+	}
+	if cfg.RecoverTicks <= 0 {
+		cfg.RecoverTicks = 8
+	}
 	e := &Engine{
 		cfg:    cfg,
 		shards: make([]*shard, cfg.Shards),
 		alerts: make(chan AlertEvent, cfg.AlertBuffer),
 		done:   make(chan struct{}),
 	}
+	e.forced.Store(-1)
+	now := time.Now()
 	for i := range e.shards {
 		mon, err := NewMonitor(cfg.Monitor)
 		if err != nil {
 			return nil, err
 		}
-		e.shards[i] = &shard{id: i, mon: mon, mail: make(chan message, cfg.Queue)}
+		s := &shard{id: i, mon: mon, mail: make(chan message, cfg.Queue),
+			deadCh: make(chan struct{}), lastSnap: now}
+		if cfg.WAL > 0 {
+			s.wal = make([]walEntry, cfg.WAL)
+		}
+		e.shards[i] = s
 	}
 	if cfg.Telemetry != nil {
 		e.mx = e.registerMetrics(cfg.Telemetry)
@@ -217,6 +371,10 @@ func New(cfg Config) (*Engine, error) {
 	e.wg.Add(len(e.shards))
 	for _, s := range e.shards {
 		go e.runShard(s)
+	}
+	if cfg.Watchdog > 0 {
+		e.wg.Add(1)
+		go e.watchdog(cfg.Watchdog)
 	}
 	return e, nil
 }
@@ -280,9 +438,14 @@ func (e *Engine) submitTelemetry(msg message) error {
 		msg.enq = time.Now().UnixNano()
 	}
 	s := e.shards[e.ShardOf(msg.customer)]
+	if s.dead.Load() {
+		return fmt.Errorf("%w (shard %d)", ErrShardDead, s.id)
+	}
 	if e.cfg.Policy == Block {
 		select {
 		case s.mail <- msg:
+		case <-s.deadCh:
+			return fmt.Errorf("%w (shard %d)", ErrShardDead, s.id)
 		case <-e.done:
 			return ErrClosed
 		}
@@ -294,6 +457,8 @@ func (e *Engine) submitTelemetry(msg message) error {
 		case s.mail <- msg:
 			s.noteEnqueued()
 			return nil
+		case <-s.deadCh:
+			return fmt.Errorf("%w (shard %d)", ErrShardDead, s.id)
 		case <-e.done:
 			return ErrClosed
 		default:
@@ -337,9 +502,14 @@ func (e *Engine) EndMitigation(customer netip.Addr, at ddos.AttackType) error {
 		return ErrClosed
 	}
 	s := e.shards[e.ShardOf(customer)]
+	if s.dead.Load() {
+		return fmt.Errorf("%w (shard %d)", ErrShardDead, s.id)
+	}
 	select {
 	case s.mail <- message{op: opEnd, customer: customer, atype: at}:
 		return nil
+	case <-s.deadCh:
+		return fmt.Errorf("%w (shard %d)", ErrShardDead, s.id)
 	case <-e.done:
 		return ErrClosed
 	}
@@ -347,11 +517,21 @@ func (e *Engine) EndMitigation(customer netip.Addr, at ddos.AttackType) error {
 
 // Drain blocks until every message submitted before the call has been
 // fully processed. It must not race with producers still submitting.
+// A dead shard or a wait past Config.DrainTimeout returns an error
+// (wrapping ErrShardDead / ErrBarrierTimeout) instead of hanging.
 func (e *Engine) Drain() error {
-	_, err := e.barrier(func(s *shard) message {
+	errs, err := e.barrier(func(s *shard) message {
 		return message{op: opBarrier}
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("xatu: drain shard %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 func (e *Engine) closed() bool {
@@ -363,11 +543,16 @@ func (e *Engine) closed() bool {
 	}
 }
 
-// barrier sends one message per shard and waits for every ack.
+// barrier sends one message per shard and waits for every ack. The whole
+// barrier shares one Config.DrainTimeout budget, and a dead shard aborts
+// it immediately with the shard's last panic — a shard that exited can
+// never wedge a Drain/Checkpoint/Restore.
 func (e *Engine) barrier(mk func(*shard) message) ([]error, error) {
 	if e.closed() {
 		return nil, ErrClosed
 	}
+	timer := time.NewTimer(e.cfg.DrainTimeout)
+	defer timer.Stop()
 	acks := make([]chan error, len(e.shards))
 	for i, s := range e.shards {
 		msg := mk(s)
@@ -375,6 +560,11 @@ func (e *Engine) barrier(mk func(*shard) message) ([]error, error) {
 		acks[i] = msg.done
 		select {
 		case s.mail <- msg:
+		case <-s.deadCh:
+			return nil, fmt.Errorf("%w (shard %d: %s)", ErrShardDead, i, s.panicDetail())
+		case <-timer.C:
+			return nil, fmt.Errorf("%w after %v sending to shard %d (queue %d/%d)",
+				ErrBarrierTimeout, e.cfg.DrainTimeout, i, len(s.mail), cap(s.mail))
 		case <-e.done:
 			return nil, ErrClosed
 		}
@@ -383,6 +573,17 @@ func (e *Engine) barrier(mk func(*shard) message) ([]error, error) {
 	for i, d := range acks {
 		select {
 		case errs[i] = <-d:
+		case <-e.shards[i].deadCh:
+			// The shard died after the send; prefer a late ack if one
+			// raced in ahead of the death notice.
+			select {
+			case errs[i] = <-d:
+			default:
+				return nil, fmt.Errorf("%w (shard %d: %s)", ErrShardDead, i, e.shards[i].panicDetail())
+			}
+		case <-timer.C:
+			return nil, fmt.Errorf("%w after %v waiting for shard %d",
+				ErrBarrierTimeout, e.cfg.DrainTimeout, i)
 		case <-e.done:
 			return nil, ErrClosed
 		}
@@ -393,6 +594,8 @@ func (e *Engine) barrier(mk func(*shard) message) ([]error, error) {
 // Stats snapshots per-shard and aggregate counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{Shards: make([]ShardStats, len(e.shards))}
+	st.Health = e.healthNow()
+	st.HealthCause = e.HealthCause()
 	for i, s := range e.shards {
 		ss := ShardStats{
 			Shard:          i,
@@ -407,6 +610,17 @@ func (e *Engine) Stats() Stats {
 			QueueHighWater: int(s.highWater.Load()),
 			StepTotal:      time.Duration(s.stepNanos.Load()),
 			StepMax:        time.Duration(s.stepMax.Load()),
+			Restarts:       s.restarts.Load(),
+			Quarantined:    s.quarantined.Load(),
+			WALReplayed:    s.walReplayed.Load(),
+			WALDropped:     s.walDropped.Load(),
+			Lost:           s.lost.Load(),
+			Bypassed:       s.bypassed.Load(),
+			FallbackAlerts: s.fbAlerts.Load(),
+			Snapshots:      s.snapshots.Load(),
+			RecoveryTotal:  time.Duration(s.recoveryNanos.Load()),
+			Stalled:        s.stalled.Load(),
+			Dead:           s.dead.Load(),
 		}
 		st.Shards[i] = ss
 		st.Submitted += ss.Submitted
@@ -418,6 +632,21 @@ func (e *Engine) Stats() Stats {
 		st.Channels += ss.Channels
 		st.QueueLen += ss.QueueLen
 		st.StepTotal += ss.StepTotal
+		st.Restarts += ss.Restarts
+		st.Quarantined += ss.Quarantined
+		st.WALReplayed += ss.WALReplayed
+		st.WALDropped += ss.WALDropped
+		st.Lost += ss.Lost
+		st.Bypassed += ss.Bypassed
+		st.FallbackAlerts += ss.FallbackAlerts
+		st.Snapshots += ss.Snapshots
+		st.RecoveryTotal += ss.RecoveryTotal
+		if ss.Stalled {
+			st.StalledShards++
+		}
+		if ss.Dead {
+			st.DeadShards++
+		}
 		if ss.QueueHighWater > st.QueueHighWater {
 			st.QueueHighWater = ss.QueueHighWater
 		}
@@ -442,25 +671,53 @@ func (e *Engine) Close() error {
 
 func (e *Engine) runShard(s *shard) {
 	defer e.wg.Done()
+	defer func() {
+		// Abnormal exit: the engine still runs but this shard is gone
+		// (supervision disabled, or an unrecoverable monitor rebuild).
+		// Publish the death so Submit and barriers fail fast instead of
+		// wedging on a mailbox nobody reads.
+		if !e.closed() {
+			s.dead.Store(true)
+			close(s.deadCh)
+		}
+	}()
 	for {
 		select {
 		case <-e.done:
 			return
 		case msg := <-s.mail:
-			if !e.handle(s, msg) {
+			if !e.supervise(s, msg) {
 				return
 			}
 		}
 	}
 }
 
-// handle processes one message; it reports false when the engine closed
-// mid-message (alert delivery aborted).
-func (e *Engine) handle(s *shard, msg message) bool {
+// handle processes one message under health state st; it reports false
+// when the engine closed mid-message (alert delivery aborted).
+func (e *Engine) handle(s *shard, msg message, st HealthState) bool {
 	switch msg.op {
 	case opStep:
+		if st == CDetOnly {
+			// Model inference is shed: the pass-through CDet fallback
+			// confirms volumetric anomalies so alerts keep flowing.
+			if !e.fallbackStep(s, msg, true) {
+				return false
+			}
+			s.bypassed.Add(1)
+			e.observeSubmitLatency(msg.enq)
+			return true
+		}
 		start := time.Now()
-		alerts, traces := s.mon.ObserveStepTraced(msg.customer, msg.at, msg.flows)
+		var alerts []ddos.Alert
+		var traces []*Trace
+		if st == Degraded {
+			// Traces are the first load shed: detection is unchanged,
+			// alerts just carry no decision evidence.
+			alerts = s.mon.ObserveStep(msg.customer, msg.at, msg.flows)
+		} else {
+			alerts, traces = s.mon.ObserveStepTraced(msg.customer, msg.at, msg.flows)
+		}
 		el := uint64(time.Since(start))
 		s.stepNanos.Add(el)
 		for {
@@ -481,18 +738,32 @@ func (e *Engine) handle(s *shard, msg message) bool {
 					e.mx.alertsByType[at].Inc()
 				}
 			}
+			var tr *Trace
+			if traces != nil {
+				tr = traces[i]
+			}
 			select {
-			case e.alerts <- AlertEvent{Customer: msg.customer, At: msg.at, Shard: s.id, Alert: a, Trace: traces[i]}:
+			case e.alerts <- AlertEvent{Customer: msg.customer, At: msg.at, Shard: s.id, Alert: a, Trace: tr}:
 			case <-e.done:
 				return false
 			}
 		}
+		// Keep the fallback's baselines warm so a later CDetOnly entry
+		// starts with learned thresholds, not a cold warm-up.
+		e.fallbackStep(s, msg, false)
 		e.observeSubmitLatency(msg.enq)
 	case opMissing:
-		s.mon.ObserveMissing(msg.customer, msg.at)
-		s.missing.Add(1)
+		if st == CDetOnly {
+			s.bypassed.Add(1)
+		} else {
+			s.mon.ObserveMissing(msg.customer, msg.at)
+			s.missing.Add(1)
+		}
+		e.fallbackMissing(s, msg)
 		e.observeSubmitLatency(msg.enq)
 	case opEnd:
+		// Mitigation lifecycle always reaches the monitor: its state must
+		// stay consistent for the return to Healthy.
 		s.mon.EndMitigation(msg.customer, msg.atype)
 		if e.mx != nil {
 			e.mx.mitigationEnds.Inc()
@@ -500,11 +771,24 @@ func (e *Engine) handle(s *shard, msg message) bool {
 	case opBarrier:
 		msg.done <- nil
 	case opCheckpoint:
-		msg.done <- s.mon.Checkpoint(msg.buf)
+		err := s.mon.Checkpoint(msg.buf)
+		if err == nil {
+			// A full checkpoint is also a fresh recovery basis.
+			s.publishSnapshot(append([]byte(nil), msg.buf.Bytes()...))
+		}
+		msg.done <- err
 	case opSwap:
 		s.mon = msg.mon
 		s.channels.Store(int64(s.mon.Channels()))
+		// Old snapshot and WAL describe the replaced state; re-base on the
+		// restored monitor immediately so a crash right after a Restore
+		// recovers the restored state, not the pre-restore one.
+		s.walHead, s.walN, s.walEvicted = 0, 0, 0
+		s.snap.Store(nil)
+		e.snapshotShard(s)
 		msg.done <- nil
+	case opInject:
+		panic(fmt.Sprintf("engine: injected fault on shard %d", s.id))
 	default:
 		panic(fmt.Sprintf("engine: unknown opcode %d", msg.op))
 	}

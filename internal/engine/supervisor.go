@@ -1,0 +1,544 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/cdet"
+	"github.com/xatu-go/xatu/internal/ddos"
+	"github.com/xatu-go/xatu/internal/netflow"
+)
+
+// Shard supervision: the self-healing layer of the engine.
+//
+// Every message a shard processes runs under a supervisor (supervise)
+// that recovers panics instead of letting the shard goroutine die. The
+// poison message is quarantined — counted, never retried — and the
+// shard's Monitor is rebuilt from its last background snapshot plus a
+// bounded in-memory WAL of the telemetry processed since that snapshot
+// (walEntry ring). Restart loss is therefore bounded: at most the poison
+// message plus whatever the WAL evicted since the last snapshot, both
+// accounted in ShardStats.Lost.
+//
+// A watchdog goroutine drives stall detection and a three-state health
+// machine, Healthy → Degraded → CDetOnly, that sheds work in order:
+// Degraded drops decision traces (alert quality untouched), CDetOnly
+// drops model inference entirely and falls back to a pass-through CDet
+// confirmation so alerts keep flowing at commercial-detector quality.
+// Escalation is immediate after a short confirmation window; recovery is
+// hysteretic (RecoverTicks consecutive clean ticks per level) so the
+// state cannot flap at a threshold boundary.
+
+// HealthState is the engine's degradation level.
+type HealthState int32
+
+// Health states, in escalation order. The numeric values are exported on
+// the xatu_engine_health_state gauge.
+const (
+	// Healthy: full service — model inference with decision traces.
+	Healthy HealthState = iota
+	// Degraded: traces are shed; inference and alert quality untouched.
+	Degraded
+	// CDetOnly: model inference is shed; a pass-through CDet fallback
+	// confirms volumetric anomalies so alerts keep flowing.
+	CDetOnly
+)
+
+// String returns the state slug used in health reports and metrics.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case CDetOnly:
+		return "cdet-only"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthTransition records one health-state change.
+type HealthTransition struct {
+	From  HealthState `json:"from"`
+	To    HealthState `json:"to"`
+	Cause string      `json:"cause,omitempty"`
+	At    time.Time   `json:"at"`
+}
+
+const (
+	// degradedQueueFrac / cdetOnlyQueueFrac are the mailbox-fullness
+	// escalation thresholds. They only apply under ShedOldest: with Block
+	// a full mailbox is intended backpressure, not data loss.
+	degradedQueueFrac = 0.75
+	cdetOnlyQueueFrac = 0.95
+	// pressureTicks is how many consecutive watchdog ticks must confirm
+	// pressure before escalating one level — a debounce, not hysteresis.
+	pressureTicks = 2
+	// maxHealthTransitions bounds the retained transition history.
+	maxHealthTransitions = 64
+)
+
+// walEntry is one replayable telemetry message. Flow slices are retained
+// by reference: Submit hands ownership of the slice to the engine, so the
+// WAL may alias it without copying.
+type walEntry struct {
+	op       opcode
+	customer netip.Addr
+	at       time.Time
+	flows    []netflow.Record
+	atype    ddos.AttackType
+}
+
+// shardSnapshot is one background Monitor snapshot: a complete version-1
+// checkpoint blob, immutable once published.
+type shardSnapshot struct {
+	data []byte
+	at   time.Time
+}
+
+// supervise runs one message under panic protection. On panic the
+// message is quarantined and the shard restarts from its last snapshot +
+// WAL; with Config.DisableSupervision the shard dies instead (surfaced
+// via Stats/Health and barrier errors, never a hung Drain).
+func (e *Engine) supervise(s *shard, msg message) (alive bool) {
+	st := e.healthNow()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.quarantined.Add(1)
+		if msg.op == opStep || msg.op == opMissing || msg.op == opEnd {
+			s.lost.Add(1) // the poison message's telemetry is gone for good
+		}
+		s.setLastPanic(r)
+		if msg.done != nil {
+			msg.done <- fmt.Errorf("xatu: shard %d panicked: %v", s.id, r)
+		}
+		if e.cfg.DisableSupervision {
+			alive = false
+			return
+		}
+		alive = e.recoverShard(s)
+	}()
+	if !e.handle(s, msg, st) {
+		return false
+	}
+	e.postHandle(s, msg, st)
+	s.handled.Add(1)
+	return true
+}
+
+// postHandle appends a successfully processed telemetry message to the
+// WAL (so it can be replayed after a later panic) and takes a background
+// snapshot when the checkpoint interval has elapsed. Messages bypassed in
+// CDetOnly never touched the monitor and are not logged — the WAL
+// mirrors monitor state exactly.
+func (e *Engine) postHandle(s *shard, msg message, st HealthState) {
+	switch msg.op {
+	case opStep, opMissing:
+		if st != CDetOnly {
+			s.walAppend(msg)
+		}
+	case opEnd:
+		s.walAppend(msg)
+	default:
+		return // barrier-family messages do not mutate customer state
+	}
+	if iv := e.cfg.CheckpointInterval; iv > 0 && time.Since(s.lastSnap) >= iv {
+		e.snapshotShard(s)
+	}
+}
+
+// walAppend records one processed message, evicting the oldest entry when
+// the ring is full. Evicted entries leave the replay window: their effect
+// survives only in the live monitor, so they become part of the loss
+// bound if the shard crashes before the next snapshot re-bases the log.
+func (s *shard) walAppend(msg message) {
+	if len(s.wal) == 0 {
+		return
+	}
+	if s.walN == len(s.wal) {
+		s.walHead = (s.walHead + 1) % len(s.wal)
+		s.walN--
+		s.walEvicted++
+		s.walDropped.Add(1)
+	}
+	idx := (s.walHead + s.walN) % len(s.wal)
+	s.wal[idx] = walEntry{op: msg.op, customer: msg.customer, at: msg.at, flows: msg.flows, atype: msg.atype}
+	s.walN++
+}
+
+// snapshotShard serializes the shard's monitor and publishes it as the
+// new recovery basis, re-basing the WAL. Runs on the shard goroutine.
+func (e *Engine) snapshotShard(s *shard) {
+	var buf bytes.Buffer
+	if err := s.mon.Checkpoint(&buf); err != nil {
+		// Keep the previous snapshot; the WAL keeps extending the old basis.
+		return
+	}
+	s.publishSnapshot(buf.Bytes())
+}
+
+// publishSnapshot installs data (a complete version-1 Monitor blob the
+// caller will not mutate) as the shard's recovery basis and clears the
+// WAL: everything in the snapshot no longer needs replaying.
+func (s *shard) publishSnapshot(data []byte) {
+	s.snap.Store(&shardSnapshot{data: data, at: time.Now()})
+	s.lastSnap = time.Now()
+	s.walHead, s.walN, s.walEvicted = 0, 0, 0
+	s.snapshots.Add(1)
+}
+
+// recoverShard rebuilds the shard's monitor after a panic: last snapshot
+// restored, then the WAL replayed in arrival order (per-customer order is
+// preserved — the ring is the shard's processing order). Alerts raised by
+// replayed steps were delivered before the crash and are discarded. If
+// the rebuild itself fails the shard cold-restarts with a fresh monitor
+// rather than dying; only an invalid MonitorConfig (impossible after New
+// succeeded) is terminal.
+func (e *Engine) recoverShard(s *shard) bool {
+	start := time.Now()
+	mon, replayed, ok := e.rebuildMonitor(s)
+	lost := s.walEvicted
+	if !ok {
+		fresh, err := NewMonitor(e.cfg.Monitor)
+		if err != nil {
+			return false
+		}
+		mon, replayed = fresh, 0
+		lost += uint64(s.walN) // the un-replayed log is lost with the state
+	}
+	s.mon = mon
+	s.walReplayed.Add(uint64(replayed))
+	s.lost.Add(lost)
+	s.restarts.Add(1)
+	s.channels.Store(int64(s.mon.Channels()))
+	e.snapshotShard(s) // new basis: a second panic must not double-replay
+	el := time.Since(start)
+	s.recoveryNanos.Add(uint64(el))
+	if e.mx != nil {
+		e.mx.recoveryLatency.Observe(el)
+	}
+	return true
+}
+
+// rebuildMonitor reconstructs snapshot+WAL state, guarding against the
+// recovery path itself panicking (e.g. a torn snapshot).
+func (e *Engine) rebuildMonitor(s *shard) (mon *Monitor, replayed int, ok bool) {
+	defer func() {
+		if recover() != nil {
+			mon, replayed, ok = nil, 0, false
+		}
+	}()
+	mon, err := NewMonitor(e.cfg.Monitor)
+	if err != nil {
+		return nil, 0, false
+	}
+	if snap := s.snap.Load(); snap != nil && len(snap.data) > 0 {
+		if err := mon.Restore(bytes.NewReader(snap.data)); err != nil {
+			return nil, 0, false
+		}
+	}
+	for i := 0; i < s.walN; i++ {
+		en := &s.wal[(s.walHead+i)%len(s.wal)]
+		switch en.op {
+		case opStep:
+			mon.ObserveStep(en.customer, en.at, en.flows)
+		case opMissing:
+			mon.ObserveMissing(en.customer, en.at)
+		case opEnd:
+			mon.EndMitigation(en.customer, en.atype)
+		}
+		replayed++
+	}
+	return mon, replayed, true
+}
+
+// InjectFault enqueues a poison message that panics inside the target
+// shard's processing loop — deterministic chaos for supervision tests and
+// the soak harness. The supervisor treats it like any organic panic.
+func (e *Engine) InjectFault(shard int) error {
+	if shard < 0 || shard >= len(e.shards) {
+		return fmt.Errorf("xatu: no shard %d", shard)
+	}
+	if e.closed() {
+		return ErrClosed
+	}
+	s := e.shards[shard]
+	select {
+	case s.mail <- message{op: opInject}:
+		return nil
+	case <-s.deadCh:
+		return fmt.Errorf("%w (shard %d)", ErrShardDead, shard)
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+func (s *shard) setLastPanic(r any) {
+	s.panicMu.Lock()
+	s.lastPanic = fmt.Sprintf("%v", r)
+	s.panicMu.Unlock()
+}
+
+func (s *shard) panicDetail() string {
+	s.panicMu.Lock()
+	defer s.panicMu.Unlock()
+	if s.lastPanic == "" {
+		return "no panic recorded"
+	}
+	return s.lastPanic
+}
+
+// --- CDetOnly fallback ---
+
+// fallbackDetector lazily builds the shard's pass-through CDet detector.
+// It is fed every step even while Healthy (a cheap signature-match pass)
+// so its EWMA baselines are warm the moment the engine degrades.
+func (s *shard) fallbackDetector(e *Engine) *cdet.Detector {
+	if s.fb == nil {
+		s.fb = cdet.New(*e.cfg.Fallback, e.cfg.Step)
+	}
+	return s.fb
+}
+
+// fallbackStep feeds one step of flows to the CDet fallback. With emit
+// set (CDetOnly mode) its alerts are fanned into the alert channel with a
+// nil Trace; otherwise the detector only learns. Reports false when the
+// engine closed mid-delivery.
+func (e *Engine) fallbackStep(s *shard, msg message, emit bool) bool {
+	fb := s.fallbackDetector(e)
+	var sigs [ddos.NumAttackTypes]ddos.Signature
+	for at := ddos.AttackType(0); at < ddos.NumAttackTypes; at++ {
+		sigs[at] = ddos.SignatureFor(at, msg.customer)
+	}
+	var perType [ddos.NumAttackTypes]float64
+	for i := range msg.flows {
+		for at := range sigs {
+			if sigs[at].Matches(msg.flows[i]) {
+				perType[at] += float64(msg.flows[i].Bytes)
+			}
+		}
+	}
+	alerts := fb.Observe(msg.customer, msg.at, perType)
+	if !emit {
+		return true
+	}
+	for _, a := range alerts {
+		s.fbAlerts.Add(1)
+		if e.mx != nil {
+			e.mx.fallbackAlerts.Inc()
+		}
+		select {
+		case e.alerts <- AlertEvent{Customer: msg.customer, At: msg.at, Shard: s.id, Alert: a}:
+		case <-e.done:
+			return false
+		}
+	}
+	return true
+}
+
+// fallbackMissing feeds a zero-traffic step so the fallback's sustain and
+// release counters advance through telemetry gaps.
+func (e *Engine) fallbackMissing(s *shard, msg message) {
+	var zero [ddos.NumAttackTypes]float64
+	s.fallbackDetector(e).Observe(msg.customer, msg.at, zero)
+}
+
+// --- watchdog and health state machine ---
+
+// healthSignals is one watchdog tick's view of the fleet.
+type healthSignals struct {
+	worstQueueFrac float64
+	avgStep        time.Duration // mean step latency over the last tick window
+	stalledShards  int
+	deadShards     int
+	shedding       bool // ShedOldest policy: queue pressure implies data loss
+}
+
+// decideHealth maps one tick's signals to the state the engine should be
+// in, most severe condition first.
+func decideHealth(cfg *Config, sig healthSignals) (HealthState, string) {
+	if sig.shedding && sig.worstQueueFrac >= cdetOnlyQueueFrac {
+		return CDetOnly, fmt.Sprintf("mailbox %.0f%% full, telemetry being shed", sig.worstQueueFrac*100)
+	}
+	if cfg.CDetOnlyStepLatency > 0 && sig.avgStep >= cfg.CDetOnlyStepLatency {
+		return CDetOnly, fmt.Sprintf("step latency %v over cdet-only bound %v", sig.avgStep, cfg.CDetOnlyStepLatency)
+	}
+	if sig.deadShards > 0 {
+		return Degraded, fmt.Sprintf("%d shard(s) dead", sig.deadShards)
+	}
+	if sig.stalledShards > 0 {
+		return Degraded, fmt.Sprintf("%d shard(s) stalled", sig.stalledShards)
+	}
+	if sig.shedding && sig.worstQueueFrac >= degradedQueueFrac {
+		return Degraded, fmt.Sprintf("mailbox %.0f%% full", sig.worstQueueFrac*100)
+	}
+	if cfg.DegradedStepLatency > 0 && sig.avgStep >= cfg.DegradedStepLatency {
+		return Degraded, fmt.Sprintf("step latency %v over degraded bound %v", sig.avgStep, cfg.DegradedStepLatency)
+	}
+	return Healthy, ""
+}
+
+// healthLadder carries the debounce/hysteresis counters between ticks.
+type healthLadder struct {
+	hot  int // consecutive ticks demanding escalation
+	calm int // consecutive ticks allowing de-escalation
+}
+
+// stepHealth moves the state one rung at a time: up after pressureTicks
+// confirming ticks, down after RecoverTicks clean ticks per level. A
+// forced state (ForceHealth) freezes the ladder entirely.
+func (e *Engine) stepHealth(desired HealthState, cause string, lad *healthLadder) {
+	if e.forced.Load() >= 0 {
+		lad.hot, lad.calm = 0, 0
+		return
+	}
+	cur := HealthState(e.health.Load())
+	switch {
+	case desired > cur:
+		lad.calm = 0
+		lad.hot++
+		if lad.hot >= pressureTicks {
+			e.setHealth(cur+1, cause)
+			lad.hot = 0
+		}
+	case desired < cur:
+		lad.hot = 0
+		lad.calm++
+		if lad.calm >= e.cfg.RecoverTicks {
+			e.setHealth(cur-1, "recovered: pressure cleared")
+			lad.calm = 0
+		}
+	default:
+		lad.hot, lad.calm = 0, 0
+	}
+}
+
+// setHealth installs a new state and records the transition.
+func (e *Engine) setHealth(st HealthState, cause string) {
+	old := HealthState(e.health.Swap(int32(st)))
+	e.transMu.Lock()
+	e.healthCause = cause
+	if old != st {
+		if len(e.trans) >= maxHealthTransitions {
+			e.trans = append(e.trans[:0], e.trans[1:]...)
+		}
+		e.trans = append(e.trans, HealthTransition{From: old, To: st, Cause: cause, At: time.Now()})
+	}
+	e.transMu.Unlock()
+}
+
+// healthNow is the hot-path state read (one atomic load).
+func (e *Engine) healthNow() HealthState { return HealthState(e.health.Load()) }
+
+// HealthState returns the engine's current degradation level.
+func (e *Engine) HealthState() HealthState { return e.healthNow() }
+
+// HealthCause returns the reason for the current state ("" while Healthy).
+func (e *Engine) HealthCause() string {
+	e.transMu.Lock()
+	defer e.transMu.Unlock()
+	return e.healthCause
+}
+
+// Transitions returns the retained health-transition history, oldest
+// first (bounded to the most recent 64).
+func (e *Engine) Transitions() []HealthTransition {
+	e.transMu.Lock()
+	defer e.transMu.Unlock()
+	out := make([]HealthTransition, len(e.trans))
+	copy(out, e.trans)
+	return out
+}
+
+// ForceHealth pins the health state — operator drills and the soak
+// harness's forced-degradation phase. The watchdog keeps observing but
+// cannot move the state until AutoHealth.
+func (e *Engine) ForceHealth(st HealthState, cause string) {
+	if st < Healthy || st > CDetOnly {
+		return
+	}
+	e.forced.Store(int32(st))
+	e.setHealth(st, cause)
+}
+
+// AutoHealth returns state control to the watchdog; the current state is
+// kept and recovers through the normal hysteresis.
+func (e *Engine) AutoHealth() { e.forced.Store(-1) }
+
+// watchdog ticks stall detection and the health state machine until the
+// engine closes.
+func (e *Engine) watchdog(tick time.Duration) {
+	defer e.wg.Done()
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	n := len(e.shards)
+	w := &watchdogState{
+		lastHandled:  make([]uint64, n),
+		lastProgress: make([]time.Time, n),
+	}
+	now := time.Now()
+	for i := range w.lastProgress {
+		w.lastProgress[i] = now
+	}
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+			sig := e.collectSignals(w)
+			desired, cause := decideHealth(&e.cfg, sig)
+			e.stepHealth(desired, cause, &w.ladder)
+		}
+	}
+}
+
+// watchdogState is the watchdog goroutine's private bookkeeping.
+type watchdogState struct {
+	lastHandled  []uint64
+	lastProgress []time.Time
+	lastSteps    uint64
+	lastNanos    uint64
+	ladder       healthLadder
+}
+
+// collectSignals snapshots the fleet for one tick: stall detection per
+// shard (queued work but no completed message for StallAfter), worst
+// mailbox fullness, and the mean step latency over the tick window.
+func (e *Engine) collectSignals(w *watchdogState) healthSignals {
+	now := time.Now()
+	sig := healthSignals{shedding: e.cfg.Policy == ShedOldest}
+	var steps, nanos uint64
+	for i, s := range e.shards {
+		if s.dead.Load() {
+			sig.deadShards++
+			continue
+		}
+		h := s.handled.Load()
+		if h != w.lastHandled[i] || len(s.mail) == 0 {
+			w.lastHandled[i] = h
+			w.lastProgress[i] = now
+			s.stalled.Store(false)
+		} else if now.Sub(w.lastProgress[i]) >= e.cfg.StallAfter {
+			s.stalled.Store(true)
+			sig.stalledShards++
+		}
+		if c := cap(s.mail); c > 0 {
+			if f := float64(len(s.mail)) / float64(c); f > sig.worstQueueFrac {
+				sig.worstQueueFrac = f
+			}
+		}
+		steps += s.steps.Load()
+		nanos += s.stepNanos.Load()
+	}
+	if ds := steps - w.lastSteps; ds > 0 {
+		sig.avgStep = time.Duration((nanos - w.lastNanos) / ds)
+	}
+	w.lastSteps, w.lastNanos = steps, nanos
+	return sig
+}

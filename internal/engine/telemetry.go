@@ -25,6 +25,11 @@ type engineMetrics struct {
 	alertsByType [ddos.NumAttackTypes]*telemetry.Counter
 	// mitigationEnds counts processed EndMitigation signals.
 	mitigationEnds *telemetry.Counter
+	// recoveryLatency times supervised shard recoveries (monitor rebuild
+	// from snapshot + WAL replay).
+	recoveryLatency *telemetry.Histogram
+	// fallbackAlerts counts alerts emitted by the CDetOnly fallback.
+	fallbackAlerts *telemetry.Counter
 }
 
 // registerMetrics builds the engine's metric families on reg. Per-shard
@@ -40,7 +45,14 @@ func (e *Engine) registerMetrics(reg *telemetry.Registry) *engineMetrics {
 			"Whole-fleet drain + checkpoint serialization duration."),
 		mitigationEnds: reg.Counter("xatu_engine_mitigation_ends_total",
 			"EndMitigation signals processed."),
+		recoveryLatency: reg.Histogram("xatu_engine_recovery_seconds",
+			"Supervised shard recovery duration (monitor rebuild + WAL replay)."),
+		fallbackAlerts: reg.Counter("xatu_engine_fallback_alerts_total",
+			"Alerts emitted by the pass-through CDet fallback in CDetOnly mode."),
 	}
+	reg.GaugeFunc("xatu_engine_health_state",
+		"Engine degradation level: 0=healthy, 1=degraded, 2=cdet-only.",
+		func() float64 { return float64(e.health.Load()) })
 	for at := ddos.AttackType(0); at < ddos.NumAttackTypes; at++ {
 		m.alertsByType[at] = reg.Counter("xatu_monitor_alerts_total",
 			"Alerts raised by the detection core, by attack type.",
@@ -79,6 +91,27 @@ func (e *Engine) registerMetrics(reg *telemetry.Registry) *engineMetrics {
 		reg.GaugeFunc("xatu_monitor_channels",
 			"Live (customer, attack-type) detector channels on this shard.",
 			func() float64 { return float64(s.channels.Load()) }, lbl)
+		reg.CounterFunc("xatu_shard_restarts_total",
+			"Supervised shard restarts after a recovered panic.",
+			func() float64 { return float64(s.restarts.Load()) }, lbl)
+		reg.CounterFunc("xatu_wal_replayed_total",
+			"WAL telemetry messages replayed during shard recovery.",
+			func() float64 { return float64(s.walReplayed.Load()) }, lbl)
+		reg.CounterFunc("xatu_wal_dropped_total",
+			"WAL entries evicted beyond the bounded replay window.",
+			func() float64 { return float64(s.walDropped.Load()) }, lbl)
+		reg.CounterFunc("xatu_engine_quarantined_total",
+			"Poison messages quarantined by the shard supervisor.",
+			func() float64 { return float64(s.quarantined.Load()) }, lbl)
+		reg.CounterFunc("xatu_engine_lost_total",
+			"Telemetry messages unrecoverable across restarts (poison + evicted WAL).",
+			func() float64 { return float64(s.lost.Load()) }, lbl)
+		reg.CounterFunc("xatu_engine_bypassed_total",
+			"Telemetry handled by the CDet fallback instead of the model (CDetOnly).",
+			func() float64 { return float64(s.bypassed.Load()) }, lbl)
+		reg.CounterFunc("xatu_engine_snapshots_total",
+			"Background incremental monitor snapshots published.",
+			func() float64 { return float64(s.snapshots.Load()) }, lbl)
 	}
 	return m
 }
@@ -101,31 +134,56 @@ type ShardHealth struct {
 	QueueHighWater int    `json:"queue_high_water"`
 	Steps          uint64 `json:"steps"`
 	Channels       int    `json:"channels"`
+	Restarts       uint64 `json:"restarts,omitempty"`
+	Stalled        bool   `json:"stalled,omitempty"`
+	Dead           bool   `json:"dead,omitempty"`
+	LastPanic      string `json:"last_panic,omitempty"`
 }
 
 // EngineHealth is the engine's health report: OK while the shard fleet is
-// running (not closed), with per-shard queue depth so saturation is
-// visible before it becomes shed load.
+// running (not closed, no dead shard), with the degradation state and its
+// cause, and per-shard queue depth so saturation is visible before it
+// becomes shed load. Degraded/CDetOnly keep OK true — the engine is still
+// serving, just shedding work — so liveness probes don't kill a process
+// that is deliberately riding out overload.
 type EngineHealth struct {
 	OK     bool          `json:"ok"`
 	Closed bool          `json:"closed"`
+	State  string        `json:"state"`
+	Cause  string        `json:"cause,omitempty"`
 	Shards []ShardHealth `json:"shards"`
 }
 
-// Health snapshots shard liveness and queue depth. Safe to call from any
-// goroutine at any time, including after Close.
+// Health snapshots shard liveness, degradation state and queue depth.
+// Safe to call from any goroutine at any time, including after Close.
 func (e *Engine) Health() EngineHealth {
-	h := EngineHealth{Closed: e.closed(), Shards: make([]ShardHealth, len(e.shards))}
-	h.OK = !h.Closed
+	h := EngineHealth{
+		Closed: e.closed(),
+		State:  e.healthNow().String(),
+		Cause:  e.HealthCause(),
+		Shards: make([]ShardHealth, len(e.shards)),
+	}
+	dead := 0
 	for i, s := range e.shards {
-		h.Shards[i] = ShardHealth{
+		sh := ShardHealth{
 			Shard:          i,
 			QueueLen:       len(s.mail),
 			QueueCap:       cap(s.mail),
 			QueueHighWater: int(s.highWater.Load()),
 			Steps:          s.steps.Load(),
 			Channels:       int(s.channels.Load()),
+			Restarts:       s.restarts.Load(),
+			Stalled:        s.stalled.Load(),
+			Dead:           s.dead.Load(),
 		}
+		if sh.Restarts > 0 || sh.Dead {
+			sh.LastPanic = s.panicDetail()
+		}
+		if sh.Dead {
+			dead++
+		}
+		h.Shards[i] = sh
 	}
+	h.OK = !h.Closed && dead == 0
 	return h
 }

@@ -1,0 +1,128 @@
+package netflow
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestExporterBackoffSchedule pins the reconnect schedule: with jitter
+// stubbed to identity the delays double from BaseBackoff up to the
+// MaxBackoff ceiling and stay there, and a successful write resets the
+// schedule to base.
+func TestExporterBackoffSchedule(t *testing.T) {
+	exp, err := NewExporterWithConfig(ExporterConfig{
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  400 * time.Millisecond,
+		Dial:        func() (net.Conn, error) { return &deadConn{}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	exp.jitter = func(d time.Duration) time.Duration { return d }
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond, // ceiling
+		400 * time.Millisecond, // pinned at the ceiling
+		400 * time.Millisecond,
+	}
+	exp.mu.Lock()
+	for i, w := range want {
+		if got := exp.nextBackoffLocked(); got != w {
+			exp.mu.Unlock()
+			t.Fatalf("attempt %d: delay %v, want %v", i, got, w)
+		}
+	}
+	// A successful write resets to base (mirrors flushLocked's reset).
+	exp.backoff = exp.baseBackoff
+	if got := exp.nextBackoffLocked(); got != 50*time.Millisecond {
+		exp.mu.Unlock()
+		t.Fatalf("post-reset delay %v, want base 50ms", got)
+	}
+	exp.mu.Unlock()
+}
+
+// TestExporterBackoffFullJitter pins the jitter envelope: every delay is
+// drawn from [0, ceiling] while the pre-jitter schedule still doubles
+// underneath, so the cap bounds the worst case and the spread breaks
+// reconnect synchronization across a fleet.
+func TestExporterBackoffFullJitter(t *testing.T) {
+	exp, err := NewExporterWithConfig(ExporterConfig{
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		Dial:        func() (net.Conn, error) { return &deadConn{}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	ceilings := []time.Duration{1, 2, 4, 8, 8, 8, 8, 8}
+	exp.mu.Lock()
+	for i, c := range ceilings {
+		ceiling := c * time.Millisecond
+		if got := exp.nextBackoffLocked(); got < 0 || got > ceiling {
+			exp.mu.Unlock()
+			t.Fatalf("attempt %d: jittered delay %v outside [0, %v]", i, got, ceiling)
+		}
+	}
+	exp.mu.Unlock()
+	if fullJitter(0) != 0 {
+		t.Fatal("fullJitter(0) must be 0")
+	}
+	// The draw must actually spread: 64 draws from an 8ms window landing
+	// on a single value would mean the jitter is not wired in.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		d := fullJitter(8 * time.Millisecond)
+		if d < 0 || d > 8*time.Millisecond {
+			t.Fatalf("draw %v outside [0, 8ms]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("fullJitter produced a constant schedule")
+	}
+}
+
+// TestExporterWriteFailureUsesJitteredBackoff pins the integration: a
+// write failure parks the exporter for at most the current ceiling, and
+// the ceiling doubles per consecutive failure.
+func TestExporterWriteFailureUsesJitteredBackoff(t *testing.T) {
+	exp, err := NewExporterWithConfig(ExporterConfig{
+		BaseBackoff: 40 * time.Millisecond,
+		MaxBackoff:  80 * time.Millisecond,
+		Dial:        func() (net.Conn, error) { return &deadConn{}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	var jitterIn []time.Duration
+	exp.jitter = func(d time.Duration) time.Duration {
+		jitterIn = append(jitterIn, d)
+		return d / 2 // deterministic, mid-window
+	}
+	for i := 0; i < 30; i++ {
+		if err := exp.Export(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.Flush(); err != nil { // deadConn fails the write
+		t.Fatal(err)
+	}
+	if len(jitterIn) != 1 || jitterIn[0] != 40*time.Millisecond {
+		t.Fatalf("first failure drew from %v, want [40ms]", jitterIn)
+	}
+	exp.mu.Lock()
+	wait := time.Until(exp.downUntil)
+	exp.mu.Unlock()
+	if wait <= 0 || wait > 20*time.Millisecond {
+		t.Fatalf("downUntil %v from now, want ~20ms (half the 40ms window)", wait)
+	}
+	if st := exp.Stats(); st.WriteErrors != 1 {
+		t.Fatalf("write errors %d, want 1", st.WriteErrors)
+	}
+}

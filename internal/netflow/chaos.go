@@ -92,6 +92,17 @@ func NewChaosConn(conn net.Conn, cfg ChaosConfig) *ChaosConn {
 	return c
 }
 
+// SetRates replaces the fault probabilities mid-run, leaving the seeded
+// RNG streams untouched: a soak harness can ramp loss up and back down
+// without perturbing the other fault types' schedules. The Seed field of
+// cfg is ignored — the streams keep their construction-time seed.
+func (c *ChaosConn) SetRates(cfg ChaosConfig) {
+	c.mu.Lock()
+	cfg.Seed = c.cfg.Seed
+	c.cfg = cfg
+	c.mu.Unlock()
+}
+
 // roll draws from the fault type's dedicated RNG stream. The draw happens
 // even at rate zero so enabling one fault never shifts another's pattern.
 func (c *ChaosConn) roll(stream int, rate float64) bool {

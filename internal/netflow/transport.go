@@ -79,10 +79,13 @@ type Exporter struct {
 	maxPending  int
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
-	backoff     time.Duration // next reconnect delay
-	downUntil   time.Time     // no send attempts before this instant
-	hdrClock    time.Time     // record-clock mode: latest flow End exported (monotone)
-	stats       ExporterStats
+	backoff     time.Duration // next reconnect delay (pre-jitter)
+	// jitter draws the actual wait from the current backoff ceiling; the
+	// default is full jitter (uniform in [0, d]). Injectable for tests.
+	jitter    func(d time.Duration) time.Duration
+	downUntil time.Time // no send attempts before this instant
+	hdrClock  time.Time // record-clock mode: latest flow End exported (monotone)
+	stats     ExporterStats
 }
 
 // NewExporter dials the collector at addr ("host:port") with default
@@ -129,7 +132,26 @@ func NewExporterWithConfig(cfg ExporterConfig) (*Exporter, error) {
 		baseBackoff: cfg.BaseBackoff,
 		maxBackoff:  cfg.MaxBackoff,
 		backoff:     cfg.BaseBackoff,
+		jitter:      fullJitter,
 	}, nil
+}
+
+// fullJitter draws a delay uniformly from [0, d]. A fleet of exporters cut
+// off by the same collector outage spreads its reconnect attempts across
+// the whole backoff window instead of thundering back in lockstep.
+func fullJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(d) + 1))
+}
+
+// nextBackoffLocked returns the jittered delay before the next reconnect
+// attempt and doubles the schedule up to the MaxBackoff ceiling.
+func (e *Exporter) nextBackoffLocked() time.Duration {
+	d := e.jitter(e.backoff)
+	e.backoff = minDuration(e.backoff*2, e.maxBackoff)
+	return d
 }
 
 // Export queues a record, flushing a full datagram when 30 records are
@@ -219,8 +241,7 @@ func (e *Exporter) flushLocked() error {
 			e.stats.WriteErrors++
 			e.conn.Close()
 			e.conn = nil
-			e.downUntil = time.Now().Add(e.backoff)
-			e.backoff = minDuration(e.backoff*2, e.maxBackoff)
+			e.downUntil = time.Now().Add(e.nextBackoffLocked())
 			return nil // retried on a later Flush/Export
 		}
 		e.backoff = e.baseBackoff
@@ -240,8 +261,7 @@ func (e *Exporter) redialLocked() bool {
 	conn, err := e.dial()
 	if err != nil {
 		e.stats.DialErrors++
-		e.downUntil = time.Now().Add(e.backoff)
-		e.backoff = minDuration(e.backoff*2, e.maxBackoff)
+		e.downUntil = time.Now().Add(e.nextBackoffLocked())
 		return false
 	}
 	e.conn = conn

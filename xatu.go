@@ -193,6 +193,10 @@ type (
 	MLContext = eval.MLContext
 	// ExperimentResult is a rendered experiment table.
 	ExperimentResult = eval.Result
+	// Episode is one labeled attack window matched between ground truth
+	// and CDet labels (used by the chaos/soak harnesses for per-episode
+	// detection-delay accounting).
+	Episode = eval.Episode
 	// AttackOutcome is the per-attack metric accounting.
 	AttackOutcome = metrics.AttackOutcome
 )
