@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz bench-json bench-smoke soak soak-smoke lint check
+.PHONY: build vet test race fuzz bench-json bench-smoke soak soak-smoke fleet-smoke fleet-bench lint check
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test:
 # parallel ingest pipeline, the telemetry registry, and the root-package
 # integration tests.
 race:
-	$(GO) test -race ./internal/netflow ./internal/nn ./internal/core ./internal/engine ./internal/ingest ./internal/telemetry .
+	$(GO) test -race ./internal/netflow ./internal/nn ./internal/core ./internal/engine ./internal/ingest ./internal/cluster ./internal/telemetry .
 
 # Static analysis: vet + gofmt always; staticcheck when installed (CI
 # installs it, local machines may not have it).
@@ -58,10 +58,24 @@ soak:
 soak-smoke:
 	$(GO) run ./cmd/xatu-soak -smoke -assert -out /tmp/BENCH_soak_smoke.json
 
+# Distributed serving acceptance: coordinator + engine-node fleet with a
+# table-following ingest router, replayed at 1/2/4 nodes with a live
+# mid-run join, a forced rebalance, and a node kill + rejoin under the
+# same ID. `fleet-smoke` is the CI gate (2-day world) asserting
+# cluster-wide alert-set parity against the 1-node baseline;
+# `fleet-bench` is the fuller run that regenerates the committed
+# BENCH_cluster.json (records/s and migration pause at each size).
+fleet-smoke:
+	$(GO) run ./cmd/xatu-fleet -smoke -assert > /dev/null
+
+fleet-bench:
+	$(GO) run ./cmd/xatu-fleet -days 6 -assert | $(GO) run ./cmd/benchjson > BENCH_cluster.json
+	@cat BENCH_cluster.json
+
 # Short fuzz pass over the wire codec and journal (CI smoke; run longer
 # locally with -fuzztime as needed).
 fuzz:
 	$(GO) test ./internal/netflow -run '^$$' -fuzz FuzzDecodeV5 -fuzztime 10s
 	$(GO) test ./internal/netflow -run '^$$' -fuzz FuzzJournalRoundTrip -fuzztime 10s
 
-check: build lint test race
+check: build lint test race fleet-smoke

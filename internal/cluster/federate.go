@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// federatedMetrics serves the coordinator's own families followed by
+// every live node's scraped families with a node="id" label injected
+// into each sample, deduping # HELP / # TYPE headers across sources so
+// the merged exposition stays valid Prometheus text format.
+func (c *Coordinator) federatedMetrics(w http.ResponseWriter, r *http.Request) {
+	var out bytes.Buffer
+	seenMeta := make(map[string]bool)
+	if reg := c.cfg.Telemetry; reg != nil {
+		var own bytes.Buffer
+		if err := reg.WritePrometheus(&own); err == nil {
+			appendExposition(&out, own.Bytes(), "", seenMeta)
+		}
+	}
+	nodes := c.CurrentTable().Nodes
+	bodies := make([][]byte, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		if n.Metrics == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n NodeInfo) {
+			defer wg.Done()
+			resp, err := c.client.Get("http://" + n.Metrics + "/metrics")
+			if err != nil {
+				c.cfg.Logf("cluster: scrape %s: %v", n.ID, err)
+				return
+			}
+			defer resp.Body.Close()
+			var b bytes.Buffer
+			if _, err := b.ReadFrom(resp.Body); err == nil {
+				bodies[i] = b.Bytes()
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	for i, n := range nodes {
+		if bodies[i] != nil {
+			appendExposition(&out, bodies[i], n.ID, seenMeta)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write(out.Bytes())
+}
+
+// appendExposition copies one source's exposition into dst. Samples get
+// a node label injected when node is non-empty; # HELP / # TYPE lines
+// already emitted for a family (by any source) are skipped.
+func appendExposition(dst *bytes.Buffer, body []byte, node string, seenMeta map[string]bool) {
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if f := strings.Fields(line); len(f) >= 3 {
+				key := f[1] + " " + f[2] // "HELP name" / "TYPE name"
+				if seenMeta[key] {
+					continue
+				}
+				seenMeta[key] = true
+			}
+			dst.WriteString(line)
+			dst.WriteByte('\n')
+			continue
+		}
+		if node != "" {
+			line = injectNodeLabel(line, node)
+		}
+		dst.WriteString(line)
+		dst.WriteByte('\n')
+	}
+}
+
+// injectNodeLabel rewrites one sample line to carry node="id". The first
+// '{' on the line necessarily opens the label set (metric names cannot
+// contain it), so insertion there is safe even when label values contain
+// spaces or braces; unlabeled samples split at the first space, which
+// cannot appear in a metric name.
+func injectNodeLabel(line, node string) string {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		return line[:i+1] + `node="` + node + `",` + line[i+1:]
+	}
+	if i := strings.IndexByte(line, ' '); i > 0 {
+		return line[:i] + `{node="` + node + `"}` + line[i:]
+	}
+	return line
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"sync/atomic"
 	"time"
 )
 
@@ -79,6 +80,206 @@ func (e *Engine) CheckpointIncremental(w io.Writer) error {
 		}
 	}
 	return writeEngineCheckpoint(w, segs)
+}
+
+// CheckpointCustomers drains the engine and writes a version-2 checkpoint
+// holding only the channels of customers matching pred — the migration
+// segment a cluster node streams to a customer's successor. The byte
+// framing is exactly Checkpoint's (XMC1-v2, length-prefixed version-1
+// segments), so Restore and RestoreCustomers read the output unchanged;
+// the channel records pass through at the framing level, never
+// re-encoded, so the moved streams stay bit-exact. Returns the number of
+// channels written. Producers for the matching customers should be
+// quiesced or buffered by the caller for the duration (the engine-level
+// contract is the same as Checkpoint's).
+func (e *Engine) CheckpointCustomers(w io.Writer, pred func(netip.Addr) bool) (int, error) {
+	if err := e.Drain(); err != nil {
+		return 0, err
+	}
+	bufs := make([]bytes.Buffer, len(e.shards))
+	errs, err := e.barrier(func(s *shard) message {
+		return message{op: opCheckpoint, buf: &bufs[s.id]}
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("xatu: checkpoint shard %d: %w", i, err)
+		}
+	}
+	total := 0
+	segs := make([][]byte, len(bufs))
+	for i := range bufs {
+		chans, err := blobRawChans(bufs[i].Bytes())
+		if err != nil {
+			return 0, fmt.Errorf("xatu: checkpoint shard %d: %w", i, err)
+		}
+		var kept []rawChan
+		for _, rc := range chans {
+			if pred(rc.customer) {
+				kept = append(kept, rc)
+			}
+		}
+		total += len(kept)
+		segs[i] = buildMonitorBlob(kept)
+	}
+	return total, writeEngineCheckpoint(w, segs)
+}
+
+// RestoreCustomers merges the channels of a checkpoint (any layout
+// Restore accepts, typically a CheckpointCustomers segment) into the
+// running engine: existing channels of the incoming customers are
+// replaced wholesale, every other customer's state is untouched, and the
+// incoming records are re-partitioned onto this engine's shards by the
+// stable hash. pred, when non-nil, filters which incoming customers are
+// absorbed (a migration target passes "owned by me under the current
+// routing table" so a source can broadcast one segment to many
+// successors). Each shard's merge runs atomically on the shard's own
+// goroutine, so steps concurrently submitted for non-moving customers are
+// never lost or applied to stale state. Returns the number of channels
+// absorbed.
+func (e *Engine) RestoreCustomers(r io.Reader, pred func(netip.Addr) bool) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("xatu: reading checkpoint: %w", err)
+	}
+	segs, err := checkpointSegments(data)
+	if err != nil {
+		return 0, err
+	}
+	parts := make([][]rawChan, len(e.shards))
+	owners := make(map[netip.Addr]bool)
+	total := 0
+	for i, seg := range segs {
+		chans, err := scanMonitorBody(seg)
+		if err != nil {
+			return 0, fmt.Errorf("xatu: checkpoint segment %d: %w", i, err)
+		}
+		for _, rc := range chans {
+			if pred != nil && !pred(rc.customer) {
+				continue
+			}
+			sh := shardOf(rc.customer, len(e.shards))
+			parts[sh] = append(parts[sh], rc)
+			owners[rc.customer] = true
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	mcfg := e.cfg.Monitor
+	errs, err := e.barrier(func(s *shard) message {
+		add := parts[s.id]
+		return message{op: opRewrite, rewrite: func(m *Monitor) (*Monitor, error) {
+			cur, err := monitorRawChans(m)
+			if err != nil {
+				return nil, err
+			}
+			kept := make([]rawChan, 0, len(cur)+len(add))
+			for _, rc := range cur {
+				if !owners[rc.customer] {
+					kept = append(kept, rc)
+				}
+			}
+			if len(add) == 0 && len(kept) == len(cur) {
+				return nil, nil // nothing to replace on this shard
+			}
+			kept = append(kept, add...)
+			mon, err := NewMonitor(mcfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := mon.Restore(bytes.NewReader(buildMonitorBlob(kept))); err != nil {
+				return nil, err
+			}
+			return mon, nil
+		}}
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("xatu: merging shard %d: %w", i, err)
+		}
+	}
+	return total, nil
+}
+
+// RemoveCustomers drops every channel whose customer matches pred — the
+// source side of a completed migration. Each shard's filter runs
+// atomically on the shard goroutine. Returns the number of channels
+// removed.
+func (e *Engine) RemoveCustomers(pred func(netip.Addr) bool) (int, error) {
+	var removed atomic.Int64
+	mcfg := e.cfg.Monitor
+	errs, err := e.barrier(func(s *shard) message {
+		return message{op: opRewrite, rewrite: func(m *Monitor) (*Monitor, error) {
+			cur, err := monitorRawChans(m)
+			if err != nil {
+				return nil, err
+			}
+			kept := make([]rawChan, 0, len(cur))
+			n := 0
+			for _, rc := range cur {
+				if pred(rc.customer) {
+					n++
+				} else {
+					kept = append(kept, rc)
+				}
+			}
+			if n == 0 {
+				return nil, nil
+			}
+			mon, err := NewMonitor(mcfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := mon.Restore(bytes.NewReader(buildMonitorBlob(kept))); err != nil {
+				return nil, err
+			}
+			removed.Add(int64(n))
+			return mon, nil
+		}}
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("xatu: filtering shard %d: %w", i, err)
+		}
+	}
+	return int(removed.Load()), nil
+}
+
+// monitorRawChans serializes a monitor and lifts its channel records at
+// the framing level, for shard-goroutine rewrites.
+func monitorRawChans(m *Monitor) ([]rawChan, error) {
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		return nil, err
+	}
+	return blobRawChans(buf.Bytes())
+}
+
+// blobRawChans splits a full version-1 monitor blob (magic + header +
+// channels) into its channel records.
+func blobRawChans(blob []byte) ([]rawChan, error) {
+	r := bytes.NewReader(blob)
+	version, n, err := readMonitorCkptHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if version != monitorCkptVersion {
+		return nil, fmt.Errorf("xatu: unexpected monitor blob version %d", version)
+	}
+	seg := make([]byte, 0, 4+r.Len())
+	seg = binary.LittleEndian.AppendUint32(seg, n)
+	seg = append(seg, blob[len(blob)-r.Len():]...)
+	return scanMonitorBody(seg)
 }
 
 // writeEngineCheckpoint frames per-shard version-1 monitor blobs into the

@@ -216,6 +216,7 @@ const (
 	opBarrier    // Drain: ack once everything queued before it is done
 	opCheckpoint // serialize the shard's monitor into msg.buf
 	opSwap       // replace the shard's monitor with msg.mon (Restore)
+	opRewrite    // transform the shard's monitor in place (subset restore/remove)
 	opInject     // InjectFault: panic inside the shard loop (chaos testing)
 )
 
@@ -229,6 +230,13 @@ type message struct {
 	done     chan error    // barrier-family acks (buffered, never blocks)
 	buf      *bytes.Buffer // opCheckpoint target
 	mon      *Monitor      // opSwap replacement
+	// rewrite runs inside the shard goroutine for opRewrite: it returns a
+	// replacement monitor (nil = keep the current one unchanged). Running
+	// on the shard's own goroutine makes checkpoint-filter-rebuild atomic
+	// with respect to that shard's step processing — no window exists in
+	// which a concurrently submitted step could land on state about to be
+	// replaced.
+	rewrite func(*Monitor) (*Monitor, error)
 }
 
 type shard struct {
@@ -399,6 +407,14 @@ func ShardOf(customer netip.Addr, n int) int {
 }
 
 func shardOf(customer netip.Addr, n int) int {
+	return int(addrHash(customer) % uint64(n))
+}
+
+// addrHash is the stable FNV-1a hash over the address's 16-byte form that
+// every partitioning level derives from. Using As16 makes an IPv4 address
+// and its v4-mapped IPv6 form hash identically, so a customer keeps its
+// placement no matter which representation a decoder produced.
+func addrHash(customer netip.Addr) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -408,7 +424,25 @@ func shardOf(customer netip.Addr, n int) int {
 	for _, c := range b {
 		h = (h ^ uint64(c)) * prime64
 	}
-	return int(h % uint64(n))
+	return h
+}
+
+// NodeOf is the two-level fleet generalization of ShardOf: it partitions a
+// customer first across nodes, then across shards within the owning node.
+// The node level remixes the shared FNV-1a hash through a 64-bit finalizer
+// so the two levels stay independent — without it, nodes == shards would
+// pin every customer of node i onto shard i. The shard level IS ShardOf,
+// so a fleet of one node places every customer exactly where a
+// single-process Engine does: NodeOf(c, 1, n) == (0, ShardOf(c, n)).
+func NodeOf(customer netip.Addr, nodes, shards int) (node, shard int) {
+	h := addrHash(customer)
+	m := h
+	m ^= m >> 33
+	m *= 0xff51afd7ed558ccd
+	m ^= m >> 33
+	m *= 0xc4ceb9fe1a85ec53
+	m ^= m >> 33
+	return int(m % uint64(nodes)), int(h % uint64(shards))
 }
 
 // Alerts returns the fan-in alert channel. Alerts from one customer are
@@ -787,6 +821,18 @@ func (e *Engine) handle(s *shard, msg message, st HealthState) bool {
 		s.snap.Store(nil)
 		e.snapshotShard(s)
 		msg.done <- nil
+	case opRewrite:
+		mon, err := msg.rewrite(s.mon)
+		if err == nil && mon != nil {
+			s.mon = mon
+			s.channels.Store(int64(s.mon.Channels()))
+			// Same re-basing rules as opSwap: the snapshot and WAL describe
+			// the pre-rewrite state.
+			s.walHead, s.walN, s.walEvicted = 0, 0, 0
+			s.snap.Store(nil)
+			e.snapshotShard(s)
+		}
+		msg.done <- err
 	case opInject:
 		panic(fmt.Sprintf("engine: injected fault on shard %d", s.id))
 	default:

@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// TestNodeOfSingleNodeMatchesShardOf pins the compatibility contract of
+// the two-level hash: a fleet of one node places every customer exactly
+// where a single-process Engine does.
+func TestNodeOfSingleNodeMatchesShardOf(t *testing.T) {
+	for _, c := range testCustomers(64) {
+		for _, shards := range []int{1, 2, 4, 7, 16} {
+			node, shard := NodeOf(c, 1, shards)
+			if node != 0 {
+				t.Fatalf("NodeOf(%v, 1, %d) node = %d, want 0", c, shards, node)
+			}
+			if want := ShardOf(c, shards); shard != want {
+				t.Fatalf("NodeOf(%v, 1, %d) shard = %d, want ShardOf = %d", c, shards, shard, want)
+			}
+		}
+	}
+}
+
+// TestNodeOfV4MappedInvariant pins that an IPv4 customer and its
+// v4-mapped IPv6 form land on the same (node, shard) — both levels hash
+// the 16-byte As16 form.
+func TestNodeOfV4MappedInvariant(t *testing.T) {
+	for _, c := range testCustomers(32) {
+		mapped := netip.AddrFrom16(c.As16())
+		for _, nodes := range []int{1, 3, 4, 8} {
+			n4, s4 := NodeOf(c, nodes, 4)
+			n6, s6 := NodeOf(mapped, nodes, 4)
+			if n4 != n6 || s4 != s6 {
+				t.Fatalf("NodeOf(%v) = (%d,%d) but v4-mapped form = (%d,%d)", c, n4, s4, n6, s6)
+			}
+			if ShardOf(c, 4) != ShardOf(mapped, 4) {
+				t.Fatalf("ShardOf v4-mapped invariant broken for %v", c)
+			}
+		}
+	}
+}
+
+// TestNodeOfGolden pins concrete hash outputs so an accidental change to
+// either level of the partition function — which would strand every
+// deployed checkpoint and routing table — fails loudly.
+func TestNodeOfGolden(t *testing.T) {
+	cases := []struct {
+		addr        string
+		nodes       int
+		shards      int
+		node, shard int
+	}{
+		{"203.0.113.1", 4, 4, 1, 2},
+		{"203.0.113.2", 4, 4, 1, 3},
+		{"203.0.113.3", 4, 4, 1, 0},
+		{"203.0.113.4", 4, 4, 2, 1},
+		{"203.0.113.1", 3, 16, 2, 6},
+		{"198.51.100.7", 4, 8, 0, 5},
+	}
+	for _, tc := range cases {
+		node, shard := NodeOf(netip.MustParseAddr(tc.addr), tc.nodes, tc.shards)
+		if node != tc.node || shard != tc.shard {
+			t.Errorf("NodeOf(%s, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.addr, tc.nodes, tc.shards, node, shard, tc.node, tc.shard)
+		}
+	}
+	// ShardOf's mapping predates NodeOf and must stay byte-for-byte what
+	// existing XMC1 rehash-on-restore and ingest partitioning rely on.
+	shardGolden := []struct {
+		addr  string
+		n     int
+		shard int
+	}{
+		{"203.0.113.1", 4, 2},
+		{"203.0.113.2", 4, 3},
+		{"203.0.113.3", 4, 0},
+		{"203.0.113.4", 4, 1},
+	}
+	for _, tc := range shardGolden {
+		if got := ShardOf(netip.MustParseAddr(tc.addr), tc.n); got != tc.shard {
+			t.Errorf("ShardOf(%s, %d) = %d, want %d", tc.addr, tc.n, got, tc.shard)
+		}
+	}
+}
+
+// TestNodeOfLevelsDecorrelated verifies the reason NodeOf remixes the
+// hash: with nodes == shards, the customers owned by one node must still
+// spread across that node's shards instead of all landing on shard i.
+func TestNodeOfLevelsDecorrelated(t *testing.T) {
+	const n = 4
+	shardsSeen := make(map[int]map[int]bool)
+	for i := 0; i < 256; i++ {
+		c := netip.AddrFrom4([4]byte{10, 0, byte(i / 250), byte(i%250 + 1)})
+		node, shard := NodeOf(c, n, n)
+		if shardsSeen[node] == nil {
+			shardsSeen[node] = make(map[int]bool)
+		}
+		shardsSeen[node][shard] = true
+	}
+	for node, shards := range shardsSeen {
+		if len(shards) < 2 {
+			t.Errorf("node %d's customers all landed on %d shard(s); levels are correlated", node, len(shards))
+		}
+	}
+}
+
+// subsetTestEngine builds an engine, feeds steps steps of UDP-flood
+// traffic for every customer, and drains it. Alerts are discarded by a
+// background reader.
+func subsetTestEngine(t *testing.T, shards int, customers []netip.Addr, steps int, t0 time.Time) (*Engine, func()) {
+	t.Helper()
+	eng, err := New(Config{Monitor: tinyMonitorConfig(t), Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range eng.Alerts() {
+		}
+	}()
+	for s := 0; s < steps; s++ {
+		for _, c := range customers {
+			if err := eng.Submit(c, t0.Add(time.Duration(s)*time.Minute), udpFlows(c, s, t0)); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, func() { eng.Close(); <-done }
+}
+
+// TestCheckpointCustomersSubsetRestore pins the migration segment
+// round-trip: a per-customer-subset checkpoint restored onto a fresh
+// engine reproduces exactly the subset's channels, bit-exactly — the
+// fresh engine's own checkpoint is byte-identical to the subset file.
+func TestCheckpointCustomersSubsetRestore(t *testing.T) {
+	t0 := time.Unix(1700000000, 0).UTC()
+	customers := testCustomers(8)
+	eng, stop := subsetTestEngine(t, 4, customers, 12, t0)
+	defer stop()
+
+	subset := map[netip.Addr]bool{customers[1]: true, customers[4]: true, customers[6]: true}
+	var seg bytes.Buffer
+	n, err := eng.CheckpointCustomers(&seg, func(c netip.Addr) bool { return subset[c] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(subset) {
+		t.Fatalf("CheckpointCustomers wrote %d channels, want %d", n, len(subset))
+	}
+
+	fresh, err := New(Config{Monitor: tinyMonitorConfig(t), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	go func() {
+		for range fresh.Alerts() {
+		}
+	}()
+	if err := fresh.Restore(bytes.NewReader(seg.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Stats().Channels; got != len(subset) {
+		t.Fatalf("restored engine has %d channels, want %d", got, len(subset))
+	}
+	var back bytes.Buffer
+	if err := fresh.Checkpoint(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seg.Bytes(), back.Bytes()) {
+		t.Fatalf("subset restore is not bit-exact: segment %d bytes, re-checkpoint %d bytes", seg.Len(), back.Len())
+	}
+}
+
+// TestRestoreCustomersMergeRemove walks the full live-migration state
+// change: a subset segment merges into a running engine that already has
+// its own customers (replacing any stale state for the moving customers),
+// and the source drops the moved channels — with the moved streams
+// bit-exact on the destination.
+func TestRestoreCustomersMergeRemove(t *testing.T) {
+	t0 := time.Unix(1700000000, 0).UTC()
+	customers := testCustomers(6)
+	src, stopSrc := subsetTestEngine(t, 4, customers[:4], 12, t0)
+	defer stopSrc()
+	dst, stopDst := subsetTestEngine(t, 2, customers[4:], 12, t0)
+	defer stopDst()
+
+	moving := map[netip.Addr]bool{customers[0]: true, customers[2]: true}
+	movingPred := func(c netip.Addr) bool { return moving[c] }
+
+	var seg bytes.Buffer
+	if _, err := src.CheckpointCustomers(&seg, movingPred); err != nil {
+		t.Fatal(err)
+	}
+	added, err := dst.RestoreCustomers(bytes.NewReader(seg.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 {
+		t.Fatalf("RestoreCustomers absorbed %d channels, want 2", added)
+	}
+	if got := dst.Stats().Channels; got != 4 {
+		t.Fatalf("destination has %d channels after merge, want 4 (2 resident + 2 moved)", got)
+	}
+	removed, err := src.RemoveCustomers(movingPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("RemoveCustomers dropped %d channels, want 2", removed)
+	}
+	if got := src.Stats().Channels; got != 2 {
+		t.Fatalf("source has %d channels after removal, want 2", got)
+	}
+
+	// The moved streams must be byte-identical on the destination.
+	var dstSeg bytes.Buffer
+	if _, err := dst.CheckpointCustomers(&dstSeg, movingPred); err != nil {
+		t.Fatal(err)
+	}
+	srcChans := segChans(t, seg.Bytes())
+	dstChans := segChans(t, dstSeg.Bytes())
+	if len(srcChans) != len(dstChans) {
+		t.Fatalf("moved channel count: src %d, dst %d", len(srcChans), len(dstChans))
+	}
+	for addr, raw := range srcChans {
+		if !bytes.Equal(raw, dstChans[addr]) {
+			t.Errorf("stream for %v changed bytes across the migration", addr)
+		}
+	}
+
+	// A second merge of the same customers replaces, not duplicates.
+	if _, err := dst.RestoreCustomers(bytes.NewReader(seg.Bytes()), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Stats().Channels; got != 4 {
+		t.Fatalf("re-merge duplicated channels: have %d, want 4", got)
+	}
+
+	// The pred filter absorbs only matching customers.
+	third, err := New(Config{Monitor: tinyMonitorConfig(t), Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	only := customers[0]
+	absorbed, err := third.RestoreCustomers(bytes.NewReader(seg.Bytes()), func(c netip.Addr) bool { return c == only })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if absorbed != 1 || third.Stats().Channels != 1 {
+		t.Fatalf("pred-filtered merge absorbed %d channels (engine has %d), want 1", absorbed, third.Stats().Channels)
+	}
+}
+
+// segChans flattens a version-2 checkpoint into customer → raw channel
+// record bytes (framing level, shard layout ignored).
+func segChans(t *testing.T, data []byte) map[netip.Addr][]byte {
+	t.Helper()
+	segs, err := checkpointSegments(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[netip.Addr][]byte)
+	for _, seg := range segs {
+		chans, err := scanMonitorBody(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rc := range chans {
+			out[rc.customer] = rc.raw
+		}
+	}
+	return out
+}

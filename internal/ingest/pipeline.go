@@ -43,8 +43,18 @@ import (
 // storage is recycled afterwards — so a retaining sink must copy.
 type StepFunc func(customer netip.Addr, at time.Time, feat []float64, flows []netflow.Record)
 
+// Submitter is the engine-shaped step sink: one sealed (customer, step)
+// bucket per call, with ownership of the record slice transferring to the
+// callee (the pipeline recycles only the batch shell). *engine.Engine
+// satisfies it; cluster nodes implement it to route steps by ownership
+// table before they reach a local engine.
+type Submitter interface {
+	Submit(customer netip.Addr, at time.Time, flows []netflow.Record) error
+}
+
 // Config assembles a Pipeline. Exactly one sink must be set: OnStep
-// (optionally with an Extractor) or Engine (which extracts internally).
+// (optionally with an Extractor), Engine, or Sink (both of which extract
+// downstream).
 type Config struct {
 	// DecodeWorkers is the number of decode goroutines (M). Zero =
 	// GOMAXPROCS.
@@ -67,6 +77,10 @@ type Config struct {
 	// Engine receives sealed steps via Submit. Record slices are handed
 	// off to the engine's mailboxes per its contract.
 	Engine *engine.Engine
+	// Sink receives sealed steps via Submit under the same ownership
+	// handoff as Engine, through the Submitter interface instead of a
+	// concrete engine.
+	Sink Submitter
 	// Telemetry, when non-nil, registers the xatu_ingest_* metric
 	// families. Nil disables instrumentation at zero hot-path cost.
 	Telemetry *telemetry.Registry
@@ -171,11 +185,21 @@ type aggWorker struct {
 
 // New validates cfg, starts the workers, and returns the running pipeline.
 func New(cfg Config) (*Pipeline, error) {
-	if (cfg.OnStep == nil) == (cfg.Engine == nil) {
-		return nil, errors.New("ingest: exactly one of OnStep and Engine must be set")
+	sinks := 0
+	for _, set := range []bool{cfg.OnStep != nil, cfg.Engine != nil, cfg.Sink != nil} {
+		if set {
+			sinks++
+		}
 	}
-	if cfg.Engine != nil && cfg.Extractor != nil {
-		return nil, errors.New("ingest: Extractor must be nil with Engine (monitors extract internally)")
+	if sinks != 1 {
+		return nil, errors.New("ingest: exactly one of OnStep, Engine, and Sink must be set")
+	}
+	if cfg.OnStep == nil && cfg.Extractor != nil {
+		return nil, errors.New("ingest: Extractor must be nil with Engine or Sink (monitors extract internally)")
+	}
+	if cfg.Engine != nil {
+		// One internal path: an Engine is just the concrete Submitter.
+		cfg.Sink = cfg.Engine
 	}
 	if cfg.DecodeWorkers <= 0 {
 		cfg.DecodeWorkers = runtime.GOMAXPROCS(0)
@@ -371,16 +395,16 @@ func (w *aggWorker) emit(sealed []netflow.StepBatch) {
 				feat = w.featBuf
 			}
 			w.steps.Add(1)
-			if p.cfg.Engine != nil {
-				// Submit hands the record slice to the engine's mailbox;
+			if p.cfg.Sink != nil {
+				// Submit hands the record slice to the sink's mailbox;
 				// ErrClosed during shutdown races is the only expected error
-				// and means the step is dropped with the engine's consent.
-				_ = p.cfg.Engine.Submit(dst, b.Start, recs)
+				// and means the step is dropped with the sink's consent.
+				_ = p.cfg.Sink.Submit(dst, b.Start, recs)
 			} else {
 				p.cfg.OnStep(dst, b.Start, feat, recs)
 			}
 		}
-		if p.cfg.Engine != nil {
+		if p.cfg.Sink != nil {
 			w.agg.RecycleShell(b)
 		} else {
 			w.agg.Recycle(b)

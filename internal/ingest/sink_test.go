@@ -1,0 +1,83 @@
+package ingest
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/netflow"
+)
+
+// captureSink is a Submitter that tallies steps and records per customer.
+type captureSink struct {
+	mu      sync.Mutex
+	steps   int
+	records map[netip.Addr]int
+}
+
+func (s *captureSink) Submit(customer netip.Addr, at time.Time, flows []netflow.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.steps++
+	if s.records == nil {
+		s.records = make(map[netip.Addr]int)
+	}
+	s.records[customer] += len(flows)
+	return nil
+}
+
+// TestPipelineSink pins the Submitter sink path: steps reach the Sink
+// with the same per-customer record totals as the stream carried.
+func TestPipelineSink(t *testing.T) {
+	pkts, customers := buildStream(t, 2, 3, 6)
+	sink := &captureSink{}
+	p, err := New(Config{DecodeWorkers: 2, AggWorkers: 2, Step: time.Minute, Lateness: time.Hour, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[netip.Addr]int)
+	for _, sp := range pkts {
+		p.HandlePacket(sp.src, sp.pkt)
+		_, recs, err := netflow.DecodeV5(sp.pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			want[r.Dst]++
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.steps == 0 {
+		t.Fatal("sink saw no steps")
+	}
+	for _, c := range customers {
+		if sink.records[c] != want[c] {
+			t.Errorf("customer %v: sink saw %d records, want %d", c, sink.records[c], want[c])
+		}
+	}
+}
+
+// TestConfigSinkValidation pins that exactly one sink is required and
+// that Extractor only composes with OnStep.
+func TestConfigSinkValidation(t *testing.T) {
+	sink := &captureSink{}
+	if _, err := New(Config{}); err == nil {
+		t.Error("no sink accepted")
+	}
+	if _, err := New(Config{Sink: sink, OnStep: func(netip.Addr, time.Time, []float64, []netflow.Record) {}}); err == nil {
+		t.Error("two sinks accepted")
+	}
+	if _, err := New(Config{Sink: sink, Extractor: testExtractor()}); err == nil {
+		t.Error("Extractor with Sink accepted")
+	}
+	p, err := New(Config{Sink: sink})
+	if err != nil {
+		t.Fatalf("single Sink rejected: %v", err)
+	}
+	p.Close()
+}
