@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz bench-json bench-smoke soak soak-smoke fleet-smoke fleet-bench lint check
+.PHONY: build vet test race fuzz bench-json bench-smoke soak soak-smoke fleet-smoke fleet-bench trace-smoke lint check
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test:
 # parallel ingest pipeline, the telemetry registry, and the root-package
 # integration tests.
 race:
-	$(GO) test -race ./internal/netflow ./internal/nn ./internal/core ./internal/engine ./internal/ingest ./internal/cluster ./internal/telemetry .
+	$(GO) test -race ./internal/netflow ./internal/nn ./internal/core ./internal/engine ./internal/ingest ./internal/cluster ./internal/telemetry ./internal/trace .
 
 # Static analysis: vet + gofmt always; staticcheck when installed (CI
 # installs it, local machines may not have it).
@@ -72,10 +72,19 @@ fleet-bench:
 	$(GO) run ./cmd/xatu-fleet -days 6 -assert | $(GO) run ./cmd/benchjson > BENCH_cluster.json
 	@cat BENCH_cluster.json
 
+# Observability acceptance: the 2-node fleet run with 1-in-64 flow
+# tracing must yield coordinator-assembled cross-node timelines
+# (export→seal→step on the nodes joined with the coordinator's fan-in
+# span), and a controlled exporter→ingest replay (the BENCH_ingest hot
+# path, in-process) must hold tracing-on throughput within 5% of
+# tracing-off (median of paired off/on runs).
+trace-smoke:
+	$(GO) run ./cmd/xatu-fleet -smoke -assert -trace 64 > /dev/null
+
 # Short fuzz pass over the wire codec and journal (CI smoke; run longer
 # locally with -fuzztime as needed).
 fuzz:
 	$(GO) test ./internal/netflow -run '^$$' -fuzz FuzzDecodeV5 -fuzztime 10s
 	$(GO) test ./internal/netflow -run '^$$' -fuzz FuzzJournalRoundTrip -fuzztime 10s
 
-check: build lint test race fleet-smoke
+check: build lint test race fleet-smoke trace-smoke

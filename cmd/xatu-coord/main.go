@@ -29,6 +29,7 @@ func main() {
 		sweep   = flag.Duration("sweep-every", 0, "liveness sweep period (0 = heartbeat-timeout/4)")
 		dedup   = flag.Duration("dedup-window", 10*time.Minute, "at-most-once alert fan-in window")
 		alertsF = flag.Bool("print-alerts", true, "print each accepted alert to stdout")
+		traceN  = flag.Int("trace", 0, "deterministic 1-in-N flow tracing (0 = off; must match the nodes' and router's -trace)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		SweepEvery:       *sweep,
 		DedupWindow:      *dedup,
 		Telemetry:        reg,
+		TraceSample:      *traceN,
 		Logf:             logf,
 	})
 	defer coord.Close()
@@ -48,6 +50,7 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Printf("coordinator on http://%s (shards=%d, heartbeat timeout %v)\n", srv.Addr(), *shards, *hbTmo)
+	fmt.Printf("ops console on http://%s/console (traces /v1/traces, incidents /v1/incidents)\n", srv.Addr())
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()

@@ -45,6 +45,7 @@ func main() {
 		lateness = flag.Duration("lateness", 2*time.Minute, "how far out of order records may arrive before a step seals without them")
 		workers  = flag.Int("workers", 2, "ingest decode + aggregation workers")
 		queue    = flag.Int("queue", 1024, "per-shard mailbox capacity")
+		traceN   = flag.Int("trace", 0, "deterministic 1-in-N flow tracing (0 = off; must match the coordinator's and router's -trace)")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -84,6 +85,7 @@ func main() {
 		},
 		DecodeWorkers: *workers,
 		AggWorkers:    *workers,
+		TraceSample:   *traceN,
 		Step:          *step,
 		Lateness:      *lateness,
 		Logf:          logf,

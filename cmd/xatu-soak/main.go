@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -95,6 +96,11 @@ func main() {
 		rep.Faults.InjectedPanics, rep.Faults.Restarts, rep.Faults.WALReplayed, rep.Faults.Lost, rep.Health.FinalState)
 	fmt.Printf("parity: %d/%d episodes compared, max |drift| %d steps (envelope %d)\n",
 		rep.Detection.Compared, rep.Detection.Episodes, rep.Detection.MaxAbsDrift, *drift)
+	fmt.Printf("flight: %d ring events, %d incident dumps", rep.Flight.Events, len(rep.Flight.Dumps))
+	for _, d := range rep.Flight.Dumps {
+		fmt.Printf(" [%s]", d.Trigger)
+	}
+	fmt.Println()
 
 	if *assert {
 		if msgs := rep.violations(*drift); len(msgs) > 0 {
@@ -158,12 +164,16 @@ func fullSchedule() []phaseChange {
 	}
 }
 
-// smokeSchedule is the CI cut-down: one chaos ramp, one injected panic.
+// smokeSchedule is the CI cut-down: one chaos ramp, one injected panic,
+// and a forced-degradation drill (released at 75% so hysteretic recovery
+// still lands on healthy) that must leave a dump in the flight recorder.
 func smokeSchedule() []phaseChange {
 	return []phaseChange{
 		{Frac: 0.00, Name: "clean", Rates: &rates{}},
 		{Frac: 0.30, Name: "loss-ramp", Rates: &rates{Drop: 0.10}},
 		{Frac: 0.60, Name: "recovery", Rates: &rates{}, Action: "panic-0"},
+		{Frac: 0.70, Action: "force-degrade"},
+		{Frac: 0.75, Action: "auto-health"},
 	}
 }
 
@@ -181,6 +191,8 @@ type runResult struct {
 	transitions []xatu.HealthTransition
 	health      string
 	stepLatency latencyMS
+	flightDumps []xatu.FlightDump
+	flightEvs   int
 }
 
 type latencyMS struct {
@@ -202,6 +214,11 @@ func (sk *soak) run(sched []phaseChange) runResult {
 	testSteps := total - stab
 
 	reg := xatu.NewTelemetryRegistry()
+	// The flight recorder is the run's black box: panics, restarts,
+	// checkpoint/restore cycles, sheds and every health transition land in
+	// its ring, and transitions freeze the ring into dumps the report
+	// asserts on.
+	flight := xatu.NewFlightRecorder("soak", 0)
 	eng, err := xatu.NewEngine(xatu.EngineConfig{
 		Monitor: xatu.MonitorConfig{
 			Models:        sk.ml.Models.ByType,
@@ -218,6 +235,7 @@ func (sk *soak) run(sched []phaseChange) runResult {
 		Watchdog:           25 * time.Millisecond,
 		RecoverTicks:       4,
 		Telemetry:          reg,
+		Flight:             flight,
 	})
 	if err != nil {
 		fatal("engine: %v", err)
@@ -433,6 +451,8 @@ func (sk *soak) run(sched []phaseChange) runResult {
 	chaosMu.Unlock()
 	res.transitions = eng.Transitions()
 	res.health = eng.HealthState().String()
+	res.flightDumps = flight.Dumps()
+	res.flightEvs = len(flight.Events())
 	if h := eng.StepLatency(); h != nil {
 		sum := h.Summary()
 		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -502,6 +522,10 @@ type Report struct {
 		Cause       string                  `json:"cause,omitempty"`
 		Transitions []xatu.HealthTransition `json:"transitions"`
 	} `json:"health"`
+	Flight struct {
+		Events int       `json:"events"`
+		Dumps  []dumpRef `json:"dumps"`
+	} `json:"flight"`
 	Chaos    xatu.ChaosStats  `json:"chaos"`
 	Ingest   xatu.IngestStats `json:"ingest"`
 	Baseline struct {
@@ -509,6 +533,13 @@ type Report struct {
 		RecordsPerSec float64   `json:"records_per_sec"`
 		StepLatency   latencyMS `json:"step_latency"`
 	} `json:"baseline"`
+}
+
+// dumpRef summarizes one flight-recorder incident dump in the report.
+type dumpRef struct {
+	At      time.Time `json:"at"`
+	Trigger string    `json:"trigger"`
+	Events  int       `json:"events"`
 }
 
 type episodeDelay struct {
@@ -596,6 +627,10 @@ func buildReport(sk *soak, clean, chaos runResult, settle, driftEnv int) *Report
 
 	rep.Health.FinalState = chaos.health
 	rep.Health.Transitions = chaos.transitions
+	rep.Flight.Events = chaos.flightEvs
+	for _, d := range chaos.flightDumps {
+		rep.Flight.Dumps = append(rep.Flight.Dumps, dumpRef{At: d.At, Trigger: d.Trigger, Events: len(d.Events)})
+	}
 	rep.Chaos = chaos.chaosStats
 	rep.Ingest = chaos.ingest
 
@@ -618,6 +653,24 @@ func (r *Report) violations(driftEnv int) []string {
 	}
 	if r.Health.FinalState != "healthy" {
 		v = append(v, fmt.Sprintf("final health %q, want healthy", r.Health.FinalState))
+	}
+	// Both schedules panic a shard and force a degradation window, and
+	// each must have frozen the flight ring: the black box is part of the
+	// acceptance surface.
+	var panicDump, degradeDump bool
+	for _, d := range r.Flight.Dumps {
+		switch {
+		case d.Trigger == "panic":
+			panicDump = true
+		case strings.HasPrefix(d.Trigger, "health:"):
+			degradeDump = true
+		}
+	}
+	if !panicDump {
+		v = append(v, "flight recorder has no panic-triggered dump")
+	}
+	if !degradeDump {
+		v = append(v, "flight recorder has no health-transition dump")
 	}
 	for _, d := range r.Detection.Delays {
 		if d.CleanStep < 0 || d.InRecovery {

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/netip"
 	"sync"
 	"time"
 
 	"github.com/xatu-go/xatu/internal/telemetry"
+	"github.com/xatu-go/xatu/internal/trace"
 )
 
 // CoordinatorConfig parameterizes a Coordinator.
@@ -36,6 +38,13 @@ type CoordinatorConfig struct {
 	Now func() time.Time
 	// Logf receives operational log lines. Nil = discard.
 	Logf func(format string, args ...any)
+	// TraceSample, when positive, enables deterministic 1-in-N flow
+	// tracing on the coordinator side: alert fan-in records a StageFanin
+	// span for sampled customers, and /v1/traces assembles the fleet's
+	// per-node spans into cross-node timelines. Must match the nodes'
+	// and router's rate. Zero disables tracing (assembly still works
+	// over whatever the nodes serve).
+	TraceSample int
 }
 
 type member struct {
@@ -65,6 +74,16 @@ type Coordinator struct {
 	alertsTotal  *telemetry.Counter
 	dedupedTotal *telemetry.Counter
 
+	tracer *trace.Recorder // nil when TraceSample == 0
+	flight *trace.Flight
+
+	// Federation resilience: per-node scrape-failure counters
+	// (registered lazily like nodeUp) and the last successfully scraped
+	// body per node, re-served stale-marked while the node is
+	// unreachable.
+	scrapeFail  map[string]*telemetry.Counter
+	scrapeCache map[string][]byte
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -91,13 +110,17 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		cfg.Logf = func(string, ...any) {}
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		client:  cfg.HTTPClient,
-		members: make(map[string]*member),
-		table:   Table{Shards: cfg.Shards},
-		seen:    make(map[dedupKey]time.Time),
-		nodeUp:  make(map[string]*telemetry.Gauge),
-		stop:    make(chan struct{}),
+		cfg:         cfg,
+		client:      cfg.HTTPClient,
+		members:     make(map[string]*member),
+		table:       Table{Shards: cfg.Shards},
+		seen:        make(map[dedupKey]time.Time),
+		nodeUp:      make(map[string]*telemetry.Gauge),
+		scrapeFail:  make(map[string]*telemetry.Counter),
+		scrapeCache: make(map[string][]byte),
+		tracer:      trace.NewRecorder("coordinator", trace.NewSampler(cfg.TraceSample), 0),
+		flight:      trace.NewFlight("coordinator", 0),
+		stop:        make(chan struct{}),
 	}
 	if c.client == nil {
 		c.client = &http.Client{Timeout: 2 * time.Second}
@@ -210,6 +233,7 @@ func (c *Coordinator) Join(info NodeInfo) (Table, error) {
 	t := c.rebuildLocked()
 	c.mu.Unlock()
 	c.cfg.Logf("cluster: node %s joined, table v%d (%d nodes)", info.ID, t.Version, len(t.Nodes))
+	c.flight.Record("member", "node %s joined, table v%d (%d nodes)", info.ID, t.Version, len(t.Nodes))
 	c.pushTable(t)
 	return t, nil
 }
@@ -225,6 +249,7 @@ func (c *Coordinator) Leave(id string) {
 	t := c.rebuildLocked()
 	c.mu.Unlock()
 	c.cfg.Logf("cluster: node %s left, table v%d (%d nodes)", id, t.Version, len(t.Nodes))
+	c.flight.Record("member", "node %s left, table v%d (%d nodes)", id, t.Version, len(t.Nodes))
 	c.pushTable(t)
 }
 
@@ -263,6 +288,10 @@ func (c *Coordinator) Sweep() int {
 	t := c.rebuildLocked()
 	c.mu.Unlock()
 	c.cfg.Logf("cluster: dropped %v (heartbeat timeout), table v%d", dropped, t.Version)
+	// A heartbeat-timeout takeover is exactly the kind of incident the
+	// fleet timeline must explain: dump the run-up.
+	c.flight.Record("member", "dropped %v on heartbeat timeout, table v%d", dropped, t.Version)
+	c.flight.Dump("heartbeat-timeout")
 	c.pushTable(t)
 	return len(dropped)
 }
@@ -275,6 +304,7 @@ func (c *Coordinator) Rebalance() Table {
 	t := c.rebuildLocked()
 	c.mu.Unlock()
 	c.cfg.Logf("cluster: rebalance, table v%d", t.Version)
+	c.flight.Record("table", "rebalance forced table v%d", t.Version)
 	c.pushTable(t)
 	return t
 }
@@ -327,6 +357,14 @@ func (c *Coordinator) ReportAlerts(batch []WireAlert) int {
 		c.seen[k] = now
 		c.alerts = append(c.alerts, a)
 		accepted++
+		if c.tracer != nil {
+			// Fan-in acceptance closes a sampled customer's timeline: the
+			// span joins the node-side chain on the (customer, at) key.
+			if addr, err := netip.ParseAddr(a.Customer); err == nil && c.tracer.Sampled(addr) {
+				c.tracer.Record(addr, a.At, trace.StageFanin, 0,
+					fmt.Sprintf("alert type %d from %s shard %d", a.Type, a.Node, a.Shard))
+			}
+		}
 	}
 	// Amortized prune: identities past the window no longer suppress.
 	if len(c.seen) > 4*len(c.alerts)+1024 {
@@ -403,7 +441,33 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("/metrics", c.federatedMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		w.Header().Set("Content-Type", "application/json")
+		c.mu.Lock()
+		v, n := c.table.Version, len(c.members)
+		c.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(struct {
+			nodeHealth
+			Nodes int `json:"nodes"`
+		}{nodeHealth: nodeHealth{OK: true, Node: "coordinator", TableVersion: v}, Nodes: n})
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(c.tracer.JSON())
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(c.flight.JSON())
+	})
+	mux.HandleFunc("/v1/status", c.serveStatus)
+	mux.HandleFunc("/v1/traces", c.serveTraces)
+	mux.HandleFunc("/v1/incidents", c.serveIncidents)
+	mux.HandleFunc("/console", serveConsole)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/" {
+			http.Redirect(w, r, "/console", http.StatusFound)
+			return
+		}
+		http.NotFound(w, r)
 	})
 	return mux
 }

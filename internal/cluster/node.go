@@ -18,6 +18,7 @@ import (
 	"github.com/xatu-go/xatu/internal/ingest"
 	"github.com/xatu-go/xatu/internal/netflow"
 	"github.com/xatu-go/xatu/internal/telemetry"
+	"github.com/xatu-go/xatu/internal/trace"
 )
 
 // NodeConfig parameterizes one engine node.
@@ -54,6 +55,15 @@ type NodeConfig struct {
 	HTTPClient *http.Client
 	// Logf receives operational log lines. Nil = discard.
 	Logf func(format string, args ...any)
+
+	// TraceSample, when positive, enables deterministic 1-in-N flow
+	// tracing on this node: the ingest pipeline and engine record span
+	// events for sampled customers, forwarded/buffered steps are traced
+	// through the routing path, and the spans are served on the
+	// telemetry listener's /debug/trace for coordinator-side assembly.
+	// Every node (and the router's exporters) must use the same rate for
+	// cross-node timelines to line up. Zero disables tracing.
+	TraceSample int
 }
 
 // inboundWindow is the buffering side of one table transition: steps for
@@ -102,12 +112,14 @@ type Node struct {
 	client *http.Client
 	info   NodeInfo
 
-	eng  *engine.Engine
-	pipe *ingest.Pipeline
-	udp  net.PacketConn
-	tsrv *telemetry.Server
-	api  *httpServer
-	reg  *telemetry.Registry
+	eng    *engine.Engine
+	pipe   *ingest.Pipeline
+	udp    net.PacketConn
+	tsrv   *telemetry.Server
+	api    *httpServer
+	reg    *telemetry.Registry
+	tracer *trace.Recorder // nil when TraceSample == 0
+	flight *trace.Flight
 
 	mu      sync.Mutex
 	table   *Table
@@ -182,6 +194,14 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	n.registerMetrics(reg)
 
+	// The flight recorder always runs (it is cheap and most valuable at
+	// crash time); the flow tracer only when sampling is enabled.
+	n.tracer = trace.NewRecorder(cfg.ID, trace.NewSampler(cfg.TraceSample), 0)
+	n.flight = trace.NewFlight(cfg.ID, 0)
+	cfg.Engine.Trace = n.tracer
+	cfg.Engine.Flight = n.flight
+	n.cfg.Engine = cfg.Engine
+
 	eng, err := engine.New(cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -196,6 +216,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		QueueDepth:    cfg.QueueDepth,
 		Sink:          n,
 		Telemetry:     reg,
+		Trace:         n.tracer,
 	})
 	if err != nil {
 		eng.Close()
@@ -223,7 +244,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	tsrv, err := telemetry.NewServer(cfg.TelemetryAddr, reg, func() telemetry.Health {
 		st := eng.Stats()
 		return telemetry.Health{OK: st.DeadShards == 0, Detail: map[string]any{
-			"health": st.Health.String(), "tableVersion": n.TableVersion(),
+			"node": cfg.ID, "health": st.Health.String(), "tableVersion": n.TableVersion(),
 		}}
 	})
 	if err != nil {
@@ -231,6 +252,14 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n.tsrv = tsrv
+	tsrv.Handle("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(n.tracer.JSON())
+	})
+	tsrv.Handle("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(n.flight.JSON())
+	})
 
 	api, err := serveHTTP(cfg.APIAddr, n.handler())
 	if err != nil {
@@ -362,6 +391,9 @@ func (n *Node) route(step WireStep) error {
 			w.buf = append(w.buf, step)
 			n.stepsBuffered.Add(1)
 			n.mu.Unlock()
+			if n.tracer.Sampled(step.Customer) {
+				n.tracer.Record(step.Customer, step.At, trace.StageBuffer, 0, "inbound migration window")
+			}
 			return nil
 		}
 		n.mu.Unlock()
@@ -378,6 +410,9 @@ func (n *Node) route(step WireStep) error {
 	select {
 	case f.ch <- step:
 		n.stepsForwarded.Add(1)
+		if n.tracer.Sampled(step.Customer) {
+			n.tracer.Record(step.Customer, step.At, trace.StageForward, 0, "to "+f.id)
+		}
 	default:
 		n.stepsDropped.Add(1)
 	}
@@ -505,6 +540,7 @@ func (n *Node) applyTable(t Table) {
 	n.mu.Unlock()
 	n.joinOnce.Do(func() { close(n.joined) })
 	n.cfg.Logf("cluster: node %s applied table v%d (%d nodes)", n.cfg.ID, t.Version, len(t.Nodes))
+	n.flight.Record("table", "applied routing table v%d (%d nodes)", t.Version, len(t.Nodes))
 	// A single-node table has nobody to wait for: flush anything rolled.
 	n.flushSteps(rolled)
 	go func() {
@@ -529,6 +565,7 @@ func (n *Node) closeInbound(w *inboundWindow, reason string) {
 	if len(buf) > 0 {
 		n.cfg.Logf("cluster: node %s inbound window closed (%s), flushing %d steps", n.cfg.ID, reason, len(buf))
 	}
+	n.flight.Record("window", "inbound window closed (%s): %d buffered steps flushed", reason, len(buf))
 	n.flushSteps(buf)
 }
 
@@ -600,6 +637,7 @@ func (n *Node) migrateOut(old, cur *Table) {
 		}
 	}
 	n.cfg.Logf("cluster: node %s migrated %d channels out in %v", me, moved, pause)
+	n.flight.Record("migrate-out", "migrated %d channels out in %v (table v%d)", moved, pause, cur.Version)
 }
 
 func (n *Node) postMigrate(peer NodeInfo, seg []byte) error {
@@ -650,9 +688,32 @@ func (n *Node) handler() http.Handler {
 		n.handleMigrate(w, r)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		// Fleet probes key on the node identity and applied table
+		// version: a node answering under the wrong ID or serving a
+		// stale table is routing traffic wrong even while its engine is
+		// healthy, and the JSON body is how probes catch that.
+		st := n.eng.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		if st.DeadShards > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(nodeHealth{
+			OK:           st.DeadShards == 0,
+			Node:         n.cfg.ID,
+			TableVersion: n.TableVersion(),
+			Health:       st.Health.String(),
+		})
 	})
 	return mux
+}
+
+// nodeHealth is the /healthz body on the cluster API (and, with the
+// coordinator's fields, on the coordinator control plane).
+type nodeHealth struct {
+	OK           bool   `json:"ok"`
+	Node         string `json:"node"`
+	TableVersion uint64 `json:"tableVersion"`
+	Health       string `json:"health,omitempty"`
 }
 
 // handleMigrate absorbs one peer's migration segment (filtered to the
@@ -679,6 +740,7 @@ func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	if added > 0 {
 		n.migrationsIn.Add(uint64(added))
 		n.cfg.Logf("cluster: node %s restored %d channels from %s", me, added, from)
+		n.flight.Record("migrate-in", "restored %d channels from %s", added, from)
 	}
 	var complete *inboundWindow
 	n.mu.Lock()
@@ -801,6 +863,12 @@ func (n *Node) alertPump() {
 }
 
 func (n *Node) wireAlert(ev engine.AlertEvent) WireAlert {
+	// The decision trace stays node-local (it is large): operators pull
+	// it from this node's /debug/alerts; the coordinator gets the
+	// compact WireAlert summary.
+	if ev.Trace != nil {
+		n.tsrv.Alerts().Add(ev.Trace)
+	}
 	return WireAlert{
 		Customer: ev.Customer.String(),
 		Type:     int(ev.Alert.Sig.Type),
@@ -836,6 +904,7 @@ func (n *Node) Close() error {
 	n.mu.Lock()
 	n.leaving = true
 	n.mu.Unlock()
+	n.flight.Record("lifecycle", "graceful close: leaving coordinator")
 	req, err := http.NewRequest(http.MethodPost, "http://"+n.cfg.Coordinator+"/v1/leave?id="+n.cfg.ID, nil)
 	if err == nil {
 		if resp, err := n.client.Do(req); err == nil {

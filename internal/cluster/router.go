@@ -25,6 +25,10 @@ type RouterConfig struct {
 	BootTime   time.Time
 	// HTTPClient fetches the table. Nil = a 2s-timeout client.
 	HTTPClient *http.Client
+	// TraceSample, when positive, stamps sampled batches with the XTR1
+	// trace trailer on every per-node exporter (see
+	// netflow.ExporterConfig.TraceSample). Must match the fleet's rate.
+	TraceSample int
 	// Dial opens the flow socket to one node's ingest address; nil dials
 	// UDP. Tests inject loss or latency here.
 	Dial func(addr string) (net.Conn, error)
@@ -179,10 +183,11 @@ func (r *Router) Export(rec netflow.Record) error {
 
 func (r *Router) newExporter(addr string) (*netflow.Exporter, error) {
 	cfg := netflow.ExporterConfig{
-		Addr:       addr,
-		Sampling:   r.cfg.Sampling,
-		MaxPending: r.cfg.MaxPending,
-		BootTime:   r.cfg.BootTime,
+		Addr:        addr,
+		Sampling:    r.cfg.Sampling,
+		MaxPending:  r.cfg.MaxPending,
+		BootTime:    r.cfg.BootTime,
+		TraceSample: r.cfg.TraceSample,
 	}
 	if r.cfg.Dial != nil {
 		dial := r.cfg.Dial

@@ -72,13 +72,16 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 // like a barrier Checkpoint's.
 func (e *Engine) CheckpointIncremental(w io.Writer) error {
 	segs := make([][]byte, len(e.shards))
+	size := 0
 	for i, s := range e.shards {
 		if sn := s.snap.Load(); sn != nil {
 			segs[i] = sn.data
 		} else {
 			segs[i] = buildMonitorBlob(nil)
 		}
+		size += len(segs[i])
 	}
+	e.cfg.Flight.Record("checkpoint", "incremental checkpoint: %d shards, %d bytes", len(segs), size)
 	return writeEngineCheckpoint(w, segs)
 }
 
@@ -356,6 +359,7 @@ func (e *Engine) Restore(r io.Reader) error {
 			return fmt.Errorf("xatu: swapping shard %d: %w", i, err)
 		}
 	}
+	e.cfg.Flight.Record("restore", "restored %d bytes onto %d shards", len(data), len(e.shards))
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"github.com/xatu-go/xatu/internal/ddos"
 	"github.com/xatu-go/xatu/internal/netflow"
 	"github.com/xatu-go/xatu/internal/telemetry"
+	"github.com/xatu-go/xatu/internal/trace"
 )
 
 // ErrClosed is returned by Engine methods after Close.
@@ -110,6 +111,17 @@ type Config struct {
 	// recovering in place. The death is surfaced in Stats/Health and as
 	// barrier errors. For tests of the dead-shard paths.
 	DisableSupervision bool
+
+	// Trace, when non-nil, records a StageStep span (in-shard inference
+	// latency) for every sampled customer's step. Nil (tracing off)
+	// costs one pointer check per processed step.
+	Trace *trace.Recorder
+	// Flight, when non-nil, is the black-box recorder fed with health
+	// transitions, shard restarts, quarantines, shed bursts, and
+	// checkpoint/restore events; health transitions and panics trigger
+	// automatic ring dumps. Nil disables it at one pointer check per
+	// event site (all off the hot path).
+	Flight *trace.Flight
 }
 
 // AlertEvent is one alert annotated with its origin.
@@ -219,6 +231,30 @@ const (
 	opRewrite    // transform the shard's monitor in place (subset restore/remove)
 	opInject     // InjectFault: panic inside the shard loop (chaos testing)
 )
+
+// opName labels an opcode for flight-recorder events.
+func opName(op opcode) string {
+	switch op {
+	case opStep:
+		return "step"
+	case opMissing:
+		return "missing"
+	case opEnd:
+		return "end-mitigation"
+	case opBarrier:
+		return "barrier"
+	case opCheckpoint:
+		return "checkpoint"
+	case opSwap:
+		return "swap"
+	case opRewrite:
+		return "rewrite"
+	case opInject:
+		return "inject"
+	default:
+		return "unknown"
+	}
+}
 
 type message struct {
 	op       opcode
@@ -765,6 +801,9 @@ func (e *Engine) handle(s *shard, msg message, st HealthState) bool {
 		if e.mx != nil {
 			e.mx.stepLatency.Observe(time.Duration(el))
 		}
+		if tr := e.cfg.Trace; tr != nil && tr.Sampled(msg.customer) {
+			tr.Record(msg.customer, msg.at, trace.StageStep, time.Duration(el), shardDetail(s.id))
+		}
 		for i, a := range alerts {
 			s.alerts.Add(1)
 			if e.mx != nil {
@@ -849,3 +888,21 @@ func (e *Engine) observeSubmitLatency(enq int64) {
 	}
 	e.mx.submitLatency.Observe(time.Duration(time.Now().UnixNano() - enq))
 }
+
+// shardDetail renders the span-detail label for a shard. Small shard
+// indices (the common case) come from a precomputed table so sampled
+// steps don't pay a fmt call.
+func shardDetail(id int) string {
+	if id >= 0 && id < len(shardDetails) {
+		return shardDetails[id]
+	}
+	return fmt.Sprintf("shard %d", id)
+}
+
+var shardDetails = func() [64]string {
+	var t [64]string
+	for i := range t {
+		t[i] = fmt.Sprintf("shard %d", i)
+	}
+	return t
+}()

@@ -115,6 +115,10 @@ func (e *Engine) supervise(s *shard, msg message) (alive bool) {
 			s.lost.Add(1) // the poison message's telemetry is gone for good
 		}
 		s.setLastPanic(r)
+		// Panic = incident: freeze the flight ring with the event that
+		// triggered it included, so the dump shows what led up to it.
+		e.cfg.Flight.Record("panic", "shard %d panicked on %s: %v", s.id, opName(msg.op), r)
+		e.cfg.Flight.Dump("panic")
 		if msg.done != nil {
 			msg.done <- fmt.Errorf("xatu: shard %d panicked: %v", s.id, r)
 		}
@@ -207,6 +211,7 @@ func (e *Engine) recoverShard(s *shard) bool {
 	if !ok {
 		fresh, err := NewMonitor(e.cfg.Monitor)
 		if err != nil {
+			e.cfg.Flight.Record("restart", "shard %d dead: monitor rebuild failed", s.id)
 			return false
 		}
 		mon, replayed = fresh, 0
@@ -223,6 +228,7 @@ func (e *Engine) recoverShard(s *shard) bool {
 	if e.mx != nil {
 		e.mx.recoveryLatency.Observe(el)
 	}
+	e.cfg.Flight.Record("restart", "shard %d recovered in %v: replayed %d, lost %d", s.id, el, replayed, lost)
 	return true
 }
 
@@ -419,7 +425,9 @@ func (e *Engine) stepHealth(desired HealthState, cause string, lad *healthLadder
 	}
 }
 
-// setHealth installs a new state and records the transition.
+// setHealth installs a new state and records the transition. Every
+// transition is a flight-recorder incident: the event is logged and the
+// ring dumped, so the run-up to a health change survives ring wrap.
 func (e *Engine) setHealth(st HealthState, cause string) {
 	old := HealthState(e.health.Swap(int32(st)))
 	e.transMu.Lock()
@@ -431,6 +439,10 @@ func (e *Engine) setHealth(st HealthState, cause string) {
 		e.trans = append(e.trans, HealthTransition{From: old, To: st, Cause: cause, At: time.Now()})
 	}
 	e.transMu.Unlock()
+	if old != st {
+		e.cfg.Flight.Record("health", "%s -> %s: %s", old, st, cause)
+		e.cfg.Flight.Dump("health:" + st.String())
+	}
 }
 
 // healthNow is the hot-path state read (one atomic load).
@@ -504,6 +516,7 @@ type watchdogState struct {
 	lastProgress []time.Time
 	lastSteps    uint64
 	lastNanos    uint64
+	lastShed     uint64
 	ladder       healthLadder
 }
 
@@ -513,7 +526,7 @@ type watchdogState struct {
 func (e *Engine) collectSignals(w *watchdogState) healthSignals {
 	now := time.Now()
 	sig := healthSignals{shedding: e.cfg.Policy == ShedOldest}
-	var steps, nanos uint64
+	var steps, nanos, shed uint64
 	for i, s := range e.shards {
 		if s.dead.Load() {
 			sig.deadShards++
@@ -535,10 +548,17 @@ func (e *Engine) collectSignals(w *watchdogState) healthSignals {
 		}
 		steps += s.steps.Load()
 		nanos += s.stepNanos.Load()
+		shed += s.shed.Load()
 	}
 	if ds := steps - w.lastSteps; ds > 0 {
 		sig.avgStep = time.Duration((nanos - w.lastNanos) / ds)
 	}
-	w.lastSteps, w.lastNanos = steps, nanos
+	if d := shed - w.lastShed; d > 0 {
+		// A shed burst is a flight event, not a health transition: the
+		// ladder reacts to queue pressure separately; the recorder keeps
+		// the evidence of *when* load was dropped.
+		e.cfg.Flight.Record("shed", "%d telemetry messages shed this tick", d)
+	}
+	w.lastSteps, w.lastNanos, w.lastShed = steps, nanos, shed
 	return sig
 }

@@ -35,6 +35,7 @@ import (
 	"github.com/xatu-go/xatu/internal/features"
 	"github.com/xatu-go/xatu/internal/netflow"
 	"github.com/xatu-go/xatu/internal/telemetry"
+	"github.com/xatu-go/xatu/internal/trace"
 )
 
 // StepFunc consumes one sealed (customer, step) bucket. feat is the
@@ -84,6 +85,13 @@ type Config struct {
 	// Telemetry, when non-nil, registers the xatu_ingest_* metric
 	// families. Nil disables instrumentation at zero hot-path cost.
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil, records flow-trace events for sampled
+	// customers: decode workers pick up the export wall clock from the
+	// optional frame trailer, and aggregation workers emit the
+	// export→decode→seal chain when a sampled customer's step seals.
+	// Nil (tracing off) costs one pointer check per packet and per
+	// sealed bucket.
+	Trace *trace.Recorder
 }
 
 // chunkSize is the record-chunk capacity of the decode→aggregate handoff:
@@ -319,6 +327,27 @@ func (w *decodeWorker) handle(pb packet) {
 	}
 	w.packets.Add(1)
 	w.records.Add(uint64(len(recs)))
+	if tr := p.cfg.Trace; tr != nil {
+		// Exporters attach the trailer only to datagrams carrying a
+		// sampled customer, so the per-record hash loop below runs on
+		// traced packets alone; everything else pays the length+magic
+		// probe inside ParseTrailerV1.
+		if t, ok := netflow.ParseTrailerV1(pb.buf, len(recs)); ok {
+			now := time.Now()
+			// Records for one customer arrive in runs, and RecordOrigin
+			// is latest-wins, so a repeated Dst needs neither the hash
+			// nor the recorder lock again.
+			var last netip.Addr
+			for i := range recs {
+				if d := recs[i].Dst; d != last {
+					last = d
+					if tr.Sampled(d) {
+						tr.RecordOrigin(d, t.T0, now)
+					}
+				}
+			}
+		}
+	}
 	n := len(p.aggIn)
 	for i := range recs {
 		r := &recs[i]
@@ -389,6 +418,9 @@ func (w *aggWorker) emit(sealed []netflow.StepBatch) {
 	for _, b := range sealed {
 		for dst, recs := range b.ByDst {
 			netflow.SortRecordsCanonical(recs)
+			if tr := p.cfg.Trace; tr != nil && tr.Sampled(dst) {
+				tr.RecordSeal(dst, b.Start, time.Now())
+			}
 			var feat []float64
 			if p.cfg.Extractor != nil {
 				w.featBuf = p.cfg.Extractor.ExtractInto(w.featBuf, &w.scratch, dst, b.Start, recs)

@@ -1,0 +1,74 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// Trace trailer: a versioned optional extension appended *after* the
+// NetFlow v5 records. DecodeV5Into sizes the packet from the header's
+// record count and ignores trailing bytes, so decoders that predate the
+// trailer (or have tracing disabled) parse a trailered datagram
+// byte-for-byte identically to an untrailered one — the extension is
+// backward- and forward-compatible by construction.
+//
+// Layout (16 bytes, network order):
+//
+//	offset  size  field
+//	0       4     magic "XTR1"
+//	4       1     version (1)
+//	5       1     flags (0, reserved)
+//	6       2     trace sampling rate (1-in-N)
+//	8       8     export wall clock, unix nanoseconds
+const (
+	trailerV1Len     = 16
+	trailerV1Version = 1
+)
+
+var trailerV1Magic = [4]byte{'X', 'T', 'R', '1'}
+
+// TrailerV1 is the decoded trace trailer: the exporter's sampling rate
+// and the real-time instant the datagram was flushed, which anchors the
+// export→decode leg of a sampled customer's latency timeline.
+type TrailerV1 struct {
+	Rate uint16
+	T0   time.Time
+}
+
+// AppendTrailerV1 appends a v1 trace trailer to an encoded v5 packet
+// and returns the extended slice. Rates above 65535 are clamped.
+func AppendTrailerV1(pkt []byte, rate int, t0 time.Time) []byte {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 0xffff {
+		rate = 0xffff
+	}
+	var tr [trailerV1Len]byte
+	copy(tr[:4], trailerV1Magic[:])
+	tr[4] = trailerV1Version
+	tr[5] = 0
+	binary.BigEndian.PutUint16(tr[6:8], uint16(rate))
+	binary.BigEndian.PutUint64(tr[8:16], uint64(t0.UnixNano()))
+	return append(pkt, tr[:]...)
+}
+
+// ParseTrailerV1 looks for a v1 trace trailer after the nrec records of
+// an already-validated v5 packet. It returns (trailer, true) only when
+// the bytes immediately past the records carry the magic and version;
+// any other trailing content — including none — reports false, so the
+// probe is safe on every packet.
+func ParseTrailerV1(pkt []byte, nrec int) (TrailerV1, bool) {
+	want := v5HeaderLen + nrec*v5RecordLen
+	if nrec < 0 || len(pkt) < want+trailerV1Len {
+		return TrailerV1{}, false
+	}
+	tr := pkt[want:]
+	if [4]byte(tr[:4]) != trailerV1Magic || tr[4] != trailerV1Version {
+		return TrailerV1{}, false
+	}
+	return TrailerV1{
+		Rate: binary.BigEndian.Uint16(tr[6:8]),
+		T0:   time.Unix(0, int64(binary.BigEndian.Uint64(tr[8:16]))),
+	}, true
+}

@@ -1,0 +1,203 @@
+package netflow
+
+import (
+	"bytes"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/xatu-go/xatu/internal/trace"
+)
+
+func TestTrailerV1RoundTrip(t *testing.T) {
+	recs := []Record{sampleRecord(), sampleRecord()}
+	pkt, err := EncodeV5(recs, boot, now, 9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1700000000, 123456789)
+	trailered := AppendTrailerV1(append([]byte(nil), pkt...), 64, t0)
+	if len(trailered) != len(pkt)+16 {
+		t.Fatalf("trailer added %d bytes, want 16", len(trailered)-len(pkt))
+	}
+	tr, ok := ParseTrailerV1(trailered, len(recs))
+	if !ok {
+		t.Fatal("trailer not found")
+	}
+	if tr.Rate != 64 {
+		t.Fatalf("rate %d, want 64", tr.Rate)
+	}
+	if !tr.T0.Equal(t0) {
+		t.Fatalf("t0 %v, want %v (nanosecond precision)", tr.T0, t0)
+	}
+}
+
+func TestTrailerV1RateClamp(t *testing.T) {
+	pkt, err := EncodeV5([]Record{sampleRecord()}, boot, now, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := ParseTrailerV1(AppendTrailerV1(append([]byte(nil), pkt...), 1<<20, now), 1)
+	if !ok || tr.Rate != 0xffff {
+		t.Fatalf("rate %d ok=%v, want clamp to 65535", tr.Rate, ok)
+	}
+}
+
+func TestTrailerV1ProbeRejectsJunk(t *testing.T) {
+	recs := []Record{sampleRecord()}
+	pkt, err := EncodeV5(recs, boot, now, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ParseTrailerV1(pkt, len(recs)); ok {
+		t.Fatal("found a trailer on an untrailered packet")
+	}
+	// Arbitrary trailing bytes that are not a trailer.
+	junk := append(append([]byte(nil), pkt...), bytes.Repeat([]byte{0xAB}, 16)...)
+	if _, ok := ParseTrailerV1(junk, len(recs)); ok {
+		t.Fatal("accepted junk trailing bytes")
+	}
+	// Right magic, wrong version.
+	bad := AppendTrailerV1(append([]byte(nil), pkt...), 8, now)
+	bad[len(pkt)+4] = 99
+	if _, ok := ParseTrailerV1(bad, len(recs)); ok {
+		t.Fatal("accepted an unknown trailer version")
+	}
+	// Truncated trailer.
+	short := AppendTrailerV1(append([]byte(nil), pkt...), 8, now)[:len(pkt)+8]
+	if _, ok := ParseTrailerV1(short, len(recs)); ok {
+		t.Fatal("accepted a truncated trailer")
+	}
+	if _, ok := ParseTrailerV1(pkt, -1); ok {
+		t.Fatal("accepted a negative record count")
+	}
+}
+
+// TestTrailerV1BackwardCompatible pins the compatibility contract: a
+// decoder that knows nothing about trailers parses a trailered packet
+// into exactly the same header and records as the bare one.
+func TestTrailerV1BackwardCompatible(t *testing.T) {
+	recs := []Record{sampleRecord(), sampleRecord(), sampleRecord()}
+	pkt, err := EncodeV5(recs, boot, now, 21, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trailered := AppendTrailerV1(append([]byte(nil), pkt...), 64, now)
+
+	var bufA, bufB [MaxRecordsPerPacket]Record
+	hdrA, recsA, errA := DecodeV5Into(pkt, bufA[:0])
+	hdrB, recsB, errB := DecodeV5Into(trailered, bufB[:0])
+	if errA != nil || errB != nil {
+		t.Fatalf("decode errors: %v / %v", errA, errB)
+	}
+	if hdrA != hdrB {
+		t.Fatalf("headers differ: %+v vs %+v", hdrA, hdrB)
+	}
+	if len(recsA) != len(recsB) {
+		t.Fatalf("record counts differ: %d vs %d", len(recsA), len(recsB))
+	}
+	for i := range recsA {
+		if recsA[i] != recsB[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, recsA[i], recsB[i])
+		}
+	}
+}
+
+// captureConn retains every datagram the exporter writes.
+type captureConn struct {
+	mu   sync.Mutex
+	pkts [][]byte
+}
+
+func (c *captureConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.pkts = append(c.pkts, append([]byte(nil), p...))
+	c.mu.Unlock()
+	return len(p), nil
+}
+
+func (c *captureConn) packets() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([][]byte(nil), c.pkts...)
+}
+
+func (c *captureConn) Read([]byte) (int, error)         { return 0, net.ErrClosed }
+func (c *captureConn) Close() error                     { return nil }
+func (c *captureConn) LocalAddr() net.Addr              { return sinkAddr{name: "capture"} }
+func (c *captureConn) RemoteAddr() net.Addr             { return sinkAddr{name: "capture"} }
+func (c *captureConn) SetDeadline(time.Time) error      { return nil }
+func (c *captureConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *captureConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestExporterAppendsTrailerForSampledBatches pins the exporter-side
+// behavior: with tracing on, only batches containing a sampled
+// customer's record carry the trailer; with tracing off the bytes on
+// the wire are unchanged.
+func TestExporterAppendsTrailerForSampledBatches(t *testing.T) {
+	// Pick one sampled and one unsampled destination at rate 2.
+	s := trace.NewSampler(2)
+	var sampled, unsampled netip.Addr
+	for i := 0; i < 1024 && (!sampled.IsValid() || !unsampled.IsValid()); i++ {
+		a := netip.AddrFrom4([4]byte{23, 1, byte(i >> 8), byte(i)})
+		if s.Sampled(a) {
+			sampled = a
+		} else {
+			unsampled = a
+		}
+	}
+	if !sampled.IsValid() || !unsampled.IsValid() {
+		t.Fatal("could not find both a sampled and an unsampled address at rate 2")
+	}
+
+	export := func(traceRate int, dst netip.Addr) []byte {
+		conn := &captureConn{}
+		exp, err := NewExporterWithConfig(ExporterConfig{
+			Dial:        func() (net.Conn, error) { return conn, nil },
+			TraceSample: traceRate,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sampleRecord()
+		r.Dst = dst
+		if err := exp.Export(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pkts := conn.packets()
+		if len(pkts) != 1 {
+			t.Fatalf("wrote %d packets, want 1", len(pkts))
+		}
+		return pkts[0]
+	}
+
+	bare := export(0, sampled)
+	if _, ok := ParseTrailerV1(bare, 1); ok {
+		t.Fatal("tracing off but the packet grew a trailer")
+	}
+
+	traced := export(2, sampled)
+	tr, ok := ParseTrailerV1(traced, 1)
+	if !ok {
+		t.Fatal("sampled batch missing its trailer")
+	}
+	if tr.Rate != 2 {
+		t.Fatalf("trailer rate %d, want 2", tr.Rate)
+	}
+	if len(traced) != len(bare)+16 {
+		t.Fatalf("traced packet %d bytes, want bare %d + 16", len(traced), len(bare))
+	}
+
+	skipped := export(2, unsampled)
+	if _, ok := ParseTrailerV1(skipped, 1); ok {
+		t.Fatal("unsampled batch should not carry a trailer")
+	}
+	if len(skipped) != len(bare) {
+		t.Fatalf("unsampled traced packet %d bytes, want the bare %d (no wire change)", len(skipped), len(bare))
+	}
+}

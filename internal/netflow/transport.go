@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/xatu-go/xatu/internal/telemetry"
+	"github.com/xatu-go/xatu/internal/trace"
 )
 
 // ErrExporterClosed is returned by Export/Flush after Close.
@@ -48,6 +49,14 @@ type ExporterConfig struct {
 	// keeps the default live behavior (boot ≈ one minute before
 	// construction, flow times clamped into the wall-clock epoch).
 	BootTime time.Time
+	// TraceSample, when positive, enables deterministic 1-in-N flow
+	// tracing: datagrams carrying at least one sampled customer (by
+	// trace.Sampler's stable hash of the destination) get a versioned
+	// trailer stamping the export wall clock, which downstream decoders
+	// use to anchor the export→decode latency leg. Decoders without
+	// tracing ignore the trailer. Zero (the default) leaves the wire
+	// format untouched.
+	TraceSample int
 }
 
 // ExporterStats counts the exporter's fault-handling activity.
@@ -70,6 +79,7 @@ type Exporter struct {
 	bootTime time.Time
 	simClock bool // record-clock mode: header clock follows flow times, not time.Now
 	sampling uint16
+	tracer   *trace.Sampler // nil = tracing off (no wire change, no per-record hash)
 
 	mu          sync.Mutex
 	conn        net.Conn // nil while disconnected
@@ -128,6 +138,7 @@ func NewExporterWithConfig(cfg ExporterConfig) (*Exporter, error) {
 		simClock:    simClock,
 		hdrClock:    bootTime,
 		sampling:    cfg.Sampling,
+		tracer:      trace.NewSampler(cfg.TraceSample),
 		maxPending:  cfg.MaxPending,
 		baseBackoff: cfg.BaseBackoff,
 		maxBackoff:  cfg.MaxBackoff,
@@ -237,6 +248,13 @@ func (e *Exporter) flushLocked() error {
 			e.pending = e.pending[n:]
 			continue
 		}
+		if e.tracer != nil && batchSampled(e.tracer, batch) {
+			// Stamp the export wall clock (real time even in record-clock
+			// mode: trace latencies measure the serving path, not the
+			// simulated world) so the first ingest hop can anchor the
+			// export→decode leg. Old decoders ignore the extra bytes.
+			pkt = AppendTrailerV1(pkt, e.tracer.Rate(), time.Now())
+		}
 		if _, err := e.conn.Write(pkt); err != nil {
 			e.stats.WriteErrors++
 			e.conn.Close()
@@ -250,6 +268,23 @@ func (e *Exporter) flushLocked() error {
 		e.pending = e.pending[n:]
 	}
 	return nil
+}
+
+// batchSampled reports whether any record in the batch belongs to a
+// traced customer (keyed by destination — the protected address).
+func batchSampled(s *trace.Sampler, batch []Record) bool {
+	// Records for one customer arrive in runs; skip the hash for a
+	// repeated destination.
+	var last netip.Addr
+	for i := range batch {
+		if d := batch[i].Dst; d != last {
+			if s.Sampled(d) {
+				return true
+			}
+			last = d
+		}
+	}
+	return false
 }
 
 // redialLocked attempts to re-establish the socket, respecting backoff.

@@ -34,6 +34,7 @@ type HealthFunc func() Health
 type Server struct {
 	ln     net.Listener
 	srv    *http.Server
+	mux    *http.ServeMux
 	alerts *TraceRing
 }
 
@@ -48,6 +49,7 @@ func NewServer(addr string, reg *Registry, health HealthFunc) (*Server, error) {
 	}
 	s := &Server{ln: ln, alerts: NewTraceRing(256)}
 	mux := http.NewServeMux()
+	s.mux = mux
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
@@ -79,6 +81,16 @@ func NewServer(addr string, reg *Registry, health HealthFunc) (*Server, error) {
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Handle registers an extra endpoint on the server's mux — subsystems
+// bolt their debug surfaces (e.g. /debug/trace, /debug/flight) onto the
+// node's existing telemetry listener instead of opening another port.
+// http.ServeMux registration is internally locked, so Handle is safe
+// while the server is live; pattern collisions panic exactly like
+// http.Handle's.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, h)
+}
 
 // Alerts returns the ring buffer behind /debug/alerts; push each alert's
 // decision trace into it as alerts are consumed.

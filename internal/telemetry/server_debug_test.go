@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHandleLateRegistration pins the bolt-on contract for Handle: a
+// debug surface registered while the server is already live (the way
+// nodes mount /debug/trace and /debug/flight) serves immediately.
+func TestHandleLateRegistration(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, _, _ := get(t, "http://"+s.Addr()+"/debug/flight"); code != http.StatusNotFound {
+		t.Fatalf("unregistered endpoint answered %d", code)
+	}
+
+	ring := NewTraceRing(8)
+	s.Handle("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(ring.JSON())
+	})
+	code, body, ct := get(t, "http://"+s.Addr()+"/debug/flight")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("late-registered endpoint %d %q", code, ct)
+	}
+	if body != "[]" {
+		t.Fatalf("empty ring served %q", body)
+	}
+	ring.Add(map[string]string{"kind": "health", "msg": "healthy -> degraded"})
+	if _, body, _ = get(t, "http://"+s.Addr()+"/debug/flight"); !strings.Contains(body, "degraded") {
+		t.Fatalf("ring entry not served: %q", body)
+	}
+}
+
+// TestDebugEndpointsConcurrentWriters hammers /debug/alerts and a
+// Handle-mounted flight-style endpoint with concurrent writers while
+// HTTP readers poll (run under -race): every response must be valid
+// JSON, and the alert ring ends exactly full.
+func TestDebugEndpointsConcurrentWriters(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	flight := NewTraceRing(32)
+	s.Handle("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(flight.JSON())
+	})
+
+	const writers, perWriter = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Alerts().Add(map[string]any{"writer": g, "seq": i, "at": time.Unix(int64(i), 0)})
+				flight.Add(map[string]any{"kind": "health", "writer": g, "seq": i})
+			}
+		}(g)
+	}
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				for _, path := range []string{"/debug/alerts", "/debug/flight"} {
+					_, body, _ := get(t, "http://"+s.Addr()+path)
+					if !json.Valid([]byte(body)) {
+						select {
+						case errs <- fmt.Errorf("%s served invalid JSON under write load: %q", path, body):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	var docs []json.RawMessage
+	_, body, _ := get(t, "http://"+s.Addr()+"/debug/alerts")
+	if err := json.Unmarshal([]byte(body), &docs); err != nil {
+		t.Fatalf("final /debug/alerts invalid: %v", err)
+	}
+	if len(docs) != 256 {
+		t.Fatalf("alert ring holds %d entries, want the full 256", len(docs))
+	}
+}
+
+// TestMetricsExpositionConformance serves a registry holding all three
+// metric kinds and checks the exposition basics a federating scraper
+// relies on: the versioned Content-Type, and TYPE metadata preceding
+// every family's first sample exactly once.
+func TestMetricsExpositionConformance(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("xatu_test_events_total", "Events.").Add(3)
+	reg.Gauge("xatu_test_depth", "Depth.", Label{Name: "shard", Value: "0"}).Set(2)
+	reg.Histogram("xatu_test_latency_seconds", "Latency.").Observe(5 * time.Millisecond)
+	s, err := NewServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body, ct := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics Content-Type %q, want the versioned Prometheus text type", ct)
+	}
+	seenType := map[string]bool{}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name = strings.Fields(name)[0]
+			if seenType[name] {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			seenType[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		ok := seenType[name]
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suf); base != name && seenType[base] {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("line %d: sample %s has no preceding TYPE", ln+1, name)
+		}
+	}
+	for _, fam := range []string{"xatu_test_events_total", "xatu_test_depth", "xatu_test_latency_seconds"} {
+		if !seenType[fam] {
+			t.Errorf("family %s missing from exposition:\n%s", fam, body)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FlightEvent is one structured entry in a node's flight recorder:
+// health transitions, shard restarts and quarantines, migrations,
+// checkpoint/restore, shed bursts, routing-table versions. Kind is a
+// small taxonomy slug ("health", "restart", "panic", "migrate-out",
+// "migrate-in", "checkpoint", "restore", "shed", "table", "window",
+// "member", "lifecycle"); Msg carries the specifics.
+type FlightEvent struct {
+	At   time.Time `json:"at"`
+	Kind string    `json:"kind"`
+	Node string    `json:"node,omitempty"`
+	Msg  string    `json:"msg"`
+}
+
+// Dump is a frozen copy of the ring taken when something interesting
+// happened — a health-ladder transition or a shard panic — so the
+// events *leading up to* the incident survive even after the ring
+// wraps past them.
+type Dump struct {
+	At      time.Time     `json:"at"`
+	Trigger string        `json:"trigger"`
+	Node    string        `json:"node,omitempty"`
+	Events  []FlightEvent `json:"events"`
+}
+
+// maxDumps bounds retained dumps; older dumps age out first. Eight
+// covers a full health-ladder round trip plus a few panics.
+const maxDumps = 8
+
+// Flight is a fixed-size black-box recorder: a ring of recent events
+// plus a bounded list of incident dumps. Like Recorder, every method
+// is concurrency-safe and a no-op on a nil receiver, so subsystems
+// thread it through unconditionally.
+type Flight struct {
+	node string
+
+	mu    sync.Mutex
+	ring  []FlightEvent
+	next  int
+	full  bool
+	dumps []Dump
+}
+
+// NewFlight builds a flight recorder for the named node. ringCap < 1
+// defaults to 256.
+func NewFlight(node string, ringCap int) *Flight {
+	if ringCap < 1 {
+		ringCap = 256
+	}
+	return &Flight{node: node, ring: make([]FlightEvent, ringCap)}
+}
+
+// Node returns the recording node's identity ("" on nil).
+func (f *Flight) Node() string {
+	if f == nil {
+		return ""
+	}
+	return f.node
+}
+
+// Record appends one event to the ring.
+func (f *Flight) Record(kind, format string, args ...any) {
+	if f == nil {
+		return
+	}
+	e := FlightEvent{At: time.Now(), Kind: kind, Node: f.node, Msg: fmt.Sprintf(format, args...)}
+	f.mu.Lock()
+	f.ring[f.next] = e
+	f.next = (f.next + 1) % len(f.ring)
+	if f.next == 0 {
+		f.full = true
+	}
+	f.mu.Unlock()
+}
+
+// Dump freezes the current ring contents (oldest first) as an incident
+// dump. Events recorded after Dump returns are not part of it — the
+// dump is the flight data *up to and including* the trigger.
+func (f *Flight) Dump(trigger string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	d := Dump{At: time.Now(), Trigger: trigger, Node: f.node, Events: f.eventsLocked()}
+	f.dumps = append(f.dumps, d)
+	if len(f.dumps) > maxDumps {
+		f.dumps = append(f.dumps[:0], f.dumps[len(f.dumps)-maxDumps:]...)
+	}
+	f.mu.Unlock()
+}
+
+// Events returns the retained ring events, oldest first.
+func (f *Flight) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eventsLocked()
+}
+
+func (f *Flight) eventsLocked() []FlightEvent {
+	var out []FlightEvent
+	if f.full {
+		out = append(out, f.ring[f.next:]...)
+	}
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// Dumps returns the retained incident dumps, oldest first.
+func (f *Flight) Dumps() []Dump {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Dump(nil), f.dumps...)
+}
+
+// flightDoc is the /debug/flight JSON document.
+type flightDoc struct {
+	Node   string        `json:"node"`
+	Events []FlightEvent `json:"events"`
+	Dumps  []Dump        `json:"dumps"`
+}
+
+// JSON renders the recorder for /debug/flight. Nil-safe (empty doc).
+func (f *Flight) JSON() []byte {
+	doc := flightDoc{Events: []FlightEvent{}, Dumps: []Dump{}}
+	if f != nil {
+		doc.Node = f.node
+		if ev := f.Events(); ev != nil {
+			doc.Events = ev
+		}
+		if d := f.Dumps(); d != nil {
+			doc.Dumps = d
+		}
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return []byte("{}")
+	}
+	return data
+}

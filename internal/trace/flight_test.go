@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRingWraparound(t *testing.T) {
+	f := NewFlight("n1", 4)
+	for i := 0; i < 10; i++ {
+		f.Record("health", "event %d", i)
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring of 4 retained %d events", len(evs))
+	}
+	for i, e := range evs {
+		if want := fmt.Sprintf("event %d", 6+i); e.Msg != want {
+			t.Fatalf("evs[%d] = %q, want %q", i, e.Msg, want)
+		}
+		if e.Node != "n1" || e.Kind != "health" {
+			t.Fatalf("event %+v", e)
+		}
+	}
+}
+
+// TestFlightDumpOrdering pins the dump-on-transition contract: a dump
+// contains the flight data up to and including the trigger, and events
+// recorded after the dump do not leak into it.
+func TestFlightDumpOrdering(t *testing.T) {
+	f := NewFlight("n1", 16)
+	f.Record("restart", "shard 0 recovered")
+	f.Record("health", "healthy -> degraded: queue pressure")
+	f.Dump("health:degraded")
+	f.Record("shed", "500 messages shed") // after the incident
+
+	dumps := f.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("got %d dumps, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if d.Trigger != "health:degraded" || d.Node != "n1" {
+		t.Fatalf("dump %+v", d)
+	}
+	if len(d.Events) != 2 {
+		t.Fatalf("dump holds %d events, want the 2 pre-trigger events", len(d.Events))
+	}
+	if d.Events[0].Kind != "restart" || d.Events[1].Kind != "health" {
+		t.Fatalf("dump events out of order: %+v", d.Events)
+	}
+	for _, e := range d.Events {
+		if strings.Contains(e.Msg, "shed") {
+			t.Fatal("post-trigger event leaked into the dump")
+		}
+	}
+}
+
+func TestFlightDumpsBounded(t *testing.T) {
+	f := NewFlight("n1", 8)
+	for i := 0; i < maxDumps+5; i++ {
+		f.Record("health", "transition %d", i)
+		f.Dump(fmt.Sprintf("trigger-%d", i))
+	}
+	dumps := f.Dumps()
+	if len(dumps) != maxDumps {
+		t.Fatalf("retained %d dumps, want %d", len(dumps), maxDumps)
+	}
+	// Oldest aged out: the first retained dump is trigger-5.
+	if dumps[0].Trigger != "trigger-5" || dumps[len(dumps)-1].Trigger != fmt.Sprintf("trigger-%d", maxDumps+4) {
+		t.Fatalf("dump window [%s .. %s]", dumps[0].Trigger, dumps[len(dumps)-1].Trigger)
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	f.Record("health", "x")
+	f.Dump("y")
+	if f.Events() != nil || f.Dumps() != nil || f.Node() != "" {
+		t.Fatal("nil flight returned data")
+	}
+	var doc struct {
+		Events []FlightEvent `json:"events"`
+		Dumps  []Dump        `json:"dumps"`
+	}
+	if err := json.Unmarshal(f.JSON(), &doc); err != nil {
+		t.Fatalf("nil flight JSON invalid: %v", err)
+	}
+	if len(doc.Events) != 0 || len(doc.Dumps) != 0 {
+		t.Fatalf("nil flight doc %+v", doc)
+	}
+}
+
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight("n1", 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record("health", "g%d event %d", g, i)
+				if i%50 == 0 {
+					f.Dump(fmt.Sprintf("g%d-%d", g, i))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				f.Events()
+				f.Dumps()
+				_ = f.JSON()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(f.Events()) != 32 {
+		t.Fatalf("ring holds %d events, want full 32", len(f.Events()))
+	}
+	if len(f.Dumps()) != maxDumps {
+		t.Fatalf("retained %d dumps, want %d", len(f.Dumps()), maxDumps)
+	}
+}

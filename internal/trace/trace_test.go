@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+func addr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	s := NewSampler(8)
+	sampled := 0
+	for i := 0; i < 4096; i++ {
+		a := addr(i)
+		first := s.Sampled(a)
+		for j := 0; j < 3; j++ {
+			if s.Sampled(a) != first {
+				t.Fatalf("Sampled(%v) not stable", a)
+			}
+		}
+		// An independent sampler at the same rate — a different node in
+		// the fleet — must agree with zero coordination.
+		if NewSampler(8).Sampled(a) != first {
+			t.Fatalf("independent sampler disagrees on %v", a)
+		}
+		if first {
+			sampled++
+		}
+	}
+	// FNV over addresses is not uniform enough to pin 1/8 exactly, but it
+	// should be in the right ballpark.
+	if sampled < 4096/32 || sampled > 4096/2 {
+		t.Fatalf("sampled %d of 4096 at rate 8: hash badly skewed", sampled)
+	}
+}
+
+func TestSamplerV4MappedAgreement(t *testing.T) {
+	s := NewSampler(4)
+	for i := 0; i < 512; i++ {
+		v4 := addr(i)
+		mapped := netip.AddrFrom16(v4.As16()) // v4-mapped IPv6 form
+		if s.Sampled(v4) != s.Sampled(mapped) {
+			t.Fatalf("v4 %v and its v4-mapped form disagree", v4)
+		}
+	}
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	if s := NewSampler(0); s != nil {
+		t.Fatal("NewSampler(0) should be nil")
+	}
+	if s := NewSampler(-3); s != nil {
+		t.Fatal("NewSampler(-3) should be nil")
+	}
+	var s *Sampler
+	if s.Sampled(addr(1)) {
+		t.Fatal("nil sampler sampled something")
+	}
+	if s.Rate() != 0 {
+		t.Fatal("nil sampler rate != 0")
+	}
+	if NewSampler(1) == nil || !NewSampler(1).Sampled(addr(99)) {
+		t.Fatal("rate 1 must sample every customer")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Sampled(addr(1)) || r.Rate() != 0 || r.Node() != "" {
+		t.Fatal("nil recorder accessors not zero-valued")
+	}
+	r.Record(addr(1), time.Now(), StageStep, time.Millisecond, "x")
+	r.RecordOrigin(addr(1), time.Now(), time.Now())
+	r.RecordSeal(addr(1), time.Now(), time.Now())
+	if r.Snapshot() != nil || r.StageStats() != nil {
+		t.Fatal("nil recorder returned data")
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(r.JSON(), &doc); err != nil {
+		t.Fatalf("nil recorder JSON invalid: %v", err)
+	}
+	if NewRecorder("n", nil, 0) != nil {
+		t.Fatal("NewRecorder with nil sampler should be nil")
+	}
+}
+
+func TestRecorderRingWraparound(t *testing.T) {
+	r := NewRecorder("n1", NewSampler(1), 4)
+	at := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		r.Record(addr(i), at, StageStep, time.Duration(i)*time.Millisecond, fmt.Sprintf("e%d", i))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring of 4 retained %d events", len(snap))
+	}
+	// Oldest first: events 6, 7, 8, 9.
+	for i, e := range snap {
+		if want := fmt.Sprintf("e%d", 6+i); e.Detail != want {
+			t.Fatalf("snap[%d] = %s, want %s", i, e.Detail, want)
+		}
+		if e.Node != "n1" {
+			t.Fatalf("event node %q, want n1", e.Node)
+		}
+	}
+	// The histogram still counted every observation, not just the ring.
+	for _, st := range r.StageStats() {
+		if st.Stage == "step" && st.Count != 10 {
+			t.Fatalf("step count %d, want 10", st.Count)
+		}
+	}
+}
+
+func TestRecordSealEmitsOriginChain(t *testing.T) {
+	r := NewRecorder("n1", NewSampler(1), 0)
+	c := addr(7)
+	export := time.Unix(100, 0)
+	decode := export.Add(3 * time.Millisecond)
+	seal := decode.Add(5 * time.Millisecond)
+	at := time.Unix(90, 0) // step (bucket) time
+	r.RecordOrigin(c, export, decode)
+	r.RecordSeal(c, at, seal)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("got %d events, want export/decode/seal", len(snap))
+	}
+	wantStages := []Stage{StageExport, StageDecode, StageSeal}
+	for i, e := range snap {
+		if e.Stage != wantStages[i] {
+			t.Fatalf("event %d stage %v, want %v", i, e.Stage, wantStages[i])
+		}
+		if !e.At.Equal(at) {
+			t.Fatalf("event %d keyed at %v, want step time %v", i, e.At, at)
+		}
+		if e.Customer != c {
+			t.Fatalf("event %d customer %v", i, e.Customer)
+		}
+	}
+	if got := snap[1].Latency; got != 3*time.Millisecond {
+		t.Fatalf("decode latency %v, want 3ms", got)
+	}
+	if got := snap[2].Latency; got != 5*time.Millisecond {
+		t.Fatalf("seal latency %v, want 5ms", got)
+	}
+
+	// The origin was consumed: a second seal for the same customer has no
+	// export/decode to replay.
+	r.RecordSeal(c, at.Add(time.Minute), seal.Add(time.Minute))
+	if got := len(r.Snapshot()); got != 4 {
+		t.Fatalf("second seal emitted %d extra events, want 1", got-3)
+	}
+}
+
+func TestStageStatsExemplar(t *testing.T) {
+	r := NewRecorder("n1", NewSampler(1), 0)
+	at := time.Unix(50, 0)
+	r.Record(addr(1), at, StageStep, time.Millisecond, "fast")
+	r.Record(addr(2), at, StageStep, 90*time.Millisecond, "slow")
+	r.Record(addr(3), at, StageStep, 2*time.Millisecond, "mid")
+	stats := r.StageStats()
+	if len(stats) != 1 {
+		t.Fatalf("got %d stages, want 1", len(stats))
+	}
+	st := stats[0]
+	if st.Stage != "step" || st.Count != 3 {
+		t.Fatalf("stat %+v", st)
+	}
+	if st.MaxUS != 90_000 {
+		t.Fatalf("max %dµs, want 90000", st.MaxUS)
+	}
+	if st.Exemplar == nil || st.Exemplar.Detail != "slow" {
+		t.Fatalf("exemplar %+v, want the slow event", st.Exemplar)
+	}
+	var total uint64
+	for _, b := range st.Buckets {
+		total += b
+	}
+	if total != 3 {
+		t.Fatalf("bucket total %d, want 3", total)
+	}
+}
+
+func TestRecorderJSONShape(t *testing.T) {
+	r := NewRecorder("n1", NewSampler(2), 0)
+	r.Record(addr(4), time.Unix(10, 0), StageFanin, time.Millisecond, "d")
+	var doc struct {
+		Node  string `json:"node"`
+		Rate  int    `json:"rate"`
+		Spans []struct {
+			Customer string `json:"customer"`
+			Stage    string `json:"stage"`
+			Node     string `json:"node"`
+			Latency  int64  `json:"latency_us"`
+		} `json:"spans"`
+		Stages []StageStat `json:"stages"`
+	}
+	if err := json.Unmarshal(r.JSON(), &doc); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if doc.Node != "n1" || doc.Rate != 2 || len(doc.Spans) != 1 || len(doc.Stages) != 1 {
+		t.Fatalf("doc %+v", doc)
+	}
+	sp := doc.Spans[0]
+	if sp.Stage != "fanin" || sp.Node != "n1" || sp.Latency != 1000 || sp.Customer != addr(4).String() {
+		t.Fatalf("span %+v", sp)
+	}
+}
+
+// TestUnsampledPathAllocs pins the disabled and unsampled hot paths at
+// zero allocations — the overhead contract that lets the trace hooks sit
+// on the ingest and engine fast paths.
+func TestUnsampledPathAllocs(t *testing.T) {
+	var nilRec *Recorder
+	c := addr(3)
+	if n := testing.AllocsPerRun(1000, func() {
+		if nilRec != nil && nilRec.Sampled(c) {
+			t.Fatal("unreachable")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled hook: %v allocs/op, want 0", n)
+	}
+
+	// Rate so high none of the probed addresses sample: the hook pays the
+	// hash and nothing else.
+	r := NewRecorder("n1", NewSampler(1<<40), 0)
+	sampledAny := false
+	for i := 0; i < 1000; i++ {
+		if r.Sampled(addr(i)) {
+			sampledAny = true
+		}
+	}
+	if sampledAny {
+		t.Skip("improbable: an address sampled at rate 2^40")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if r.Sampled(c) {
+			t.Fatal("unreachable")
+		}
+	}); n != 0 {
+		t.Fatalf("unsampled hook: %v allocs/op, want 0", n)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder("n1", NewSampler(1), 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			at := time.Unix(int64(g), 0)
+			for i := 0; i < 200; i++ {
+				c := addr(g*200 + i)
+				r.RecordOrigin(c, at, at.Add(time.Millisecond))
+				r.RecordSeal(c, at, at.Add(2*time.Millisecond))
+				r.Record(c, at, StageStep, time.Millisecond, "")
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Snapshot()
+				r.StageStats()
+				_ = r.JSON()
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for _, st := range r.StageStats() {
+		total += st.Count
+	}
+	// 8 goroutines × 200 iterations × 4 events (export+decode+seal+step).
+	if want := uint64(8 * 200 * 4); total != want {
+		t.Fatalf("observed %d events, want %d", total, want)
+	}
+}

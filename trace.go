@@ -1,0 +1,72 @@
+package xatu
+
+import (
+	"github.com/xatu-go/xatu/internal/trace"
+)
+
+// The flow-tracing and flight-recorder layer (internal/trace): a
+// dependency-free, allocation-lean distributed tracing substrate.
+// Deterministic hash-based sampling means every node in a fleet samples
+// the same customers with zero coordination — attach a TraceRecorder to
+// EngineConfig.Trace and IngestConfig.Trace (or just set TraceSample on
+// the cluster configs) and a sampled detection step's spans, recorded
+// independently on the router, ingest node, engine shard, and
+// coordinator, assemble into one cross-node timeline keyed by
+// (customer, step time). The FlightRecorder is the always-on black box:
+// a fixed ring of structured operational events frozen into dumps on
+// health transitions and panics, served on /debug/flight and merged
+// fleet-wide by the coordinator's /v1/incidents.
+
+type (
+	// TraceSampler deterministically samples 1-in-N customers by address
+	// hash; every component holding the same rate picks the same
+	// customers.
+	TraceSampler = trace.Sampler
+	// TraceRecorder records per-stage spans and latency histograms for
+	// sampled customers; serve its JSON on /debug/trace.
+	TraceRecorder = trace.Recorder
+	// TraceStage identifies a pipeline stage (export, decode, seal,
+	// forward, buffer, step, fanin) in a recorded span.
+	TraceStage = trace.Stage
+	// TraceSpanEvent is one recorded span: customer, step time, stage,
+	// node, wall-clock time, and stage latency.
+	TraceSpanEvent = trace.SpanEvent
+	// TraceStageStat is one stage's aggregated latency histogram with its
+	// worst-latency exemplar.
+	TraceStageStat = trace.StageStat
+	// FlightRecorder is the fixed-size black-box ring of operational
+	// events with bounded incident dumps.
+	FlightRecorder = trace.Flight
+	// FlightEvent is one structured flight-recorder entry.
+	FlightEvent = trace.FlightEvent
+	// FlightDump is a frozen ring snapshot taken at an incident trigger.
+	FlightDump = trace.Dump
+)
+
+// Trace stage identifiers, re-exported for span filtering.
+const (
+	TraceStageExport  = trace.StageExport
+	TraceStageDecode  = trace.StageDecode
+	TraceStageSeal    = trace.StageSeal
+	TraceStageForward = trace.StageForward
+	TraceStageBuffer  = trace.StageBuffer
+	TraceStageStep    = trace.StageStep
+	TraceStageFanin   = trace.StageFanin
+)
+
+// NewTraceSampler returns a deterministic 1-in-rate customer sampler;
+// rate <= 0 returns nil (sampling off, nil is safe everywhere).
+func NewTraceSampler(rate int) *TraceSampler { return trace.NewSampler(rate) }
+
+// NewTraceRecorder returns a span recorder for node with the given
+// sampler and ring capacity (0 = default). A nil sampler returns a nil
+// recorder, which every hook accepts as "tracing off".
+func NewTraceRecorder(node string, s *TraceSampler, ringCap int) *TraceRecorder {
+	return trace.NewRecorder(node, s, ringCap)
+}
+
+// NewFlightRecorder returns a flight recorder for node with the given
+// ring capacity (0 = default). Never nil: the black box is always on.
+func NewFlightRecorder(node string, ringCap int) *FlightRecorder {
+	return trace.NewFlight(node, ringCap)
+}
