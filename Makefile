@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz bench-json bench-smoke soak soak-smoke fleet-smoke fleet-bench trace-smoke lint check
+.PHONY: build vet test race fuzz bce bench-json bench-smoke soak soak-smoke fleet-smoke fleet-bench trace-smoke lint check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,26 @@ test:
 # integration tests.
 race:
 	$(GO) test -race ./internal/netflow ./internal/nn ./internal/core ./internal/engine ./internal/ingest ./internal/cluster ./internal/telemetry ./internal/trace .
+
+# The float32 serving kernels (quantized panel matmuls, gate
+# nonlinearities, widen/narrow) must compile with zero per-element bounds
+# checks: these files are the inner loops of every online detection step.
+# The compiler's check_bce debug pass prints every check it could not
+# prove away; any `Found IsInBounds` in the named kernel files fails the
+# build. One-time slice-header constructions (IsSliceInBounds, O(1) per
+# kernel call) are setup cost, not inner-loop cost, and are not gated.
+# Load-time quantization (quantize32.go) and the dynamic-index
+# gather/scatter loops of the batch runners are deliberately excluded.
+BCE_KERNELS := internal/nn/f32.go internal/nn/panel32.go internal/nn/lstm32.go
+bce:
+	@out=$$($(GO) build -gcflags='-d=ssa/check_bce' ./internal/nn/ ./internal/core/ 2>&1 \
+		| grep 'Found IsInBounds' \
+		| grep -E 'nn/f32\.go|nn/panel32\.go|nn/lstm32\.go' || true); \
+	if [ -n "$$out" ]; then \
+		echo "bounds checks in hot float32 kernels ($(BCE_KERNELS)):"; \
+		echo "$$out"; exit 1; \
+	fi; \
+	echo "bce: hot float32 kernels are bounds-check-free"
 
 # Static analysis: vet + gofmt always; staticcheck when installed (CI
 # installs it, local machines may not have it).
@@ -87,4 +107,4 @@ fuzz:
 	$(GO) test ./internal/netflow -run '^$$' -fuzz FuzzDecodeV5 -fuzztime 10s
 	$(GO) test ./internal/netflow -run '^$$' -fuzz FuzzJournalRoundTrip -fuzztime 10s
 
-check: build lint test race fleet-smoke trace-smoke
+check: build lint bce test race fleet-smoke trace-smoke

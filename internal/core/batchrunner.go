@@ -63,6 +63,9 @@ func (r *BatchRunner) Push(streams []*Stream, xs [][]float64, out []float64) []f
 		if s.m != r.m {
 			panic("core: BatchRunner.Push with a stream over a different model")
 		}
+		if s.prec != PrecisionFloat64 {
+			panic("core: BatchRunner.Push with a non-float64 stream (use BatchRunner32)")
+		}
 		copy(s.lastX, xs[i])
 		s.steps++
 	}

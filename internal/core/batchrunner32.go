@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/xatu-go/xatu/internal/nn"
+)
+
+// BatchRunner32 is the float32 lane runner: it advances many
+// PrecisionFloat32 Streams sharing one *Model through the quantized panel
+// kernels, and owns the lane's Arena so every stream it creates has its
+// hot state carved from the same contiguous slabs — gather/scatter then
+// walks nearly-linear memory instead of pointer-chasing per customer.
+//
+// The bit-exactness contract matches BatchRunner's, within the float32
+// path: Push leaves every stream in the state — and returns the survival
+// value — that the stream's own sequential float32 push would have
+// produced, bit for bit (the panel kernels preserve per-row arithmetic
+// order; see nn.PanelMat32). Parity against float64 serving is
+// behavioral, not bitwise: alert sets agree within the calibrated
+// tolerance (DESIGN.md §14).
+//
+// A BatchRunner32 is not safe for concurrent use.
+type BatchRunner32 struct {
+	m     *Model
+	q     *Quantized32
+	arena Arena
+	// per-branch gather buffers: input rows, hidden/cell rows, and the
+	// indices (into the caller's streams slice) of the rows' owners.
+	xb, hb, cb [numBranches]nn.Batch32
+	idx        [numBranches][]int
+	sc         nn.BatchScratch32
+	concat, zs nn.Batch32
+}
+
+// NewBatchRunner32 returns a float32 runner over m, quantizing the model
+// (cached on the Model) up front so corrupt weights fail here, at
+// load/construction time, not mid-serving.
+func NewBatchRunner32(m *Model) (*BatchRunner32, error) {
+	q, err := m.Quantized32()
+	if err != nil {
+		return nil, err
+	}
+	return &BatchRunner32{m: m, q: q}, nil
+}
+
+// Model returns the shared model the runner steps streams through.
+func (r *BatchRunner32) Model() *Model { return r.m }
+
+// NewStream returns a fresh float32 stream over the runner's model, with
+// state carved from the lane arena. Quantization is already cached, so
+// this cannot fail.
+func (r *BatchRunner32) NewStream() *Stream {
+	s, err := NewStreamPrec(r.m, PrecisionFloat32, &r.arena)
+	if err != nil {
+		panic(err) // unreachable: NewBatchRunner32 already quantized
+	}
+	return s
+}
+
+// RestoreStream reads an XSC1 checkpoint into a float32 stream on this
+// lane (state carved from the lane arena).
+func (r *BatchRunner32) RestoreStream(rd io.Reader) (*Stream, error) {
+	return RestoreStreamPrec(rd, r.m, PrecisionFloat32, &r.arena)
+}
+
+// Push advances stream i with input xs[i] for every i, writing the
+// survival probability into out[i] and returning out — the float32
+// analogue of BatchRunner.Push, allocation-free at steady state.
+func (r *BatchRunner32) Push(streams []*Stream, xs [][]float64, out []float64) []float64 {
+	B := len(streams)
+	if len(xs) != B {
+		panic(fmt.Sprintf("core: BatchRunner32.Push with %d streams, %d inputs", B, len(xs)))
+	}
+	if len(out) != B {
+		out = make([]float64, B)
+	}
+	if B == 0 {
+		return out
+	}
+	cfg := r.m.Cfg
+	for i, s := range streams {
+		if s.m != r.m {
+			panic("core: BatchRunner32.Push with a stream over a different model")
+		}
+		if s.prec != PrecisionFloat32 {
+			panic("core: BatchRunner32.Push with a non-float32 stream")
+		}
+		copy(s.lastX, xs[i])
+		s.x32 = nn.Narrow32(xs[i], s.x32)
+		s.steps++
+	}
+	for b, l := range r.q.lstms {
+		if l == nil {
+			continue
+		}
+		k := r.m.poolFactor(b)
+		idx := r.idx[b][:0]
+		if k <= 1 {
+			for i := range streams {
+				idx = append(idx, i)
+			}
+		} else {
+			for i, s := range streams {
+				s.bufSum32[b].Add(s.x32)
+				s.bufN[b]++
+				if s.bufN[b] >= k {
+					idx = append(idx, i)
+				}
+			}
+		}
+		r.idx[b] = idx
+		if len(idx) == 0 {
+			continue
+		}
+		r.xb[b].Resize(len(idx), cfg.NumFeatures)
+		r.hb[b].Resize(len(idx), cfg.Hidden)
+		r.cb[b].Resize(len(idx), cfg.Hidden)
+		inv := 1 / float32(k)
+		for n, i := range idx {
+			s := streams[i]
+			row := r.xb[b].Row(n)
+			if k <= 1 {
+				copy(row, s.x32)
+			} else {
+				// The same mean expression the sequential float32 path
+				// computes: bufSum32[j] * (1/k), then the buffer restarts.
+				for j, sum := range s.bufSum32[b] {
+					row[j] = sum * inv
+				}
+				s.bufSum32[b].Zero()
+				s.bufN[b] = 0
+			}
+			copy(r.hb[b].Row(n), s.h32[b])
+			copy(r.cb[b].Row(n), s.c32[b])
+		}
+		l.StepBatch32(&r.hb[b], &r.cb[b], &r.xb[b], &r.sc)
+		for n, i := range idx {
+			s := streams[i]
+			copy(s.h32[b], r.hb[b].Row(n))
+			copy(s.c32[b], r.cb[b].Row(n))
+			s.seen[b] = true
+		}
+	}
+	// Head over every stream's latest states, one batched pass.
+	hd := cfg.Hidden
+	r.concat.Resize(B, hd*r.m.activeBranches())
+	for i, s := range streams {
+		row := r.concat.Row(i)
+		off := 0
+		for b, l := range r.q.lstms {
+			if l == nil {
+				continue
+			}
+			copy(row[off:off+hd], s.h32[b])
+			off += hd
+		}
+	}
+	r.q.head.ForwardBatch32(&r.concat, &r.zs)
+	for i, s := range streams {
+		out[i] = s.recordHazard(nn.Softplus(float64(r.zs.Row(i)[0])))
+	}
+	return out
+}

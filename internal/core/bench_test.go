@@ -53,6 +53,11 @@ func benchBatchRunnerPush(b *testing.B, B int) {
 		xs[i] = benchInput()
 	}
 	out := make([]float64, B)
+	// Warm past the longest pooling boundary so every branch's packing
+	// buffers exist and b.N ops report true steady state.
+	for i := 0; i < m.Cfg.PoolLong; i++ {
+		r.Push(streams, xs, out)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -63,3 +68,49 @@ func benchBatchRunnerPush(b *testing.B, B int) {
 
 func BenchmarkBatchRunnerPush8(b *testing.B)  { benchBatchRunnerPush(b, 8) }
 func BenchmarkBatchRunnerPush64(b *testing.B) { benchBatchRunnerPush(b, 64) }
+
+// BenchmarkStreamPushF32 is the sequential float32 online hot path.
+func BenchmarkStreamPushF32(b *testing.B) {
+	s, err := NewStreamPrec(benchModel(b), PrecisionFloat32, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchInput()
+	s.Push(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Push(x)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// benchBatchRunnerPush32 is benchBatchRunnerPush through the float32 lane
+// runner with arena'd stream state; steps/sec compares directly with the
+// float64 rows.
+func benchBatchRunnerPush32(b *testing.B, B int) {
+	m := benchModel(b)
+	r, err := NewBatchRunner32(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	streams := make([]*Stream, B)
+	xs := make([][]float64, B)
+	for i := range streams {
+		streams[i] = r.NewStream()
+		xs[i] = benchInput()
+	}
+	out := make([]float64, B)
+	for i := 0; i < m.Cfg.PoolLong; i++ {
+		r.Push(streams, xs, out) // warm every branch's packing buffers
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(streams, xs, out)
+	}
+	b.ReportMetric(float64(b.N)*float64(B)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+func BenchmarkBatchRunnerPush8F32(b *testing.B)  { benchBatchRunnerPush32(b, 8) }
+func BenchmarkBatchRunnerPush64F32(b *testing.B) { benchBatchRunnerPush32(b, 64) }

@@ -54,9 +54,18 @@ func (s *Stream) Checkpoint(w io.Writer) error {
 		if l == nil {
 			continue
 		}
-		cw.vec(s.h[b])
-		cw.vec(s.c[b])
-		cw.vec(s.bufSum[b])
+		h, c, buf := s.h[b], s.c[b], s.bufSum[b]
+		if s.prec == PrecisionFloat32 {
+			// Widening float32 state to the checkpoint's float64 vectors is
+			// exact, so the XSC1 format (and every consumer of it) is
+			// precision-agnostic; restore narrows back losslessly.
+			h = s.h32[b].Widen(nil)
+			c = s.c32[b].Widen(nil)
+			buf = s.bufSum32[b].Widen(nil)
+		}
+		cw.vec(h)
+		cw.vec(c)
+		cw.vec(buf)
 		cw.i32(s.bufN[b])
 		cw.bool(s.seen[b])
 	}
@@ -71,10 +80,19 @@ func (s *Stream) Checkpoint(w io.Writer) error {
 }
 
 // RestoreStream reads a checkpoint written by Checkpoint and returns a
-// stream over m, which must have the same architecture (feature width,
-// hidden size, window, pooling, enabled branches) as the checkpointing
-// model. The restored stream continues bitwise-identically.
+// float64 stream over m, which must have the same architecture (feature
+// width, hidden size, window, pooling, enabled branches) as the
+// checkpointing model. The restored stream continues bitwise-identically.
 func RestoreStream(r io.Reader, m *Model) (*Stream, error) {
+	return RestoreStreamPrec(r, m, PrecisionFloat64, nil)
+}
+
+// RestoreStreamPrec is RestoreStream with an explicit serving precision
+// and, for float32, the lane arena the stream's state is carved from. A
+// float32→float32 round-trip is exact (the checkpoint stores widened
+// float32 values); restoring a float64 checkpoint into a float32 stream
+// narrows the state, which stays within the precision parity tolerance.
+func RestoreStreamPrec(r io.Reader, m *Model, prec Precision, a *Arena) (*Stream, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
@@ -112,7 +130,10 @@ func RestoreStream(r io.Reader, m *Model) (*Stream, error) {
 	if got := cr.u8(); cr.err == nil && got != mask {
 		return nil, fmt.Errorf("core: checkpoint branch mask %03b, model has %03b", got, mask)
 	}
-	s := NewStream(m)
+	s, err := NewStreamPrec(m, prec, a)
+	if err != nil {
+		return nil, err
+	}
 	// Vectors are always present in checkpoints taken since streams began
 	// preallocating their state; absent vectors (older checkpoints, or a
 	// never-pushed lastX) mean the zero state NewStream already installed.
@@ -121,13 +142,25 @@ func RestoreStream(r io.Reader, m *Model) (*Stream, error) {
 			continue
 		}
 		if h := cr.vec(cfg.Hidden); h != nil {
-			s.h[b] = h
+			if prec == PrecisionFloat32 {
+				nn.Narrow32(h, s.h32[b])
+			} else {
+				s.h[b] = h
+			}
 		}
 		if c := cr.vec(cfg.Hidden); c != nil {
-			s.c[b] = c
+			if prec == PrecisionFloat32 {
+				nn.Narrow32(c, s.c32[b])
+			} else {
+				s.c[b] = c
+			}
 		}
 		if buf := cr.vec(cfg.NumFeatures); buf != nil {
-			s.bufSum[b] = buf
+			if prec == PrecisionFloat32 {
+				nn.Narrow32(buf, s.bufSum32[b])
+			} else {
+				s.bufSum[b] = buf
+			}
 		}
 		s.bufN[b] = cr.i32()
 		s.seen[b] = cr.bool()

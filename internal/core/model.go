@@ -93,6 +93,10 @@ type Model struct {
 	Cfg   Config
 	lstms [numBranches]*nn.LSTM // nil when the branch is disabled
 	head  *nn.Dense
+	// q32 caches the quantized float32 serving form (precision.go); Fit
+	// invalidates it when the weights change.
+	q32mu sync.Mutex
+	q32   *Quantized32
 }
 
 // New builds a model with freshly initialized weights.
@@ -458,6 +462,8 @@ func (m *Model) Fit(examples []Example, opts TrainOptions) (float64, error) {
 			opts.Progress(epoch, finalLoss)
 		}
 	}
+	// Weights changed: any cached float32 quantization is stale.
+	m.invalidateQuantized()
 	return finalLoss, nil
 }
 

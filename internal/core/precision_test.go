@@ -1,0 +1,442 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newParityStreams32(t *testing.T, m *Model, n int) (batch, ref []*Stream) {
+	t.Helper()
+	batch = make([]*Stream, n)
+	ref = make([]*Stream, n)
+	for i := range batch {
+		var err error
+		if batch[i], err = NewStreamPrec(m, PrecisionFloat32, nil); err != nil {
+			t.Fatal(err)
+		}
+		if ref[i], err = NewStreamPrec(m, PrecisionFloat32, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return batch, ref
+}
+
+// TestBatchRunner32MatchesSequentialBitwise is the float32 twin of the
+// float64 runner contract: batched float32 serving must be bit-identical
+// to the sequential float32 path, stream for stream, across pooling
+// boundaries and hazard-ring wraps — including byte-identical checkpoints.
+func TestBatchRunner32MatchesSequentialBitwise(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewBatchRunner32(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, B := range []int{1, 3, 64} {
+		rng := rand.New(rand.NewSource(int64(200 + B)))
+		batch := make([]*Stream, B)
+		for i := range batch {
+			batch[i] = r.NewStream()
+		}
+		_, ref := newParityStreams32(t, m, B)
+		out := make([]float64, B)
+		for step := 0; step < 60; step++ {
+			xs := parityInputs(rng, B, m.Cfg.NumFeatures)
+			r.Push(batch, xs, out)
+			for i := range ref {
+				want := ref[i].Push(xs[i])
+				if out[i] != want {
+					t.Fatalf("B=%d step %d stream %d: batched survival %v != sequential %v",
+						B, step, i, out[i], want)
+				}
+			}
+		}
+		for i := range ref {
+			var a, b bytes.Buffer
+			if err := batch[i].Checkpoint(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref[i].Checkpoint(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("B=%d stream %d: batched and sequential checkpoints differ", B, i)
+			}
+		}
+	}
+}
+
+// TestStream32CheckpointRoundTrip checkpoints a float32 stream mid-run —
+// partial pooling buffers, ring mid-epoch — restores it at float32, and
+// requires bit-identical continuation: float32 state widens exactly into
+// the XSC1 format and narrows exactly back.
+func TestStream32CheckpointRoundTrip(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(301))
+	orig, err := NewStreamPrec(m, PrecisionFloat32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 13; i++ {
+		orig.Push(randInput(rng, m.Cfg.NumFeatures))
+	}
+	var ck bytes.Buffer
+	if err := orig.Checkpoint(&ck); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStreamPrec(bytes.NewReader(ck.Bytes()), m, PrecisionFloat32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Precision() != PrecisionFloat32 {
+		t.Fatalf("restored precision %v", restored.Precision())
+	}
+	for i := 0; i < 40; i++ {
+		x := randInput(rng, m.Cfg.NumFeatures)
+		a, b := orig.Push(x), restored.Push(x)
+		if a != b {
+			t.Fatalf("step %d: original %v != restored %v", i, a, b)
+		}
+	}
+	var a, b bytes.Buffer
+	if err := orig.Checkpoint(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Checkpoint(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("post-continuation checkpoints differ")
+	}
+}
+
+// TestRestoreFloat64CheckpointIntoFloat32 crosses precisions: a float64
+// stream's checkpoint restores into a float32 lane (narrowed state) and
+// keeps serving, with survival outputs tracking the float64 original
+// within quantization tolerance — the migration path when a fleet flips a
+// lane's precision without a cold restart.
+func TestRestoreFloat64CheckpointIntoFloat32(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(302))
+	s64 := NewStream(m)
+	for i := 0; i < 17; i++ {
+		s64.Push(randInput(rng, m.Cfg.NumFeatures))
+	}
+	var ck bytes.Buffer
+	if err := s64.Checkpoint(&ck); err != nil {
+		t.Fatal(err)
+	}
+	s32, err := RestoreStreamPrec(bytes.NewReader(ck.Bytes()), m, PrecisionFloat32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s32.Steps() != s64.Steps() {
+		t.Fatalf("restored steps %d, want %d", s32.Steps(), s64.Steps())
+	}
+	for i := 0; i < 30; i++ {
+		x := randInput(rng, m.Cfg.NumFeatures)
+		a, b := s64.Push(x), s32.Push(x)
+		// Compare in log-survival space: |Δ log S| bounds the hazard-sum
+		// perturbation independent of how close S is to 0 or 1.
+		if d := math.Abs(math.Log(a) - math.Log(b)); d > 1e-3 {
+			t.Fatalf("step %d: f64 survival %v vs f32 %v (|Δlog|=%v)", i, a, b, d)
+		}
+	}
+}
+
+// TestStream32TracksFloat64 runs the two precisions side by side from
+// cold: log-survival must agree within quantization-level tolerance over
+// a long window (no compounding drift from the fast float32
+// nonlinearities).
+func TestStream32TracksFloat64(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(303))
+	s64 := NewStream(m)
+	s32, err := NewStreamPrec(m, PrecisionFloat32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		x := randInput(rng, m.Cfg.NumFeatures)
+		a, b := s64.Push(x), s32.Push(x)
+		if d := math.Abs(math.Log(a) - math.Log(b)); d > 1e-3 {
+			t.Fatalf("step %d: f64 survival %v vs f32 %v (|Δlog|=%v)", i, a, b, d)
+		}
+	}
+}
+
+// TestStream32ResetAndMissing exercises Reset and PushMissing on the
+// float32 path: reset returns to the cold state, and missing-step
+// synthesis stays bit-identical between two identically-driven streams.
+func TestStream32ResetAndMissing(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(304))
+	a, err := NewStreamPrec(m, PrecisionFloat32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStreamPrec(m, PrecisionFloat32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		x := randInput(rng, m.Cfg.NumFeatures)
+		if i%5 == 4 {
+			if a.PushMissing(MissingCarry) != b.PushMissing(MissingCarry) {
+				t.Fatalf("step %d: missing-step survival diverged", i)
+			}
+			continue
+		}
+		if a.Push(x) != b.Push(x) {
+			t.Fatalf("step %d: survival diverged", i)
+		}
+	}
+	a.Reset()
+	fresh, err := NewStreamPrec(m, PrecisionFloat32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ra, rf bytes.Buffer
+	if err := a.Checkpoint(&ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Checkpoint(&rf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ra.Bytes(), rf.Bytes()) {
+		t.Fatal("reset float32 stream differs from a fresh one")
+	}
+}
+
+// TestRunnerPrecisionGuards pins the cross-precision panics: a float32
+// stream cannot enter the float64 runner and vice versa.
+func TestRunnerPrecisionGuards(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float64{make([]float64, m.Cfg.NumFeatures)}
+	t.Run("f32 stream in f64 runner", func(t *testing.T) {
+		r := NewBatchRunner(m)
+		s, err := NewStreamPrec(m, PrecisionFloat32, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		r.Push([]*Stream{s}, xs, nil)
+	})
+	t.Run("f64 stream in f32 runner", func(t *testing.T) {
+		r, err := NewBatchRunner32(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		r.Push([]*Stream{NewStream(m)}, xs, nil)
+	})
+}
+
+// TestBatchRunner32PushAllocsZero pins the float32 batched path at zero
+// steady-state allocations at batch 8 and 64 (arena'd stream state,
+// runner-owned packing buffers).
+func TestBatchRunner32PushAllocsZero(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewBatchRunner32(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, B := range []int{8, 64} {
+		streams := make([]*Stream, B)
+		xs := make([][]float64, B)
+		for i := range streams {
+			streams[i] = r.NewStream()
+			xs[i] = make([]float64, m.Cfg.NumFeatures)
+			xs[i][0] = float64(i) * 0.1
+		}
+		out := make([]float64, B)
+		for i := 0; i < 30; i++ {
+			r.Push(streams, xs, out)
+		}
+		if allocs := testing.AllocsPerRun(100, func() { r.Push(streams, xs, out) }); allocs != 0 {
+			t.Fatalf("B=%d: BatchRunner32.Push allocates %v/op, want 0", B, allocs)
+		}
+	}
+}
+
+// TestBatchRunnerPushAllocsZeroAtBatch64 extends the float64 runner's
+// zero-alloc pin to the 64-wide shape (the benchmark that used to report
+// 273 B/op from first-call buffer growth).
+func TestBatchRunnerPushAllocsZeroAtBatch64(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, _ := newParityStreams(m, 64)
+	r := NewBatchRunner(m)
+	xs := make([][]float64, 64)
+	for i := range xs {
+		xs[i] = make([]float64, m.Cfg.NumFeatures)
+		xs[i][0] = float64(i) * 0.1
+	}
+	out := make([]float64, 64)
+	for i := 0; i < 30; i++ {
+		r.Push(streams, xs, out)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { r.Push(streams, xs, out) }); allocs != 0 {
+		t.Fatalf("BatchRunner.Push at batch 64 allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestStream32PushAllocsZero pins the sequential float32 hot path at zero
+// allocations (all state and scratch arena-carved at construction).
+func TestStream32PushAllocsZero(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamPrec(m, PrecisionFloat32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, m.Cfg.NumFeatures)
+	x[0] = 0.5
+	for i := 0; i < 30; i++ {
+		s.Push(x)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.Push(x) }); allocs != 0 {
+		t.Fatalf("float32 Stream.Push allocates %v/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.PushMissing(MissingCarry) }); allocs != 0 {
+		t.Fatalf("float32 Stream.PushMissing allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestQuantizedModelIODeterministic: saving a model and loading it twice
+// must yield byte-identical quantized panels — quantization is a pure
+// function of the weight bytes, so every replica serving the same model
+// file runs the same float32 network.
+func TestQuantizedModelIODeterministic(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	load := func() *Quantized32 {
+		lm, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := lm.Quantized32()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	qa, qb := load(), load()
+	for b := range qa.lstms {
+		la, lb := qa.lstms[b], qb.lstms[b]
+		if (la == nil) != (lb == nil) {
+			t.Fatalf("branch %d presence differs", b)
+		}
+		if la == nil {
+			continue
+		}
+		for i := range la.Wx.Data {
+			if math.Float32bits(la.Wx.Data[i]) != math.Float32bits(lb.Wx.Data[i]) {
+				t.Fatalf("branch %d Wx panel byte %d differs across loads", b, i)
+			}
+		}
+		for i := range la.Wh.Data {
+			if math.Float32bits(la.Wh.Data[i]) != math.Float32bits(lb.Wh.Data[i]) {
+				t.Fatalf("branch %d Wh panel byte %d differs across loads", b, i)
+			}
+		}
+		for i := range la.B {
+			if math.Float32bits(la.B[i]) != math.Float32bits(lb.B[i]) {
+				t.Fatalf("branch %d bias %d differs across loads", b, i)
+			}
+		}
+	}
+	for i := range qa.head.W.Data {
+		if math.Float32bits(qa.head.W.Data[i]) != math.Float32bits(qb.head.W.Data[i]) {
+			t.Fatalf("head panel byte %d differs across loads", i)
+		}
+	}
+}
+
+// TestLoadRejectsCorruptWeights: a model file carrying a NaN weight (bit
+// corruption, diverged training) must fail at Load, before any stream
+// serves from it.
+func TestLoadRejectsCorruptWeights(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.head.W.Data[0] = math.NaN()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("Load accepted a model file with a NaN weight")
+	}
+	// The quantization layer is the second line of defense for models
+	// corrupted in memory rather than on disk.
+	if _, err := m.Quantized32(); err == nil {
+		t.Fatal("Quantized32 accepted a NaN weight")
+	}
+}
+
+// TestQuantizedCacheInvalidatedByFit: training updates weights, so the
+// cached float32 form must be rebuilt afterwards.
+func TestQuantizedCacheInvalidatedByFit(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := m.Quantized32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(305))
+	exs := []Example{synthExample(rng, 24, true, m.Cfg.Window), synthExample(rng, 24, false, m.Cfg.Window)}
+	if _, err := m.Fit(exs, TrainOptions{Epochs: 1, BatchSize: 2, Workers: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := m.Quantized32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 == q2 {
+		t.Fatal("Quantized32 cache not invalidated by Fit")
+	}
+}

@@ -51,6 +51,23 @@ type Stream struct {
 	concat   nn.Vec
 	headOut  nn.Vec
 	missX    nn.Vec
+
+	// Float32 serving mode (precision.go). When prec is PrecisionFloat32
+	// the kernel-facing state below replaces h/c/bufSum/scratch — all of it
+	// carved contiguously from one arena slab so a lane's gather/scatter
+	// walks linear memory — while the survival accounting above (hazards,
+	// sums, steps, lastX) stays float64 and the checkpoint format is
+	// unchanged: float32 state widens exactly to float64 on write and
+	// narrows exactly back on restore.
+	prec       Precision
+	q          *Quantized32
+	h32, c32   [numBranches]nn.Vec32
+	bufSum32   [numBranches]nn.Vec32
+	x32        nn.Vec32 // current input, narrowed once per step
+	poolMean32 nn.Vec32
+	concat32   nn.Vec32
+	headOut32  nn.Vec32 // panel-padded head output
+	scratch32  nn.StepScratch32
 }
 
 // MissingPolicy selects what a Stream feeds itself for a step with no
@@ -67,18 +84,74 @@ const (
 	MissingCarry
 )
 
-// NewStream returns a fresh online detector state for the model.
+// NewStream returns a fresh online detector state for the model, serving
+// at training precision (float64).
 func NewStream(m *Model) *Stream {
-	s := &Stream{
-		m:        m,
-		hazards:  make([]float64, m.Cfg.Window),
-		suffix:   make([]float64, m.Cfg.Window+1),
-		poolMean: nn.NewVec(m.Cfg.NumFeatures),
-		concat:   nn.NewVec(m.Cfg.Hidden * m.activeBranches()),
-		headOut:  nn.NewVec(1),
-		missX:    nn.NewVec(m.Cfg.NumFeatures),
-		lastX:    nn.NewVec(m.Cfg.NumFeatures),
+	s, err := NewStreamPrec(m, PrecisionFloat64, nil)
+	if err != nil {
+		panic(err) // unreachable: the float64 path performs no quantization
 	}
+	return s
+}
+
+// NewStreamPrec returns a fresh online detector state serving at the
+// given precision. For PrecisionFloat32 the model is quantized (cached on
+// the Model; fails on non-finite weights) and all kernel-facing state is
+// carved contiguously from the arena — pass the lane's shared arena so
+// streams batched together sit in the same slabs; a nil arena allocates a
+// private one.
+func NewStreamPrec(m *Model, prec Precision, a *Arena) (*Stream, error) {
+	s := &Stream{
+		m:       m,
+		prec:    prec,
+		hazards: make([]float64, m.Cfg.Window),
+		suffix:  make([]float64, m.Cfg.Window+1),
+		missX:   nn.NewVec(m.Cfg.NumFeatures),
+		lastX:   nn.NewVec(m.Cfg.NumFeatures),
+	}
+	if prec == PrecisionFloat32 {
+		q, err := m.Quantized32()
+		if err != nil {
+			return nil, err
+		}
+		s.q = q
+		if a == nil {
+			a = &Arena{}
+		}
+		nf, hd := m.Cfg.NumFeatures, m.Cfg.Hidden
+		nb := m.activeBranches()
+		pad := 0 // padded pre-activation width, equal across branches (4·Hidden rows)
+		for _, l := range q.lstms {
+			if l != nil {
+				pad = l.Wx.Padded()
+				break
+			}
+		}
+		headPad := q.head.Padded()
+		// One contiguous slab per stream: recurrent state, pooling sums,
+		// input/pool/concat staging, head output, and kernel scratch.
+		slab := a.Alloc(nb*(2*hd+nf) + 2*nf + hd*nb + headPad + 2*pad)
+		carve := func(n int) nn.Vec32 {
+			v := slab[:n:n]
+			slab = slab[n:]
+			return v
+		}
+		for b, l := range q.lstms {
+			if l == nil {
+				continue
+			}
+			s.h32[b], s.c32[b], s.bufSum32[b] = carve(hd), carve(hd), carve(nf)
+		}
+		s.x32 = carve(nf)
+		s.poolMean32 = carve(nf)
+		s.concat32 = carve(hd * nb)
+		s.headOut32 = carve(headPad)
+		s.scratch32 = nn.NewStepScratch32(carve(pad), carve(pad))
+		return s, nil
+	}
+	s.poolMean = nn.NewVec(m.Cfg.NumFeatures)
+	s.concat = nn.NewVec(m.Cfg.Hidden * m.activeBranches())
+	s.headOut = nn.NewVec(1)
 	for b := range s.bufSum {
 		if m.lstms[b] != nil {
 			s.h[b] = nn.NewVec(m.Cfg.Hidden)
@@ -86,8 +159,11 @@ func NewStream(m *Model) *Stream {
 			s.bufSum[b] = nn.NewVec(m.Cfg.NumFeatures)
 		}
 	}
-	return s
+	return s, nil
 }
+
+// Precision returns the precision the stream serves at.
+func (s *Stream) Precision() Precision { return s.prec }
 
 // Steps returns how many inputs have been consumed.
 func (s *Stream) Steps() int { return s.steps }
@@ -128,6 +204,9 @@ func (s *Stream) PushMissing(policy MissingPolicy) float64 {
 }
 
 func (s *Stream) push(x []float64) float64 {
+	if s.prec == PrecisionFloat32 {
+		return s.push32(x)
+	}
 	v := nn.Vec(x)
 	s.steps++
 	for b, l := range s.m.lstms {
@@ -164,6 +243,50 @@ func (s *Stream) push(x []float64) float64 {
 	}
 	s.m.head.ForwardInto(s.concat, s.headOut)
 	return s.recordHazard(nn.Softplus(s.headOut[0]))
+}
+
+// push32 is push through the quantized float32 kernels: the input is
+// narrowed once, branch recurrences and the head run in float32, and only
+// the final hazard widens back for the float64 survival accounting. The
+// structure mirrors push statement for statement — same pooled-mean
+// expression, same hazard recording — so the two precisions differ only
+// by kernel arithmetic width.
+func (s *Stream) push32(x []float64) float64 {
+	s.x32 = nn.Narrow32(x, s.x32)
+	s.steps++
+	for b, l := range s.q.lstms {
+		if l == nil {
+			continue
+		}
+		k := s.m.poolFactor(b)
+		if k <= 1 {
+			l.Step32(s.h32[b], s.c32[b], s.x32, &s.scratch32)
+			s.seen[b] = true
+			continue
+		}
+		s.bufSum32[b].Add(s.x32)
+		s.bufN[b]++
+		if s.bufN[b] >= k {
+			inv := 1 / float32(k)
+			for j, sum := range s.bufSum32[b] {
+				s.poolMean32[j] = sum * inv
+			}
+			l.Step32(s.h32[b], s.c32[b], s.poolMean32, &s.scratch32)
+			s.seen[b] = true
+			s.bufSum32[b].Zero()
+			s.bufN[b] = 0
+		}
+	}
+	off := 0
+	for b, l := range s.q.lstms {
+		if l == nil {
+			continue
+		}
+		copy(s.concat32[off:off+s.m.Cfg.Hidden], s.h32[b])
+		off += s.m.Cfg.Hidden
+	}
+	s.q.head.ForwardInto32(s.concat32, s.headOut32)
+	return s.recordHazard(nn.Softplus(float64(s.headOut32[0])))
 }
 
 // recordHazard appends one hazard to the ring and returns the survival
@@ -229,6 +352,11 @@ func (s *Stream) Reset() {
 			s.h[b].Zero()
 			s.c[b].Zero()
 			s.bufSum[b].Zero()
+		}
+		if s.h32[b] != nil {
+			s.h32[b].Zero()
+			s.c32[b].Zero()
+			s.bufSum32[b].Zero()
 		}
 		s.bufN[b] = 0
 		s.seen[b] = false

@@ -10,6 +10,7 @@ package engine
 
 import (
 	"errors"
+	"io"
 	"math"
 	"net/netip"
 	"time"
@@ -45,6 +46,14 @@ type MonitorConfig struct {
 	// MissingPolicy selects what detector streams consume for steps with no
 	// telemetry (see ObserveMissing): zero-fill (default) or carry-forward.
 	MissingPolicy core.MissingPolicy
+	// Precision selects the kernel arithmetic of every detector stream.
+	// The zero value is float64 (training precision); deployments default
+	// to float32 via the command-line flag, which serves the quantized
+	// panel kernels at a several-fold throughput gain with alert behavior
+	// held within the calibrated tolerance (DESIGN.md §14). Models are
+	// quantized at NewMonitor, so corrupt weights fail construction, not
+	// serving.
+	Precision core.Precision
 	// OverheadBound, when set, records the calibration overhead budget the
 	// Threshold was tuned at (the scrubbing-overhead bound C/A of §2.4) in
 	// every alert's decision trace, so operators can see what guarantee the
@@ -124,13 +133,42 @@ type Monitor struct {
 }
 
 // modelGroup batches the channels of one shared model for a single
-// ObserveStep call.
+// ObserveStep call. Exactly one of runner/runner32 is set, per the
+// monitor's Precision; the float32 runner also owns the lane arena its
+// streams' state is carved from.
 type modelGroup struct {
-	runner  *core.BatchRunner
-	chans   []*monChan
-	streams []*core.Stream
-	xs      [][]float64
-	survs   []float64
+	runner   *core.BatchRunner
+	runner32 *core.BatchRunner32
+	chans    []*monChan
+	streams  []*core.Stream
+	xs       [][]float64
+	survs    []float64
+}
+
+// newStream creates a stream on this lane at the lane's precision.
+func (g *modelGroup) newStream() *core.Stream {
+	if g.runner32 != nil {
+		return g.runner32.NewStream()
+	}
+	return core.NewStream(g.runner.Model())
+}
+
+// restoreStream reads an XSC1 checkpoint into a stream on this lane at
+// the lane's precision (float64 checkpoints narrow into float32 lanes).
+func (g *modelGroup) restoreStream(r io.Reader) (*core.Stream, error) {
+	if g.runner32 != nil {
+		return g.runner32.RestoreStream(r)
+	}
+	return core.RestoreStream(r, g.runner.Model())
+}
+
+// push advances the enrolled streams one step through the lane's kernels.
+func (g *modelGroup) push() {
+	if g.runner32 != nil {
+		g.runner32.Push(g.streams, g.xs, g.survs)
+		return
+	}
+	g.runner.Push(g.streams, g.xs, g.survs)
 }
 
 // reset clears the group's per-step membership, keeping capacity.
@@ -209,22 +247,49 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 	if cfg.MitigationTimeout <= 0 {
 		cfg.MitigationTimeout = 30 * time.Minute
 	}
-	return &Monitor{
+	m := &Monitor{
 		cfg:     cfg,
 		types:   types,
 		chans:   make(map[monKey]*monChan),
 		groupOf: make(map[*core.Model]*modelGroup),
-	}, nil
+	}
+	// Build every reachable model's batching lane up front. Under float32
+	// this quantizes the weights now, so a corrupt or diverged weight file
+	// fails NewMonitor with a diagnosis instead of serving garbage.
+	for _, at := range types {
+		if _, err := m.lane(m.modelFor(at)); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
-// groupFor returns the batching lane for a model, creating it on first
-// sight.
-func (m *Monitor) groupFor(mm *core.Model) *modelGroup {
+// lane returns the batching lane for a model, creating it on first sight.
+func (m *Monitor) lane(mm *core.Model) (*modelGroup, error) {
 	g := m.groupOf[mm]
 	if g == nil {
-		g = &modelGroup{runner: core.NewBatchRunner(mm)}
+		g = &modelGroup{}
+		if m.cfg.Precision == core.PrecisionFloat32 {
+			r32, err := core.NewBatchRunner32(mm)
+			if err != nil {
+				return nil, err
+			}
+			g.runner32 = r32
+		} else {
+			g.runner = core.NewBatchRunner(mm)
+		}
 		m.groupOf[mm] = g
 		m.groups = append(m.groups, g)
+	}
+	return g, nil
+}
+
+// groupFor is lane for callers past construction: every reachable model's
+// lane already exists (NewMonitor built them), so this cannot fail.
+func (m *Monitor) groupFor(mm *core.Model) *modelGroup {
+	g, err := m.lane(mm)
+	if err != nil {
+		panic(err) // unreachable: NewMonitor pre-built all lanes
 	}
 	return g
 }
@@ -261,12 +326,13 @@ func (m *Monitor) ObserveStepTraced(customer netip.Addr, at time.Time, flows []n
 	// values are bit-identical to channel-at-a-time Stream.Push calls.
 	for _, atype := range m.types {
 		key := monKey{customer, atype}
+		g := m.groupFor(m.modelFor(atype))
 		ch := m.chans[key]
 		if ch == nil {
-			ch = &monChan{stream: core.NewStream(m.modelFor(atype))}
+			ch = &monChan{stream: g.newStream()}
 			m.chans[key] = ch
 		}
-		m.groupFor(m.modelFor(atype)).add(ch, feat)
+		g.add(ch, feat)
 	}
 	for _, g := range m.groups {
 		if len(g.chans) == 0 {
@@ -276,7 +342,7 @@ func (m *Monitor) ObserveStepTraced(customer netip.Addr, at time.Time, flows []n
 			g.survs = make([]float64, len(g.chans))
 		}
 		g.survs = g.survs[:len(g.chans)]
-		g.runner.Push(g.streams, g.xs, g.survs)
+		g.push()
 		for i, ch := range g.chans {
 			ch.surv = g.survs[i]
 			ch.noteSurvival(ch.surv)

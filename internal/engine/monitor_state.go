@@ -9,7 +9,6 @@ import (
 	"sort"
 	"time"
 
-	"github.com/xatu-go/xatu/internal/core"
 	"github.com/xatu-go/xatu/internal/ddos"
 )
 
@@ -189,7 +188,7 @@ func (m *Monitor) readChannels(r io.Reader, n uint32) (map[monKey]*monChan, erro
 		if _, err := io.ReadFull(r, streamBuf); err != nil {
 			return nil, fmt.Errorf("xatu: channel %d stream: %w", i, err)
 		}
-		stream, err := core.RestoreStream(bytes.NewReader(streamBuf), m.modelFor(at))
+		stream, err := m.groupFor(m.modelFor(at)).restoreStream(bytes.NewReader(streamBuf))
 		if err != nil {
 			return nil, fmt.Errorf("xatu: channel %d (%v/%v): %w", i, customer, at, err)
 		}

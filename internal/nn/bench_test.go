@@ -48,6 +48,7 @@ func benchStepBatch(b *testing.B, B int) {
 		xs.Data[i] = float64(i%7) * 0.1
 	}
 	var bs BatchScratch
+	l.StepBatch(hs, cs, xs, &bs) // warm the scratch so b.N ops report true steady state
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -58,3 +59,51 @@ func benchStepBatch(b *testing.B, B int) {
 
 func BenchmarkLSTMStepBatch8(b *testing.B)  { benchStepBatch(b, 8) }
 func BenchmarkLSTMStepBatch64(b *testing.B) { benchStepBatch(b, 64) }
+
+// benchStepBatch32 is benchStepBatch through the quantized float32 panel
+// kernels; steps/sec is directly comparable to the float64 rows.
+func benchStepBatch32(b *testing.B, B int) {
+	l, err := benchLSTM(b).Quantize32()
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs, cs, xs := &Batch32{}, &Batch32{}, &Batch32{}
+	hs.Resize(B, benchHidden)
+	cs.Resize(B, benchHidden)
+	xs.Resize(B, benchIn)
+	for i := range xs.Data {
+		xs.Data[i] = float32(i%7) * 0.1
+	}
+	var bs BatchScratch32
+	l.StepBatch32(hs, cs, xs, &bs) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.StepBatch32(hs, cs, xs, &bs)
+	}
+	b.ReportMetric(float64(b.N)*float64(B)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+func BenchmarkLSTMStepBatch8F32(b *testing.B)  { benchStepBatch32(b, 8) }
+func BenchmarkLSTMStepBatch64F32(b *testing.B) { benchStepBatch32(b, 64) }
+
+// BenchmarkLSTMStepF32 is the single-stream float32 path.
+func BenchmarkLSTMStepF32(b *testing.B) {
+	l, err := benchLSTM(b).Quantize32()
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, c := NewVec32(benchHidden), NewVec32(benchHidden)
+	x := NewVec32(benchIn)
+	for i := range x {
+		x[i] = float32(i%7) * 0.1
+	}
+	var sc StepScratch32
+	l.Step32(h, c, x, &sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Step32(h, c, x, &sc)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}

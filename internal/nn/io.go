@@ -95,7 +95,12 @@ func ReadParams(r io.Reader, params []Param) error {
 			return err
 		}
 		for j := range params[i].W.Data {
-			params[i].W.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+			v := math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("nn: param %q element %d is %v: corrupt or diverged weight file",
+					params[i].Name, j, v)
+			}
+			params[i].W.Data[j] = v
 		}
 	}
 	return nil

@@ -1,0 +1,41 @@
+//go:build amd64
+
+package nn
+
+// useAVX selects the AVX panel kernels when the CPU and OS both support
+// 256-bit vector state. It is a variable, not a constant, so tests can
+// force the portable kernel and assert bit-identical outputs.
+var useAVX = hasAVX()
+
+// hasAVX reports whether AVX instructions are safe to execute: CPUID
+// must advertise AVX and OSXSAVE, and XCR0 must show the OS preserving
+// XMM+YMM state across context switches.
+func hasAVX() bool {
+	_, _, ecx, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	return xgetbv0()&0x6 == 0x6
+}
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0.
+func xgetbv0() uint64
+
+// panelMul1avx computes dst[j] = Σ_c wp[c*8+j]·x[c] for j in [0,8) over
+// one 8-row weight panel (wp has cols*8 floats). Multiplication and
+// addition are separate instructions (no FMA) so results are bit-identical
+// to panelMul1go.
+//
+//go:noescape
+func panelMul1avx(wp *float32, x *float32, cols int, dst *float32)
+
+// panelMul4avx is panelMul1avx for four batch rows sharing one streaming
+// pass over the weight panel.
+//
+//go:noescape
+func panelMul4avx(wp *float32, x0, x1, x2, x3 *float32, cols int, dst0, dst1, dst2, dst3 *float32)

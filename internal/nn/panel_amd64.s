@@ -1,0 +1,104 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint64
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET
+
+// func panelMul1avx(wp *float32, x *float32, cols int, dst *float32)
+//
+// One 8-row weight panel times one input row: dst[j] = Σ_c wp[c*8+j]·x[c].
+// The multiply and add are separate (unfused) instructions so each output
+// lane is the same strict ascending-c scalar chain panelMul1go computes,
+// keeping the two kernels bit-identical.
+TEXT ·panelMul1avx(SB), NOSPLIT, $0-32
+	MOVQ wp+0(FP), SI
+	MOVQ x+8(FP), DX
+	MOVQ cols+16(FP), CX
+	MOVQ dst+24(FP), DI
+	VXORPS Y0, Y0, Y0
+	TESTQ CX, CX
+	JLE  done1
+loop1:
+	VMOVUPS      (SI), Y1
+	VBROADCASTSS (DX), Y2
+	VMULPS       Y1, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	ADDQ         $32, SI
+	ADDQ         $4, DX
+	DECQ         CX
+	JNZ          loop1
+done1:
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET
+
+// func panelMul4avx(wp *float32, x0, x1, x2, x3 *float32, cols int,
+//                   dst0, dst1, dst2, dst3 *float32)
+//
+// Four batch rows share one streaming pass over the weight panel. Each
+// row's accumulator is an independent dependency chain, so the four rows
+// hide the VADDPS latency that bit-exactness forbids unrolling away
+// within a single row.
+TEXT ·panelMul4avx(SB), NOSPLIT, $0-80
+	MOVQ wp+0(FP), SI
+	MOVQ x0+8(FP), R8
+	MOVQ x1+16(FP), R9
+	MOVQ x2+24(FP), R10
+	MOVQ x3+32(FP), R11
+	MOVQ cols+40(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	TESTQ CX, CX
+	JLE  done4
+loop4:
+	VMOVUPS      (SI), Y4
+	VBROADCASTSS (R8), Y5
+	VMULPS       Y4, Y5, Y5
+	VADDPS       Y5, Y0, Y0
+	VBROADCASTSS (R9), Y6
+	VMULPS       Y4, Y6, Y6
+	VADDPS       Y6, Y1, Y1
+	VBROADCASTSS (R10), Y7
+	VMULPS       Y4, Y7, Y7
+	VADDPS       Y7, Y2, Y2
+	VBROADCASTSS (R11), Y8
+	VMULPS       Y4, Y8, Y8
+	VADDPS       Y8, Y3, Y3
+	ADDQ         $32, SI
+	ADDQ         $4, R8
+	ADDQ         $4, R9
+	ADDQ         $4, R10
+	ADDQ         $4, R11
+	DECQ         CX
+	JNZ          loop4
+done4:
+	MOVQ    dst0+48(FP), DI
+	VMOVUPS Y0, (DI)
+	MOVQ    dst1+56(FP), DI
+	VMOVUPS Y1, (DI)
+	MOVQ    dst2+64(FP), DI
+	VMOVUPS Y2, (DI)
+	MOVQ    dst3+72(FP), DI
+	VMOVUPS Y3, (DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,63 @@
+//go:build amd64
+
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPanelKernelsAVXMatchesGoBitwise flips the kernel dispatch and runs
+// the same panel matmuls through the AVX assembly and the portable Go
+// loop: because the assembly uses separate (unfused) multiply and add,
+// every output lane is the same strict ascending-column scalar chain and
+// the results must be bit-identical — the property that makes float32
+// serving reproducible across machines with and without AVX.
+func TestPanelKernelsAVXMatchesGoBitwise(t *testing.T) {
+	if !hasAVX() {
+		t.Skip("no AVX on this machine")
+	}
+	saved := useAVX
+	defer func() { useAVX = saved }()
+
+	rng := rand.New(rand.NewSource(31))
+	for _, shape := range []struct{ rows, cols, batch int }{
+		{8, 1, 1}, {8, 273, 4}, {12, 9, 5}, {64, 273, 64}, {64, 16, 7}, {1, 3, 2},
+	} {
+		w64 := NewMat(shape.rows, shape.cols)
+		w64.XavierInit(rng)
+		w, err := PackPanels32(w64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randBatch32(rng, shape.batch, shape.cols)
+
+		var avxOut, goOut Batch32
+		useAVX = true
+		x.MulT32(w, &avxOut)
+		useAVX = false
+		x.MulT32(w, &goOut)
+
+		for i := range avxOut.Data {
+			if math.Float32bits(avxOut.Data[i]) != math.Float32bits(goOut.Data[i]) {
+				t.Fatalf("shape %+v: element %d AVX %v != Go %v",
+					shape, i, avxOut.Data[i], goOut.Data[i])
+			}
+		}
+
+		xv := x.Row(0)
+		avxVec := NewVec32(w.Padded())
+		goVec := NewVec32(w.Padded())
+		useAVX = true
+		w.MulVec32(xv, avxVec)
+		useAVX = false
+		w.MulVec32(xv, goVec)
+		for i := range avxVec {
+			if math.Float32bits(avxVec[i]) != math.Float32bits(goVec[i]) {
+				t.Fatalf("shape %+v: MulVec32 element %d AVX %v != Go %v",
+					shape, i, avxVec[i], goVec[i])
+			}
+		}
+	}
+}

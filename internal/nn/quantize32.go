@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model-load quantization: float64 training weights become the float32
+// panel form of panel32.go. This is the one place serving meets corrupt or
+// broken weight files, so it validates as it narrows; it runs once per
+// model load, off the hot path (the serve kernels live in panel32.go and
+// lstm32.go, which `make bce` holds to zero per-element bounds checks).
+
+// PackPanels32 quantizes a float64 weight matrix into a panel-packed
+// float32 matrix. A NaN or ±Inf weight, or a finite weight that overflows
+// float32, is rejected with an error rather than silently poisoning every
+// inference downstream.
+func PackPanels32(m *Mat) (*PanelMat32, error) {
+	panels := (m.Rows + panelWidth - 1) / panelWidth
+	p := &PanelMat32{
+		Rows: m.Rows, Cols: m.Cols, Panels: panels,
+		Data: make([]float32, panels*m.Cols*panelWidth),
+	}
+	for r := 0; r < m.Rows; r++ {
+		pi, lane := r/panelWidth, r%panelWidth
+		base := pi * m.Cols * panelWidth
+		for c := 0; c < m.Cols; c++ {
+			v := m.At(r, c)
+			q, err := quantize32(v)
+			if err != nil {
+				return nil, fmt.Errorf("nn: weight [%d,%d]: %w", r, c, err)
+			}
+			p.Data[base+c*panelWidth+lane] = q
+		}
+	}
+	return p, nil
+}
+
+// QuantizeVec32 converts a float64 vector to float32 with the same
+// validation PackPanels32 applies to matrices.
+func QuantizeVec32(v Vec) (Vec32, error) {
+	out := make(Vec32, len(v))
+	for i, x := range v {
+		q, err := quantize32(x)
+		if err != nil {
+			return nil, fmt.Errorf("nn: weight [%d]: %w", i, err)
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+func quantize32(v float64) (float32, error) {
+	if math.IsNaN(v) {
+		return 0, fmt.Errorf("NaN weight")
+	}
+	q := float32(v)
+	if math.IsInf(float64(q), 0) {
+		return 0, fmt.Errorf("weight %g not representable in float32", v)
+	}
+	return q, nil
+}

@@ -1,0 +1,93 @@
+package xatu
+
+import (
+	"testing"
+)
+
+// TestPrecisionAlertParityTrained is the float32 serving acceptance test:
+// a trained system watches the same held-out test attack once with the
+// float64 (training-precision) kernels and once with the quantized float32
+// panel kernels, and the two must alert within 5 steps of each other —
+// the same behavioral tolerance the chaos-transport test holds detection
+// to. Float32 rounding perturbs survival values by parts in 1e-3 near the
+// threshold (DESIGN.md §14), which can only move an alert by the handful
+// of steps where S_t grazes the threshold, never create or suppress a
+// detection of a real attack.
+func TestPrecisionAlertParityTrained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	cfg := BenchPipelineConfig(10, 7)
+	cfg.Train.Epochs = 8
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := NewMLContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ml.XatuAt(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := 1 - sys.Threshold
+	eps := p.MatchedEpisodes(p.StabEnd, cfg.World.Steps())
+	if len(eps) == 0 {
+		t.Fatal("no test attacks in this world; change the seed")
+	}
+	ep := eps[0]
+	customer := p.World.Customers[ep.CustomerIdx].Addr
+
+	// runEpisode streams the episode's flows (fault-free transport; the
+	// only variable is kernel precision) and reports the first alert step.
+	runEpisode := func(t *testing.T, prec Precision) int {
+		t.Helper()
+		mon, err := NewMonitor(MonitorConfig{
+			Models:        ml.Models.ByType,
+			Default:       ml.Models.Shared,
+			Extractor:     p.Extractor(nil, nil),
+			Threshold:     thr,
+			Types:         []AttackType{ep.Type},
+			MissingPolicy: MissingCarry,
+			Precision:     prec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alertStep := -1
+		for s := ep.StreamStart; s < ep.StreamEnd; s++ {
+			if s < 0 {
+				continue
+			}
+			flows := p.World.FlowsAt(ep.CustomerIdx, s)
+			at := cfg.World.TimeOf(s)
+			if len(flows) == 0 {
+				mon.ObserveMissing(customer, at)
+				continue
+			}
+			if alerts := mon.ObserveStep(customer, at, flows); len(alerts) > 0 && alertStep < 0 {
+				alertStep = s
+			}
+		}
+		return alertStep
+	}
+
+	step64 := runEpisode(t, PrecisionFloat64)
+	if step64 < 0 {
+		t.Fatal("float64 run never alerted; detection is broken before precision enters")
+	}
+	step32 := runEpisode(t, PrecisionFloat32)
+	if step32 < 0 {
+		t.Fatalf("float32 run never alerted (float64 alerted at step %d)", step64)
+	}
+	if d := step32 - step64; d > 5 || d < -5 {
+		t.Fatalf("float32 detection at step %d, float64 at %d: drift %d steps exceeds 5",
+			step32, step64, d)
+	}
+
+	// Float32 serving is deterministic: a rerun reproduces the alert step.
+	if again := runEpisode(t, PrecisionFloat32); again != step32 {
+		t.Fatalf("float32 rerun alerted at step %d, first run at %d", again, step32)
+	}
+}

@@ -159,6 +159,24 @@ const (
 // into a fresh online state over m.
 func RestoreStream(r io.Reader, m *Model) (*Stream, error) { return core.RestoreStream(r, m) }
 
+// Precision selects the serving kernel arithmetic of a monitor's detector
+// streams: float64 (training precision, the zero value) or float32 (the
+// quantized panel kernels — several-fold faster, alert behavior held
+// within the calibrated tolerance; DESIGN.md §14).
+type Precision = core.Precision
+
+// Serving precisions.
+const (
+	// PrecisionFloat64 serves with the training-precision kernels.
+	PrecisionFloat64 = core.PrecisionFloat64
+	// PrecisionFloat32 serves with quantized float32 panel kernels.
+	PrecisionFloat32 = core.PrecisionFloat32
+)
+
+// ParsePrecision parses a -precision flag value ("float32"/"f32"/"32" or
+// "float64"/"f64"/"64").
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
+
 // Commercial-detector baselines.
 type (
 	// CDetDetector is a threshold-based volumetric detector.
