@@ -19,24 +19,28 @@ race:
 	$(GO) test -race ./internal/netflow ./internal/nn ./internal/core ./internal/engine ./internal/ingest ./internal/cluster ./internal/telemetry ./internal/trace .
 
 # The float32 serving kernels (quantized panel matmuls, gate
-# nonlinearities, widen/narrow) must compile with zero per-element bounds
-# checks: these files are the inner loops of every online detection step.
-# The compiler's check_bce debug pass prints every check it could not
-# prove away; any `Found IsInBounds` in the named kernel files fails the
-# build. One-time slice-header constructions (IsSliceInBounds, O(1) per
-# kernel call) are setup cost, not inner-loop cost, and are not gated.
-# Load-time quantization (quantize32.go) and the dynamic-index
-# gather/scatter loops of the batch runners are deliberately excluded.
-BCE_KERNELS := internal/nn/f32.go internal/nn/panel32.go internal/nn/lstm32.go
+# nonlinearities, widen/narrow) and the batched training kernels (tape
+# forward/backward, gradient matmuls, sparse input projection) must compile
+# with zero per-element bounds checks: these files are the inner loops of
+# every online detection step and every training step. The compiler's
+# check_bce debug pass prints every check it could not prove away; any
+# `Found IsInBounds` in the named kernel files fails the build. One-time
+# slice-header constructions (IsSliceInBounds, O(1) per kernel call) are
+# setup cost, not inner-loop cost, and are not gated. Load-time
+# quantization (quantize32.go), the dynamic-index gather/scatter loops of
+# the batch runners, and the once-per-chunk strided transposes
+# (nn/transpose.go) are deliberately excluded.
+BCE_KERNELS := internal/nn/f32.go internal/nn/panel32.go internal/nn/lstm32.go \
+	internal/nn/batchgrad.go internal/nn/batchtape.go internal/nn/sparsetrain.go
 bce:
 	@out=$$($(GO) build -gcflags='-d=ssa/check_bce' ./internal/nn/ ./internal/core/ 2>&1 \
 		| grep 'Found IsInBounds' \
-		| grep -E 'nn/f32\.go|nn/panel32\.go|nn/lstm32\.go' || true); \
+		| grep -E 'nn/f32\.go|nn/panel32\.go|nn/lstm32\.go|nn/batchgrad\.go|nn/batchtape\.go|nn/sparsetrain\.go' || true); \
 	if [ -n "$$out" ]; then \
-		echo "bounds checks in hot float32 kernels ($(BCE_KERNELS)):"; \
+		echo "bounds checks in hot kernels ($(BCE_KERNELS)):"; \
 		echo "$$out"; exit 1; \
 	fi; \
-	echo "bce: hot float32 kernels are bounds-check-free"
+	echo "bce: hot serving and training kernels are bounds-check-free"
 
 # Static analysis: vet + gofmt always; staticcheck when installed (CI
 # installs it, local machines may not have it).
@@ -49,9 +53,11 @@ lint: vet
 		echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 # Benchmarks rendered as committed JSON baselines: engine sharding
-# throughput (BENCH_engine.json) and the inference hot path — LSTM step
-# kernels, Stream.Push, BatchRunner.Push — (BENCH_nn.json). Each records
-# ns/op, allocs/op and steps/sec so regressions show up in review.
+# throughput (BENCH_engine.json), the inference hot path — LSTM step
+# kernels, Stream.Push, BatchRunner.Push — (BENCH_nn.json), and the
+# training path — scalar-baseline vs batched Fit, batched LSTM
+# forward/backward — (BENCH_train.json). Each records ns/op, allocs/op and
+# steps/sec or examples/sec so regressions show up in review.
 bench-json:
 	$(GO) test ./internal/engine -run '^$$' -bench 'BenchmarkEngineShards' | $(GO) run ./cmd/benchjson > BENCH_engine.json
 	@cat BENCH_engine.json
@@ -59,6 +65,8 @@ bench-json:
 	@cat BENCH_nn.json
 	$(GO) test ./internal/ingest -run '^$$' -bench 'BenchmarkIngestE2E|BenchmarkDecodeV5Into|BenchmarkAggregatorAdd|BenchmarkExtractInto' -benchtime 2s | $(GO) run ./cmd/benchjson > BENCH_ingest.json
 	@cat BENCH_ingest.json
+	$(GO) test ./internal/nn ./internal/core -run '^$$' -bench 'BenchmarkFit|BenchmarkLSTMForwardBatch|BenchmarkLSTMBackwardBatch|BenchmarkLSTMBackwardScalar' -benchtime 2s | $(GO) run ./cmd/benchjson > BENCH_train.json
+	@cat BENCH_train.json
 
 # One-iteration pass over every benchmark: catches benchmarks that no
 # longer compile or crash without paying for real measurement.

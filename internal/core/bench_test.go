@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/xatu-go/xatu/internal/features"
+	"github.com/xatu-go/xatu/internal/nn"
 )
 
 // benchModel mirrors the deployed detector shape: 273 features, the
@@ -114,3 +115,94 @@ func benchBatchRunnerPush32(b *testing.B, B int) {
 
 func BenchmarkBatchRunnerPush8F32(b *testing.B)  { benchBatchRunnerPush32(b, 8) }
 func BenchmarkBatchRunnerPush64F32(b *testing.B) { benchBatchRunnerPush32(b, 64) }
+
+// benchTrainSet builds n uniform-length training series at the deployed
+// feature width: 2 pooled-long steps of lookback (120 base steps) with the
+// default detection window. Rows follow the benchInput convention — 8 of
+// 273 hierarchical counters active — which drives the sparse
+// input-projection path, as live traffic features do. dense=true fills
+// every feature instead, pinning the trainer to the dense kernels.
+func benchTrainSet(m *Model, n int, dense bool) []Example {
+	const T = 120
+	out := make([]Example, n)
+	for i := range out {
+		x := make([][]float64, T)
+		for t := range x {
+			row := make([]float64, m.Cfg.NumFeatures)
+			if dense {
+				for j := range row {
+					row[j] = 0.1 + float64(j%7)
+				}
+			} else {
+				for j := 0; j < 8; j++ {
+					row[j*13] = 1.5
+				}
+			}
+			if i%2 == 0 && t > T-20 {
+				row[0] = 3 // volumetric ramp on attack examples
+			}
+			x[t] = row
+		}
+		out[i] = Example{X: x, Attack: i%2 == 0, AttackStep: m.Cfg.Window / 2}
+	}
+	return out
+}
+
+// BenchmarkFitScalarBaseline is the pre-batching trainer: one scalar
+// TrainExample per example (allocating tapes as it goes), replica merge and
+// one Adam step per mini-batch. One op = one epoch; examples/sec compares
+// directly with BenchmarkFitBatched.
+func BenchmarkFitScalarBaseline(b *testing.B) {
+	m := benchModel(b)
+	examples := benchTrainSet(m, 32, false)
+	const batch = 8
+	opt := nn.NewAdam(m.Cfg.LearningRate, m.Params())
+	replica := m.Replica()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < len(examples); lo += batch {
+			hi := lo + batch
+			if hi > len(examples) {
+				hi = len(examples)
+			}
+			for k := lo; k < hi; k++ {
+				if _, err := replica.TrainExample(&examples[k]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			replica.MergeGradsInto(m)
+			opt.Step(1 / float64(hi-lo))
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(examples))/b.Elapsed().Seconds(), "examples/sec")
+}
+
+// benchFitBatched drives the batched trainer epoch loop directly (one op =
+// one epoch over 32 examples) so the steady state is visible to
+// ReportAllocs: after the first epoch grows the scratch, every epoch runs
+// allocation-free at workers=1.
+func benchFitBatched(b *testing.B, workers int, dense bool) {
+	m := benchModel(b)
+	examples := benchTrainSet(m, 32, dense)
+	f := m.newFitter(examples, TrainOptions{Epochs: 1, BatchSize: 8, Workers: workers, Seed: 1})
+	if _, err := f.runEpoch(examples); err != nil { // warm the grow-only scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.runEpoch(examples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(examples))/b.Elapsed().Seconds(), "examples/sec")
+}
+
+func BenchmarkFitBatched(b *testing.B)         { benchFitBatched(b, 1, false) }
+func BenchmarkFitBatchedWorkers2(b *testing.B) { benchFitBatched(b, 2, false) }
+
+// BenchmarkFitBatchedDense forces fully dense feature rows so the density
+// switch keeps the register-blocked dense kernels: the honest lower bound
+// of the batched speedup when no input sparsity is available.
+func BenchmarkFitBatchedDense(b *testing.B) { benchFitBatched(b, 1, true) }

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"github.com/xatu-go/xatu/internal/nn"
@@ -289,8 +288,20 @@ type Example struct {
 // lossGrad computes the loss for the example and the per-detection-step
 // hazard gradients dL/dλ_t (zero past the label time for the SAFE loss).
 func (m *Model) lossGrad(f *fwd, ex *Example) (float64, []float64) {
-	n := len(f.Hazards)
-	dHaz := make([]float64, n)
+	dHaz := make([]float64, len(f.Hazards))
+	loss := m.lossGradInto(f.Hazards, ex, dHaz)
+	return loss, dHaz
+}
+
+// lossGradInto is lossGrad over a caller-owned gradient buffer (len ==
+// len(hazards), fully overwritten), allocating nothing on the SAFE path —
+// the form the batched trainer's steady-state loop uses.
+func (m *Model) lossGradInto(hazards []float64, ex *Example, dHaz []float64) float64 {
+	n := len(hazards)
+	dHaz = dHaz[:n]
+	for t := range dHaz {
+		dHaz[t] = 0
+	}
 	tEnd := n - 1
 	if ex.Attack {
 		tEnd = ex.AttackStep
@@ -302,19 +313,17 @@ func (m *Model) lossGrad(f *fwd, ex *Example) (float64, []float64) {
 		}
 	}
 	if m.Cfg.UseSurvival {
-		loss, g := survival.Loss(f.Hazards[:tEnd+1], ex.Attack)
+		loss, g := survival.Loss(hazards[:tEnd+1], ex.Attack)
 		for t := 0; t <= tEnd; t++ {
 			dHaz[t] = g
 		}
-		return loss, dHaz
+		return loss
 	}
 	attackStep := -1
 	if ex.Attack {
 		attackStep = tEnd
 	}
-	loss, gs := survival.BCELoss(f.Hazards, attackStep)
-	copy(dHaz, gs)
-	return loss, dHaz
+	return survival.BCELossInto(hazards, attackStep, dHaz)
 }
 
 // backward propagates hazard gradients through the head and the LSTMs,
@@ -374,98 +383,7 @@ func (m *Model) TrainExample(ex *Example) (float64, error) {
 	return loss, nil
 }
 
-// TrainOptions tunes Fit.
-type TrainOptions struct {
-	Epochs    int
-	BatchSize int
-	// Workers is the number of parallel gradient workers; 0 = GOMAXPROCS.
-	Workers int
-	// Seed drives example shuffling.
-	Seed int64
-	// Progress, when non-nil, receives the mean loss after each epoch.
-	Progress func(epoch int, meanLoss float64)
-}
-
-// Fit trains the model with Adam over the examples. It returns the mean
-// loss of the final epoch.
-func (m *Model) Fit(examples []Example, opts TrainOptions) (float64, error) {
-	if len(examples) == 0 {
-		return 0, errors.New("core: no training examples")
-	}
-	if opts.Epochs <= 0 {
-		opts.Epochs = 5
-	}
-	if opts.BatchSize <= 0 {
-		opts.BatchSize = 16
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > opts.BatchSize {
-		workers = opts.BatchSize
-	}
-	opt := nn.NewAdam(m.Cfg.LearningRate, m.Params())
-	rng := rand.New(rand.NewSource(opts.Seed))
-	order := make([]int, len(examples))
-	for i := range order {
-		order[i] = i
-	}
-	replicas := make([]*Model, workers)
-	for i := range replicas {
-		replicas[i] = m.Replica()
-	}
-	var finalLoss float64
-	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		var epochLoss float64
-		var trainErr error
-		for lo := 0; lo < len(order); lo += opts.BatchSize {
-			hi := lo + opts.BatchSize
-			if hi > len(order) {
-				hi = len(order)
-			}
-			batch := order[lo:hi]
-			var wg sync.WaitGroup
-			losses := make([]float64, workers)
-			errs := make([]error, workers)
-			for wkr := 0; wkr < workers; wkr++ {
-				wg.Add(1)
-				go func(wkr int) {
-					defer wg.Done()
-					r := replicas[wkr]
-					for k := wkr; k < len(batch); k += workers {
-						l, err := r.TrainExample(&examples[batch[k]])
-						if err != nil {
-							errs[wkr] = err
-							return
-						}
-						losses[wkr] += l
-					}
-				}(wkr)
-			}
-			wg.Wait()
-			for wkr := 0; wkr < workers; wkr++ {
-				if errs[wkr] != nil {
-					trainErr = errs[wkr]
-				}
-				epochLoss += losses[wkr]
-				replicas[wkr].MergeGradsInto(m)
-			}
-			if trainErr != nil {
-				return 0, trainErr
-			}
-			opt.Step(1 / float64(len(batch)))
-		}
-		finalLoss = epochLoss / float64(len(examples))
-		if opts.Progress != nil {
-			opts.Progress(epoch, finalLoss)
-		}
-	}
-	// Weights changed: any cached float32 quantization is stale.
-	m.invalidateQuantized()
-	return finalLoss, nil
-}
+// TrainOptions and Fit live in train.go.
 
 // Save writes the model (config + weights) to w.
 func (m *Model) Save(w io.Writer) error {

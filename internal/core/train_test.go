@@ -1,0 +1,335 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gradSnapshot copies every gradient accumulator of m into one flat slice.
+func gradSnapshot(m *Model) []float64 {
+	var out []float64
+	for _, p := range m.Params() {
+		out = append(out, p.G.Data...)
+	}
+	return out
+}
+
+// weightSnapshot copies every weight of m into one flat slice.
+func weightSnapshot(m *Model) []float64 {
+	var out []float64
+	for _, p := range m.Params() {
+		out = append(out, p.W.Data...)
+	}
+	return out
+}
+
+func TestTrainChunkBatchOneBitIdenticalToTrainExample(t *testing.T) {
+	// A batch-1 trainChunk must accumulate byte-for-byte the gradients
+	// TrainExample does: the batched trainer is a pure performance change.
+	cfg := tinyConfig()
+	rng := rand.New(rand.NewSource(7))
+	for _, attack := range []bool{true, false} {
+		m1, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := m1.Replica()
+		ex := synthExample(rng, 48, attack, cfg.Window)
+
+		if _, err := m1.TrainExample(&ex); err != nil {
+			t.Fatal(err)
+		}
+		sc := &trainScratch{}
+		if _, err := m2.trainChunk([]Example{ex}, []int{0}, sc); err != nil {
+			t.Fatal(err)
+		}
+
+		g1, g2 := gradSnapshot(m1), gradSnapshot(m2)
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				t.Fatalf("attack=%v grad %d: scalar %v batched %v", attack, i, g1[i], g2[i])
+			}
+		}
+	}
+}
+
+func TestTrainChunkSparseBitIdenticalToTrainExample(t *testing.T) {
+	// With realistically sparse feature rows the chunk switches to the CSR
+	// input-projection kernels; gradients must still match the scalar path
+	// byte-for-byte.
+	cfg := tinyConfig()
+	cfg.NumFeatures = 32
+	rng := rand.New(rand.NewSource(41))
+	m1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := m1.Replica()
+	ex := Example{Attack: true, AttackStep: cfg.Window / 2}
+	for t2 := 0; t2 < 48; t2++ {
+		row := make([]float64, cfg.NumFeatures)
+		for k := 0; k < 3; k++ { // 3/32 non-zero, like live traffic counters
+			row[(k*11+t2)%cfg.NumFeatures] = rng.NormFloat64()
+		}
+		ex.X = append(ex.X, row)
+	}
+
+	if _, err := m1.TrainExample(&ex); err != nil {
+		t.Fatal(err)
+	}
+	sc := &trainScratch{}
+	if _, err := m2.trainChunk([]Example{ex}, []int{0}, sc); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.tapes[0].Sparse() {
+		t.Fatal("3/32 non-zero rows should take the sparse input projection")
+	}
+	g1, g2 := gradSnapshot(m1), gradSnapshot(m2)
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("grad %d: scalar %v sparse-batched %v", i, g1[i], g2[i])
+		}
+	}
+}
+
+func TestTrainChunkMatchesSumOfTrainExamples(t *testing.T) {
+	// A multi-example chunk sums per-example gradients; the summation order
+	// per weight element interleaves examples per timestep rather than
+	// concatenating whole examples, so compare within float tolerance.
+	cfg := tinyConfig()
+	rng := rand.New(rand.NewSource(11))
+	m1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := m1.Replica()
+	examples := synthSet(rng, 5, 48, cfg.Window)
+
+	var want float64
+	for i := range examples {
+		l, err := m1.TrainExample(&examples[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += l
+	}
+	sc := &trainScratch{}
+	got, err := m2.trainChunk(examples, []int{0, 1, 2, 3, 4}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("chunk loss %v, scalar sum %v", got, want)
+	}
+	g1, g2 := gradSnapshot(m1), gradSnapshot(m2)
+	for i := range g1 {
+		if math.Abs(g1[i]-g2[i]) > 1e-9*(1+math.Abs(g1[i])) {
+			t.Fatalf("grad %d: scalar %v batched %v", i, g1[i], g2[i])
+		}
+	}
+}
+
+func TestFitSameSeedByteIdenticalModels(t *testing.T) {
+	// Two Fit runs with identical (examples, Seed, Workers, BatchSize) must
+	// produce byte-identical saved models — the deterministic-reduction
+	// contract, including with more workers than GOMAXPROCS.
+	cfg := tinyConfig()
+	examples := synthSet(rand.New(rand.NewSource(3)), 10, 48, cfg.Window)
+	opts := TrainOptions{Epochs: 2, BatchSize: 4, Workers: 4, Seed: 42}
+
+	var bufs [2]bytes.Buffer
+	for r := 0; r < 2; r++ {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Fit(examples, opts); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Save(&bufs[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatal("same-seed Fit runs produced different model bytes")
+	}
+}
+
+func TestFitMixedSequenceLengths(t *testing.T) {
+	// Examples of different lengths land in different lanes within one
+	// batch; Fit must handle them and stay deterministic.
+	cfg := tinyConfig()
+	rng := rand.New(rand.NewSource(5))
+	var examples []Example
+	for i, T := range []int{48, 36, 48, 60, 36, 48, 60, 48} {
+		examples = append(examples, synthExample(rng, T, i%2 == 0, cfg.Window))
+	}
+	opts := TrainOptions{Epochs: 2, BatchSize: 4, Workers: 2, Seed: 9}
+
+	var bufs [2]bytes.Buffer
+	for r := 0; r < 2; r++ {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Fit(examples, opts); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Save(&bufs[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatal("mixed-length same-seed Fit runs produced different model bytes")
+	}
+}
+
+func TestFitWorkersClampedToExamples(t *testing.T) {
+	// Workers beyond the example count would only build replicas that can
+	// never receive a chunk; the fitter must clamp instead.
+	cfg := tinyConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	examples := synthSet(rand.New(rand.NewSource(13)), 3, 36, cfg.Window)
+	f := m.newFitter(examples, TrainOptions{Epochs: 1, BatchSize: 16, Workers: 8, Seed: 1})
+	if f.workers != len(examples) {
+		t.Fatalf("workers = %d, want clamp to %d examples", f.workers, len(examples))
+	}
+	if len(f.replicas) != f.workers {
+		t.Fatalf("built %d replicas for %d workers", len(f.replicas), f.workers)
+	}
+	// And the clamped fitter still trains.
+	if _, err := f.runEpoch(examples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitErrorLeavesWeightsUntouched(t *testing.T) {
+	// A failing batch must not move the weights: no partial replica merge,
+	// no optimizer step, and no stale gradients left in any replica.
+	cfg := tinyConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	examples := synthSet(rand.New(rand.NewSource(17)), 4, 36, cfg.Window)
+	examples[2].X[10] = []float64{1, 2} // wrong feature width → trainChunk error
+
+	before := weightSnapshot(m)
+	_, fitErr := m.Fit(examples, TrainOptions{Epochs: 1, BatchSize: 8, Workers: 2, Seed: 1})
+	if fitErr == nil {
+		t.Fatal("expected Fit to fail on the malformed example")
+	}
+	after := weightSnapshot(m)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("weight %d moved across failed Fit: %v -> %v", i, before[i], after[i])
+		}
+	}
+	g := gradSnapshot(m)
+	for i, v := range g {
+		if v != 0 {
+			t.Fatalf("gradient %d left non-zero (%v) after failed Fit", i, v)
+		}
+	}
+}
+
+func TestFitterErrorZeroesReplicaGradients(t *testing.T) {
+	// After a failed batch the replicas must be clean so a retry (or the
+	// next Fit) does not inherit partial gradients.
+	cfg := tinyConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	examples := synthSet(rand.New(rand.NewSource(19)), 4, 36, cfg.Window)
+	examples[3].X[0] = nil // empty row → width error in trainChunk
+
+	f := m.newFitter(examples, TrainOptions{Epochs: 1, BatchSize: 8, Workers: 2, Seed: 1})
+	if _, err := f.runEpoch(examples); err == nil {
+		t.Fatal("expected runEpoch error")
+	}
+	for wi, r := range f.replicas {
+		for i, v := range gradSnapshot(r) {
+			if v != 0 {
+				t.Fatalf("replica %d gradient %d left non-zero (%v)", wi, i, v)
+			}
+		}
+	}
+	if f.opt.StepCount() != 0 {
+		t.Fatalf("optimizer stepped %d times on an all-failing epoch", f.opt.StepCount())
+	}
+}
+
+func TestTrainChunkRejectsBadWidthMidSequence(t *testing.T) {
+	cfg := tinyConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := synthExample(rand.New(rand.NewSource(23)), 36, true, cfg.Window)
+	ex.X[20] = []float64{1} // ragged interior row
+	sc := &trainScratch{}
+	if _, err := m.trainChunk([]Example{ex}, []int{0}, sc); err == nil {
+		t.Fatal("expected width error for ragged row")
+	}
+	var empty Example
+	if _, err := m.trainChunk([]Example{empty}, []int{0}, sc); err == nil {
+		t.Fatal("expected error for empty sequence")
+	}
+}
+
+func TestFitSteadyStateEpochZeroAlloc(t *testing.T) {
+	// After the first epoch grows every buffer, subsequent epochs of the
+	// single-worker batched trainer must not allocate at all.
+	cfg := tinyConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	examples := synthSet(rand.New(rand.NewSource(29)), 8, 48, cfg.Window)
+	f := m.newFitter(examples, TrainOptions{Epochs: 1, BatchSize: 4, Workers: 1, Seed: 1})
+	if _, err := f.runEpoch(examples); err != nil { // warm the grow-only scratch
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(3, func() {
+		if _, err := f.runEpoch(examples); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("steady-state epoch allocated %v times, want 0", n)
+	}
+}
+
+func TestFitBatchedStillLearns(t *testing.T) {
+	// End-to-end sanity: the batched trainer separates attack from benign
+	// survival curves just like the scalar trainer did.
+	cfg := tinyConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	examples := synthSet(rng, 24, 48, cfg.Window)
+	if _, err := m.Fit(examples, TrainOptions{Epochs: 12, BatchSize: 8, Workers: 2, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	atk := synthExample(rng, 48, true, cfg.Window)
+	ben := synthExample(rng, 48, false, cfg.Window)
+	sa, err := m.Survival(toVecs(atk.X))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := m.Survival(toVecs(ben.X))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa[len(sa)-1] >= sb[len(sb)-1] {
+		t.Fatalf("attack survival %v not below benign %v", sa[len(sa)-1], sb[len(sb)-1])
+	}
+}

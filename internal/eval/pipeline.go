@@ -61,10 +61,15 @@ func DefaultConfig() Config {
 	return Config{
 		World:     w,
 		TrainFrac: 0.5, ValFrac: 0.2, StabFrac: 0.1,
-		Labeler:         "netscout",
-		LookbackSteps:   360, // half a simulated day
-		Model:           m,
-		Train:           core.TrainOptions{Epochs: 6, BatchSize: 12, Seed: 1},
+		Labeler:       "netscout",
+		LookbackSteps: 360, // half a simulated day
+		Model:         m,
+		// Workers is pinned to 1 so the committed experiment numbers are
+		// reproducible across machines: the worker count changes how
+		// gradients are partitioned and reduced, and while every (seed,
+		// workers) pair is individually deterministic, different worker
+		// counts give different (equally valid) float summation orders.
+		Train:           core.TrainOptions{Epochs: 6, BatchSize: 12, Seed: 1, Workers: 1},
 		A4WindowDays:    10,
 		A5WindowHours:   24,
 		MinTypeExamples: 8,

@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Batched training kernels: the gate arithmetic shared by the scalar and
+// batched forward passes, the per-row BPTT gate gradients, and the two
+// batch-level gradient matmuls (outer-product accumulation and transposed
+// propagation). These are the inner loops of every training step, so like
+// the float32 serving kernels they must compile with zero per-element
+// bounds checks (`make bce`): every loop body indexes only slices whose
+// length the compiler has proven, via exact-length two-step reslicing.
+//
+// Bit-exactness contract: per batch row, every kernel performs exactly the
+// arithmetic (and zero-skips) of its scalar counterpart in mat.go /
+// lstm.go, in the same per-element order, so a batch-1 training step is
+// bit-identical to the scalar path and any batch size is deterministic.
+
+// lstmGatesTape applies the gate nonlinearities for one stream and records
+// the post-activation gate values [i f g o] on the tape row. On entry c
+// holds the previous cell state; on return h and c hold the next hidden
+// and cell states. It is the single definition of the forward gate
+// arithmetic shared by the scalar Forward and ForwardBatch, so the two
+// training paths cannot drift.
+func lstmGatesTape(hd int, pre, rec, bias, gates, h, c Vec) {
+	pi, pf, pg, po := pre[0:][:hd], pre[hd:][:hd], pre[2*hd:][:hd], pre[3*hd:][:hd]
+	ri, rf, rg, ro := rec[0:][:hd], rec[hd:][:hd], rec[2*hd:][:hd], rec[3*hd:][:hd]
+	bi, bf, bg, bo := bias[0:][:hd], bias[hd:][:hd], bias[2*hd:][:hd], bias[3*hd:][:hd]
+	gI, gF, gG, gO := gates[0:][:hd], gates[hd:][:hd], gates[2*hd:][:hd], gates[3*hd:][:hd]
+	h = h[0:][:hd]
+	c = c[0:][:hd]
+	for j := range h {
+		gi := Sigmoid(pi[j] + ri[j] + bi[j])
+		gf := Sigmoid(pf[j] + rf[j] + bf[j])
+		gg := math.Tanh(pg[j] + rg[j] + bg[j])
+		go_ := Sigmoid(po[j] + ro[j] + bo[j])
+		gI[j] = gi
+		gF[j] = gf
+		gG[j] = gg
+		gO[j] = go_
+		c[j] = gf*c[j] + gi*gg
+		h[j] = go_ * math.Tanh(c[j])
+	}
+}
+
+// lstmGateGrads computes one stream's pre-activation gate gradients for one
+// timestep of BPTT. gates/c/cPrev are the taped forward values, dh is
+// dL/dh at this step (recurrent flow plus any injection), and dc is dL/dc
+// flowing from step t+1 — updated in place to the value flowing into step
+// t-1 (scaled by the forget gate). dz receives the four gate gradients.
+// The expressions are exactly those of the scalar LSTM.Backward.
+func lstmGateGrads(hd int, gates, c, cPrev, dh, dc, dz Vec) {
+	gI, gF, gG, gO := gates[0:][:hd], gates[hd:][:hd], gates[2*hd:][:hd], gates[3*hd:][:hd]
+	zI, zF, zG, zO := dz[0:][:hd], dz[hd:][:hd], dz[2*hd:][:hd], dz[3*hd:][:hd]
+	c = c[0:][:hd]
+	cPrev = cPrev[0:][:hd]
+	dh = dh[0:][:hd]
+	dc = dc[0:][:hd]
+	for j := range dh {
+		gi, gf, gg, go_ := gI[j], gF[j], gG[j], gO[j]
+		tc := math.Tanh(c[j])
+		d := dc[j] + dh[j]*go_*(1-tc*tc)
+		zI[j] = d * gg * gi * (1 - gi)
+		zF[j] = d * cPrev[j] * gf * (1 - gf)
+		zG[j] = d * gi * (1 - gg*gg)
+		zO[j] = dh[j] * tc * go_ * (1 - go_)
+		dc[j] = d * gf
+	}
+}
+
+// AddOuterBatch accumulates Σ_i a.Row(i)·x.Row(i)ᵀ into m: the batched form
+// of B AddOuter calls. Like MulT it iterates weight-gradient rows in the
+// outer loop, so each row of m is streamed through cache once per batch
+// instead of once per example, and blocks batch rows in tiles of
+// mulTileRows so each load/store of a gradient element amortizes four
+// multiply-adds. The tile accumulates left-to-right
+// (((row+a0·x0)+a1·x1)+a2·x2)+a3·x3 — the same association as four
+// sequential AddOuter calls — so any batch size keeps the sequential
+// summation order bit-for-bit; a tile is entered only when all four
+// coefficients are non-zero, preserving AddOuter's exact zero-skip
+// semantics (and batch-1 always takes the remainder path, so it is
+// bit-identical to AddOuter by construction).
+func (m *Mat) AddOuterBatch(a, x *Batch) {
+	if a.Cols != m.Rows || x.Cols != m.Cols || a.Rows != x.Rows {
+		panic(fmt.Sprintf("nn: AddOuterBatch shape mismatch (%dx%d) += (%dx%d)ᵀ·(%dx%d)",
+			m.Rows, m.Cols, a.Rows, a.Cols, x.Rows, x.Cols))
+	}
+	cols := m.Cols
+	aCols := a.Cols
+	for r := 0; r < aCols; r++ {
+		row := m.Data[r*cols:][:cols]
+		i := 0
+		for ; i+mulTileRows <= a.Rows; i += mulTileRows {
+			a0 := a.Data[i*aCols:][:aCols][r]
+			a1 := a.Data[(i+1)*aCols:][:aCols][r]
+			a2 := a.Data[(i+2)*aCols:][:aCols][r]
+			a3 := a.Data[(i+3)*aCols:][:aCols][r]
+			if a0 == 0 || a1 == 0 || a2 == 0 || a3 == 0 {
+				// A zero coefficient must be skipped, not multiplied
+				// through (AddOuter's contract); fall back to row-at-a-time
+				// for this tile.
+				addOuterRows(row, a, x, i, i+mulTileRows, r)
+				continue
+			}
+			x0 := x.Data[i*cols:][:cols][:len(row)]
+			x1 := x.Data[(i+1)*cols:][:cols][:len(row)]
+			x2 := x.Data[(i+2)*cols:][:cols][:len(row)]
+			x3 := x.Data[(i+3)*cols:][:cols][:len(row)]
+			for c := range row {
+				row[c] = row[c] + a0*x0[c] + a1*x1[c] + a2*x2[c] + a3*x3[c]
+			}
+		}
+		addOuterRows(row, a, x, i, a.Rows, r)
+	}
+}
+
+// addOuterRows is the untiled tail of AddOuterBatch: batch rows [lo,hi)
+// accumulated one at a time into gradient row `row`, with exactly
+// AddOuter's per-element order and zero-skip.
+func addOuterRows(row []float64, a, x *Batch, lo, hi, r int) {
+	cols := x.Cols
+	aCols := a.Cols
+	if r < 0 || r >= aCols {
+		// Written as two signed compares (not a uint trick) so the prove
+		// pass eliminates the ai[r] bounds check below.
+		panic("nn: addOuterRows column out of range")
+	}
+	for i := lo; i < hi; i++ {
+		ai := a.Data[i*aCols:][:aCols]
+		av := ai[r]
+		if av == 0 {
+			continue
+		}
+		xi := x.Data[i*cols:][:cols]
+		xi = xi[:len(row)]
+		for c, xv := range xi {
+			row[c] += av * xv
+		}
+	}
+}
+
+// MulTransBatch computes dst.Row(i) = wᵀ·a.Row(i) for every batch row,
+// resizing dst to a.Rows × w.Cols: the batched form of B MulVecTrans calls
+// (each into a freshly zeroed destination). The weight matrix is streamed
+// once per call rather than once per example; per row the accumulation
+// order and the zero-coefficient skip are exactly MulVecTrans's.
+func MulTransBatch(a *Batch, w *Mat, dst *Batch) {
+	if a.Cols != w.Rows {
+		panic(fmt.Sprintf("nn: MulTransBatch shape mismatch (%dx%d)ᵀ·(%dx%d)", w.Rows, w.Cols, a.Rows, a.Cols))
+	}
+	dst.Resize(a.Rows, w.Cols)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	cols := w.Cols
+	aCols := a.Cols
+	for r := 0; r < aCols; r++ {
+		wr := w.Data[r*cols:][:cols]
+		for i := 0; i < a.Rows; i++ {
+			ai := a.Data[i*aCols:][:aCols]
+			av := ai[r]
+			if av == 0 {
+				continue
+			}
+			di := dst.Data[i*cols:][:cols]
+			di = di[:len(wr)]
+			for c, wv := range wr {
+				di[c] += wv * av
+			}
+		}
+	}
+}
+
+// BackwardBatch accumulates weight gradients for B (input row, output
+// gradient row) pairs and writes dL/dx into dxs (resized to B×In). Rows
+// whose output gradient is entirely zero are skipped outright — their dxs
+// rows stay zero — mirroring how the model-level backward skips detection
+// steps with zero loss gradient, so a batch-1 call is bit-identical to the
+// scalar Backward-or-skip. Per processed row the accumulation order is
+// exactly Backward's.
+func (d *Dense) BackwardBatch(xs, dys, dxs *Batch) {
+	if xs.Rows != dys.Rows || xs.Cols != d.In || dys.Cols != d.Out {
+		panic(fmt.Sprintf("nn: Dense.BackwardBatch shape mismatch x(%dx%d) dy(%dx%d) layer(%dx%d)",
+			xs.Rows, xs.Cols, dys.Rows, dys.Cols, d.Out, d.In))
+	}
+	dxs.Resize(xs.Rows, d.In)
+	for i := range dxs.Data {
+		dxs.Data[i] = 0
+	}
+	for i := 0; i < xs.Rows; i++ {
+		dy := dys.Row(i)
+		if vecAllZero(dy) {
+			continue
+		}
+		d.GW.AddOuter(dy, xs.Row(i))
+		d.GB.Add(dy)
+		d.W.MulVecTrans(dy, dxs.Row(i))
+	}
+}
+
+// vecAllZero reports whether every element of v is zero.
+func vecAllZero(v Vec) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

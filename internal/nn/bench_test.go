@@ -107,3 +107,95 @@ func BenchmarkLSTMStepF32(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
 }
+
+// benchTrainTape prepares a warmed BatchTape of B sequences × benchSeqLen
+// steps plus full gradient injections, the shape of one training chunk.
+const benchSeqLen = 60
+
+func benchTrainTape(b *testing.B, B int) (*LSTM, *BatchTape, []Batch, []bool) {
+	b.Helper()
+	l := benchLSTM(b)
+	tp := &BatchTape{}
+	tp.Reset(l, B, benchSeqLen)
+	for t := 0; t < benchSeqLen; t++ {
+		for i := range tp.Xs[t].Data {
+			tp.Xs[t].Data[i] = float64(i%7) * 0.1
+		}
+	}
+	l.ForwardBatch(tp)
+	dH := make([]Batch, benchSeqLen)
+	touched := make([]bool, benchSeqLen)
+	for t := 0; t < benchSeqLen; t++ {
+		dH[t].Resize(B, benchHidden)
+		for i := range dH[t].Data {
+			dH[t].Data[i] = 0.01 * float64(i%5)
+		}
+		touched[t] = true
+	}
+	return l, tp, dH, touched
+}
+
+// benchForwardBatch runs one batched training forward per op; steps/sec
+// counts stream-steps so batch sizes compare directly.
+func benchForwardBatch(b *testing.B, B int) {
+	l, tp, _, _ := benchTrainTape(b, B)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.ForwardBatch(tp)
+	}
+	b.ReportMetric(float64(b.N)*float64(B)*benchSeqLen/b.Elapsed().Seconds(), "steps/sec")
+}
+
+func BenchmarkLSTMForwardBatch1(b *testing.B) { benchForwardBatch(b, 1) }
+func BenchmarkLSTMForwardBatch8(b *testing.B) { benchForwardBatch(b, 8) }
+
+// benchBackwardBatch runs one batched BPTT pass per op over the warmed
+// tape; steps/sec counts stream-steps.
+func benchBackwardBatch(b *testing.B, B int) {
+	l, tp, dH, touched := benchTrainTape(b, B)
+	var s BatchGradScratch
+	l.BackwardBatch(tp, dH, touched, &s) // warm the gradient scratch
+	l.ZeroGrad()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.BackwardBatch(tp, dH, touched, &s)
+	}
+	b.StopTimer()
+	l.ZeroGrad()
+	b.ReportMetric(float64(b.N)*float64(B)*benchSeqLen/b.Elapsed().Seconds(), "steps/sec")
+}
+
+func BenchmarkLSTMBackwardBatch1(b *testing.B) { benchBackwardBatch(b, 1) }
+func BenchmarkLSTMBackwardBatch8(b *testing.B) { benchBackwardBatch(b, 8) }
+
+// BenchmarkLSTMBackwardScalar is the pre-batching reference: one scalar
+// Forward + Backward per op (the Backward needs a fresh tape each op, as
+// the scalar trainer allocates one per example).
+func BenchmarkLSTMBackwardScalar(b *testing.B) {
+	l := benchLSTM(b)
+	xs := make([]Vec, benchSeqLen)
+	for t := range xs {
+		xs[t] = NewVec(benchIn)
+		for i := range xs[t] {
+			xs[t][i] = float64(i%7) * 0.1
+		}
+	}
+	dH := make([]Vec, benchSeqLen)
+	for t := range dH {
+		dH[t] = NewVec(benchHidden)
+		for i := range dH[t] {
+			dH[t][i] = 0.01 * float64(i%5)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tape := l.Forward(xs)
+		l.Backward(tape, dH)
+	}
+	b.StopTimer()
+	l.ZeroGrad()
+	b.ReportMetric(float64(b.N)*benchSeqLen/b.Elapsed().Seconds(), "steps/sec")
+}

@@ -93,22 +93,11 @@ func (l *LSTM) Forward(xs []Vec) *LSTMTape {
 		gates := NewVec(4 * hd)
 		h := NewVec(hd)
 		c := NewVec(hd)
-		for j := 0; j < hd; j++ {
-			zi := pre[j] + rec[j] + l.B[j]
-			zf := pre[hd+j] + rec[hd+j] + l.B[hd+j]
-			zg := pre[2*hd+j] + rec[2*hd+j] + l.B[2*hd+j]
-			zo := pre[3*hd+j] + rec[3*hd+j] + l.B[3*hd+j]
-			gi := Sigmoid(zi)
-			gf := Sigmoid(zf)
-			gg := math.Tanh(zg)
-			go_ := Sigmoid(zo)
-			gates[j] = gi
-			gates[hd+j] = gf
-			gates[2*hd+j] = gg
-			gates[3*hd+j] = go_
-			c[j] = gf*cPrev[j] + gi*gg
-			h[j] = go_ * math.Tanh(c[j])
-		}
+		copy(c, cPrev)
+		// The gate arithmetic lives in lstmGatesTape, shared with
+		// ForwardBatch so the scalar and batched training paths cannot
+		// drift (c is updated in place from the previous cell state).
+		lstmGatesTape(hd, pre, rec, l.B, gates, h, c)
 		tape.Gates[t] = gates
 		tape.C[t] = c
 		tape.H[t] = h

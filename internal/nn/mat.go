@@ -38,6 +38,7 @@ func (v Vec) Add(o Vec) {
 	if len(v) != len(o) {
 		panic(fmt.Sprintf("nn: Vec.Add length mismatch %d != %d", len(v), len(o)))
 	}
+	o = o[:len(v)] // exact length: the loop body compiles check-free
 	for i := range v {
 		v[i] += o[i]
 	}
@@ -141,12 +142,13 @@ func (m *Mat) MulVecTrans(x Vec, dst Vec) {
 	if len(x) != m.Rows || len(dst) != m.Cols {
 		panic(fmt.Sprintf("nn: MulVecTrans shape mismatch (%dx%d)ᵀ·%d -> %d", m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for r := 0; r < m.Rows; r++ {
-		xr := x[r]
+	cols := m.Cols
+	for r, xr := range x {
 		if xr == 0 {
 			continue
 		}
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		row := m.Data[r*cols:][:cols]
+		row = row[:len(dst)] // equal lengths: the loop body compiles check-free
 		for c, w := range row {
 			dst[c] += w * xr
 		}
@@ -159,14 +161,15 @@ func (m *Mat) AddOuter(a, b Vec) {
 	if len(a) != m.Rows || len(b) != m.Cols {
 		panic("nn: AddOuter shape mismatch")
 	}
-	for r := 0; r < m.Rows; r++ {
-		ar := a[r]
+	cols := m.Cols
+	for r, ar := range a {
 		if ar == 0 {
 			continue
 		}
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
-		for c := range row {
-			row[c] += ar * b[c]
+		row := m.Data[r*cols:][:cols]
+		row = row[:len(b)] // equal lengths: the loop body compiles check-free
+		for c, bv := range b {
+			row[c] += ar * bv
 		}
 	}
 }

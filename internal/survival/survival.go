@@ -69,6 +69,13 @@ func Loss(hazards []float64, attack bool) (loss float64, dHazard float64) {
 // It returns the total loss and dL/dλ_t per step.
 func BCELoss(hazards []float64, attackStep int) (loss float64, dHazards []float64) {
 	dHazards = make([]float64, len(hazards))
+	return BCELossInto(hazards, attackStep, dHazards), dHazards
+}
+
+// BCELossInto is BCELoss writing the per-step gradients into the
+// caller-owned dHazards (len ≥ len(hazards)), allocating nothing — the
+// form the batched trainer's steady-state loop uses.
+func BCELossInto(hazards []float64, attackStep int, dHazards []float64) (loss float64) {
 	const eps = 1e-12
 	for t, l := range hazards {
 		p := -math.Expm1(-l) // 1 − e^{−λ}
@@ -86,7 +93,7 @@ func BCELoss(hazards []float64, attackStep int) (loss float64, dHazards []float6
 		// dL/dp = (p−y)/(p(1−p)); dp/dλ = e^{−λ} = 1−p, so dL/dλ = (p−y)/p.
 		dHazards[t] = (p - y) / p
 	}
-	return loss, dHazards
+	return loss
 }
 
 // ErrNoThreshold is returned by Calibrate when no threshold satisfies the
